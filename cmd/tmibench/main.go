@@ -1,0 +1,55 @@
+// Command tmibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tmibench                         # run everything
+//	tmibench -experiment fig9        # one experiment
+//	tmibench -runs 5 -csv out/       # more repetitions, CSV for plotting
+//	tmibench -list                   # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp  = flag.String("experiment", "all", "experiment id or 'all' (see -list)")
+		runs = flag.Int("runs", 3, "seeded repetitions averaged per configuration")
+		seed = flag.Int64("seed", 1, "base seed")
+		csv  = flag.String("csv", "", "directory for CSV output (optional)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	o := &harness.Options{Runs: *runs, Seed: *seed, Out: os.Stdout, CSVDir: *csv}
+	run := func(e harness.Experiment) {
+		if err := e.Run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "tmibench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, e := range harness.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := harness.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmibench:", err)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,74 @@
+// Command tmidetect runs a workload under TMI's detection-only mode and
+// prints the false sharing report: every classified cache line with its
+// sharing class and estimated HITM event rate, plus the address-space layout
+// the detector worked against.
+//
+// Usage:
+//
+//	tmidetect -workload histogramfs
+//	tmidetect -workload leveldb-clean -period 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/detect"
+	"repro/tmi"
+	"repro/tmi/workloads"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "histogramfs", "workload name (see tmirun -list)")
+		period = flag.Int("period", 100, "perf sampling period")
+		huge   = flag.Bool("hugepages", true, "back shared memory with 2 MiB pages")
+		seed   = flag.Int64("seed", 1, "determinism seed")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmidetect:", err)
+		os.Exit(2)
+	}
+	rep, err := tmi.Run(w, tmi.Config{System: tmi.TMIDetect, Period: *period, HugePages: *huge, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmidetect:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s: %.3f ms, %d HITM events, %d PEBS records (period %d)\n\n",
+		rep.Workload, rep.SimSeconds*1e3, rep.HITMEvents, rep.RecordsSeen, *period)
+
+	if len(rep.Lines) == 0 {
+		fmt.Println("no shared cache lines classified (no significant contention)")
+	} else {
+		fmt.Printf("%-14s %-8s %10s %16s\n", "line", "class", "records", "est events/s")
+		for _, l := range rep.Lines {
+			class := l.Class.String()
+			if l.Class == detect.SharingFalse && l.EstEventsPerSec >= 100_000 {
+				class += " (repairable)"
+			}
+			fmt.Printf("0x%012x %-20s %4d %16.0f\n", l.Line, class, l.Records, l.EstEventsPerSec)
+		}
+	}
+
+	if rep.FalseRecords > 0 {
+		fmt.Printf("\nCheetah-style prediction: a manual fix would speed this run up ~%.2fx\n",
+			rep.PredictedManualSpeedup)
+	}
+	if len(rep.LineSizePredictions) > 0 {
+		fmt.Println("\nPredator-style line-size sweep (predicted sharing on other hardware):")
+		fmt.Printf("  %-10s %12s %12s\n", "line size", "false lines", "true lines")
+		for _, p := range rep.LineSizePredictions {
+			fmt.Printf("  %-10d %12d %12d\n", p.LineSize, p.FalseLines, p.TrueLines)
+		}
+	}
+
+	fmt.Println("\naddress-space layout:")
+	for _, line := range rep.Layout {
+		fmt.Println(" ", line)
+	}
+}

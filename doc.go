@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "TMI: Thread Memory
+// Isolation for False Sharing Repair" (DeLozier, Eizenberg, Hu, Pokam,
+// Devietti — MICRO-50, 2017).
+//
+// The public API lives in the tmi, tmi/workload and tmi/workloads packages;
+// the simulated machine and the TMI runtime live under internal/. See
+// README.md for a tour, DESIGN.md for the system inventory and per-
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The root-level benchmarks (bench_test.go) regenerate one configuration of
+// every table and figure; cmd/tmibench regenerates them in full.
+package repro

@@ -1,0 +1,62 @@
+// The paper's motivating benchmark: Phoenix histogram, whose per-thread RGB
+// counters falsely share cache lines depending on the input image.
+//
+// This example runs both inputs (the standard image and the contention-
+// accentuating one) under every system and prints a Figure 9-style row.
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+	"repro/tmi/workloads"
+)
+
+func main() {
+	for _, variant := range []struct {
+		label string
+		buggy func() workload.Workload
+		fixed func() workload.Workload
+	}{
+		{"histogram (standard input)",
+			func() workload.Workload { return workloads.Histogram(workloads.VariantFS) },
+			func() workload.Workload { return workloads.Histogram(workloads.VariantManual) }},
+		{"histogramfs (false-sharing-heavy input)",
+			func() workload.Workload { return workloads.HistogramFS(workloads.VariantFS) },
+			func() workload.Workload { return workloads.HistogramFS(workloads.VariantManual) }},
+	} {
+		fmt.Printf("== %s\n", variant.label)
+		base, err := tmi.Run(variant.buggy(), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %8.3f ms  (%d HITM events)\n", "pthreads", base.SimSeconds*1e3, base.HITMEvents)
+
+		man, err := tmi.Run(variant.fixed(), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %8.3f ms  %5.2fx (source padded to cache lines)\n",
+			"manual fix", man.SimSeconds*1e3, tmi.Speedup(base, man))
+
+		for _, sys := range []tmi.System{tmi.LASER, tmi.TMIProtect} {
+			rep, err := tmi.Run(variant.buggy(), tmi.Config{System: sys})
+			if err != nil {
+				log.Fatal(err)
+			}
+			note := ""
+			if rep.Repaired && len(rep.T2PMicros) > 0 {
+				note = fmt.Sprintf("(repaired at %.3f ms, %d page(s))", rep.RepairAtSec*1e3, rep.PagesProtected)
+			}
+			fmt.Printf("  %-28s %8.3f ms  %5.2fx %s\n",
+				sys.String(), rep.SimSeconds*1e3, tmi.Speedup(base, rep), note)
+		}
+		fmt.Println()
+	}
+	fmt.Println("TMI repairs the heavy input nearly as well as editing the source — automatically,")
+	fmt.Println("online, and only after the detector sees enough HITM events to be sure.")
+}

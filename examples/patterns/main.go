@@ -1,0 +1,63 @@
+// Author a benchmark declaratively with the patterns builder: per-thread
+// statistics counters (packed, the bug), a relaxed-atomic refcount, bulk
+// streamed input and private scratch — then watch TMI detect and repair only
+// what deserves it.
+//
+//	go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+	"repro/tmi/workload/patterns"
+)
+
+func pipeline(layout patterns.Layout) workload.Workload {
+	b := patterns.New("pipeline", 4)
+	stats := b.Counters("stage-stats", 4, layout) // per-thread stage counters
+	inflight := b.SharedWord("inflight")          // relaxed-atomic refcount
+	input := b.Bulk("frames", 96)                 // 96 MB of streamed frames
+	scratch := b.PrivateScratch("decode", 2048)
+	b.Body(func(t workload.Thread, r *patterns.Resources) {
+		for i := 0; i < 12_000; i++ {
+			r.Stream(input, t, int64(t.ID())*(24<<20)+int64(i%4096)*512, 512)
+			r.Inc(stats, t, i%4)
+			r.ScratchWrite(scratch, t, (i%256)*8, uint64(i))
+			if i%24 == 0 {
+				r.Add(inflight, t, 1, workload.Relaxed)
+			}
+			t.Work(60)
+		}
+	})
+	return b.Build()
+}
+
+func main() {
+	base, err := tmi.Run(pipeline(patterns.Packed), tmi.Config{System: tmi.Pthreads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, err := tmi.Run(pipeline(patterns.Padded), tmi.Config{System: tmi.Pthreads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, err := tmi.Run(pipeline(patterns.Packed), tmi.Config{System: tmi.TMIProtect})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !prot.Validated {
+		log.Fatalf("validation: %s", prot.ValidationErr)
+	}
+
+	fmt.Printf("packed (buggy) baseline : %8.3f ms  %8d HITM  %7.1f uJ\n",
+		base.SimSeconds*1e3, base.HITMEvents, base.Cache.EnergyMicroJ())
+	fmt.Printf("padded (fixed) baseline : %8.3f ms  %8d HITM  %7.1f uJ  (%.2fx)\n",
+		fixed.SimSeconds*1e3, fixed.HITMEvents, fixed.Cache.EnergyMicroJ(), tmi.Speedup(base, fixed))
+	fmt.Printf("packed under tmi-protect: %8.3f ms  %8d HITM  %7.1f uJ  (%.2fx, %d page repaired)\n",
+		prot.SimSeconds*1e3, prot.HITMEvents, prot.Cache.EnergyMicroJ(), tmi.Speedup(base, prot), prot.PagesProtected)
+	fmt.Println("\nthe relaxed refcount keeps running lock-free through the repair (no PTSB flushes),")
+	fmt.Printf("and validation proves every counter and the refcount exact: flushes=%d\n", prot.CCCFlushes)
+}

@@ -1,0 +1,146 @@
+// Package ccc implements code-centric consistency (paper §3.4): the insight
+// that a single program mixes code regions governed by different memory
+// consistency models — regular C/C++, C/C++ atomics, and inline assembly —
+// and that a runtime optimization like the PTSB is legal in some regions
+// and not others.
+//
+// The controller consumes the region callbacks that the paper's LLVM pass
+// inserts (emitted here by the workload framework) and enforces the Table 2
+// policy:
+//
+//   - regular x regular / regular x atomic: data races have undefined
+//     semantics, so PTSB use is permitted (Lemma 3.1 covers the race-free
+//     case);
+//   - atomic x atomic: atomicity is required; atomics always operate
+//     directly on shared memory, and non-relaxed orders flush and disable
+//     the PTSB for the region's duration;
+//   - anything x assembly: assembly guarantees TSO-style AMBSA, so the PTSB
+//     is flushed and disabled for the whole region.
+//
+// With the controller disabled (Sheriff's design) atomics and assembly run
+// through the PTSB like regular code — and their semantics genuinely break
+// in this simulator, reproducing Figures 3, 11 and 12.
+package ccc
+
+import (
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+// Flusher commits a thread's PTSB and returns the cycle cost.
+type Flusher interface {
+	Commit(t *machine.Thread) int64
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Flushes        uint64
+	AsmRegions     uint64
+	StrongRegions  uint64
+	RelaxedRegions uint64
+}
+
+type threadState struct {
+	asmDepth     int
+	strongDepth  int
+	relaxedDepth int
+}
+
+// Controller applies the code-centric consistency policy for one
+// application.
+type Controller struct {
+	// Enabled selects TMI semantics; false reproduces Sheriff's
+	// PTSB-everywhere-for-everything behavior.
+	Enabled bool
+	shared  *mem.AddrSpace
+	engine  Flusher
+	state   map[int]*threadState
+
+	Stats Stats
+}
+
+// NewController builds a controller that routes protected accesses to the
+// always-shared view and flushes through engine. engine may be nil when no
+// PTSB is active (detection-only modes).
+func NewController(enabled bool, shared *mem.AddrSpace, engine Flusher) *Controller {
+	return &Controller{Enabled: enabled, shared: shared, engine: engine, state: make(map[int]*threadState)}
+}
+
+func (c *Controller) ts(t *machine.Thread) *threadState {
+	s := c.state[t.ID]
+	if s == nil {
+		s = &threadState{}
+		c.state[t.ID] = s
+	}
+	return s
+}
+
+func (c *Controller) flush(t *machine.Thread) {
+	if c.engine != nil {
+		if cost := c.engine.Commit(t); cost > 0 {
+			t.AddCost(cost)
+			c.Stats.Flushes++
+		}
+	}
+}
+
+// Enter handles a region-entry callback.
+func (c *Controller) Enter(t *machine.Thread, k machine.RegionKind) {
+	s := c.ts(t)
+	switch k {
+	case machine.RegionAsm:
+		c.Stats.AsmRegions++
+		if c.Enabled {
+			c.flush(t)
+		}
+		s.asmDepth++
+	case machine.RegionAtomicStrong:
+		c.Stats.StrongRegions++
+		if c.Enabled {
+			c.flush(t)
+		}
+		s.strongDepth++
+	case machine.RegionAtomicRelaxed:
+		// Relaxed atomics require only atomicity, which direct shared
+		// access provides; no flush (paper §3.4, case 2).
+		c.Stats.RelaxedRegions++
+		s.relaxedDepth++
+	}
+}
+
+// Exit handles a region-exit callback.
+func (c *Controller) Exit(t *machine.Thread, k machine.RegionKind) {
+	s := c.ts(t)
+	switch k {
+	case machine.RegionAsm:
+		s.asmDepth--
+	case machine.RegionAtomicStrong:
+		s.strongDepth--
+	case machine.RegionAtomicRelaxed:
+		s.relaxedDepth--
+	}
+}
+
+// SpaceFor routes an access per the policy: inside disabled regions, and
+// for atomic instructions generally, accesses go directly to the shared
+// view. Returning nil keeps the thread's own (possibly PTSB-private) space.
+func (c *Controller) SpaceFor(t *machine.Thread, acc *machine.Access) *mem.AddrSpace {
+	if !c.Enabled {
+		return nil
+	}
+	s := c.ts(t)
+	if s.asmDepth > 0 || s.strongDepth > 0 {
+		return c.shared
+	}
+	if acc.Atomic || s.relaxedDepth > 0 {
+		return c.shared
+	}
+	return nil
+}
+
+// Disabled reports whether the thread is currently in a PTSB-disabled
+// region.
+func (c *Controller) Disabled(t *machine.Thread) bool {
+	s := c.ts(t)
+	return s.asmDepth > 0 || s.strongDepth > 0
+}

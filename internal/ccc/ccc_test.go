@@ -1,0 +1,177 @@
+package ccc
+
+import (
+	"testing"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+type fakeFlusher struct{ commits int }
+
+func (f *fakeFlusher) Commit(t *machine.Thread) int64 {
+	f.commits++
+	return 100
+}
+
+func newThread() (*machine.Thread, *mem.AddrSpace) {
+	m := mem.NewMemory(mem.PageSize4K)
+	f := m.NewFile("x")
+	as := mem.NewAddrSpace(m)
+	as.Map(0, 4, f, 0, false, mem.ProtRW)
+	mc := machine.New(machine.Config{Cores: 1, Seed: 1, Mem: m})
+	mc.Thread(0).SetSpace(as)
+	return mc.Thread(0), as
+}
+
+func TestAsmRegionFlushesAndDisables(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	fl := &fakeFlusher{}
+	c := NewController(true, shared, fl)
+
+	if c.Disabled(th) {
+		t.Fatal("fresh thread should not be disabled")
+	}
+	c.Enter(th, machine.RegionAsm)
+	if fl.commits != 1 {
+		t.Errorf("asm entry should flush, commits=%d", fl.commits)
+	}
+	if !c.Disabled(th) {
+		t.Error("PTSB must be disabled inside asm")
+	}
+	if got := c.SpaceFor(th, &machine.Access{}); got != shared {
+		t.Error("accesses inside asm must route to the shared view")
+	}
+	c.Exit(th, machine.RegionAsm)
+	if c.Disabled(th) {
+		t.Error("exit should re-enable")
+	}
+	if got := c.SpaceFor(th, &machine.Access{}); got != nil {
+		t.Error("plain accesses outside regions keep the thread's space")
+	}
+}
+
+func TestStrongAtomicFlushesRelaxedDoesNot(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	fl := &fakeFlusher{}
+	c := NewController(true, shared, fl)
+
+	c.Enter(th, machine.RegionAtomicRelaxed)
+	if fl.commits != 0 {
+		t.Error("relaxed atomics must not flush (paper §3.4 case 2)")
+	}
+	if got := c.SpaceFor(th, &machine.Access{Atomic: true}); got != shared {
+		t.Error("relaxed atomics still operate on shared memory")
+	}
+	c.Exit(th, machine.RegionAtomicRelaxed)
+
+	c.Enter(th, machine.RegionAtomicStrong)
+	if fl.commits != 1 {
+		t.Error("strong atomics flush the PTSB")
+	}
+	c.Exit(th, machine.RegionAtomicStrong)
+}
+
+func TestAtomicAccessAlwaysRoutesShared(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	c := NewController(true, shared, nil)
+	if got := c.SpaceFor(th, &machine.Access{Atomic: true}); got != shared {
+		t.Error("atomic instructions route to shared memory even outside regions")
+	}
+	if got := c.SpaceFor(th, &machine.Access{}); got != nil {
+		t.Error("plain accesses are unaffected")
+	}
+}
+
+func TestDisabledControllerIsSheriff(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	fl := &fakeFlusher{}
+	c := NewController(false, shared, fl)
+	c.Enter(th, machine.RegionAsm)
+	c.Enter(th, machine.RegionAtomicStrong)
+	if fl.commits != 0 {
+		t.Error("disabled controller never flushes")
+	}
+	if got := c.SpaceFor(th, &machine.Access{Atomic: true}); got != nil {
+		t.Error("disabled controller never redirects — Sheriff semantics")
+	}
+	c.Exit(th, machine.RegionAtomicStrong)
+	c.Exit(th, machine.RegionAsm)
+}
+
+func TestNestedRegions(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	c := NewController(true, shared, &fakeFlusher{})
+	c.Enter(th, machine.RegionAsm)
+	c.Enter(th, machine.RegionAtomicStrong) // atomics inside asm (case 4)
+	c.Exit(th, machine.RegionAtomicStrong)
+	if !c.Disabled(th) {
+		t.Error("still inside asm: must remain disabled")
+	}
+	c.Exit(th, machine.RegionAsm)
+	if c.Disabled(th) {
+		t.Error("all regions closed: enabled again")
+	}
+}
+
+func TestNoFlushWhenBufferClean(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	c := NewController(true, shared, nil) // nil engine: detection-only mode
+	c.Enter(th, machine.RegionAsm)        // must not panic
+	c.Exit(th, machine.RegionAsm)
+}
+
+// Table 2 tests: the matrix matches the paper cell for cell.
+
+func TestTable2MatrixCases(t *testing.T) {
+	cases := []struct {
+		a, b      RegionClass
+		caseNo    int
+		semantics string
+		permitted bool
+	}{
+		{ClassRegular, ClassRegular, 1, "undefined", true},
+		{ClassRegular, ClassAtomic, 1, "undefined", true},
+		{ClassAtomic, ClassAtomic, 2, "atomic", false},
+		{ClassRegular, ClassAsm, 3, "unknown", false},
+		{ClassAtomic, ClassAsm, 4, "unknown", false},
+		{ClassAsm, ClassAsm, 5, "TSO", false},
+	}
+	for _, c := range cases {
+		got := Table2(c.a, c.b)
+		if got.Case != c.caseNo || got.Semantics != c.semantics || got.PTSBPermitted != c.permitted {
+			t.Errorf("Table2(%v,%v) = %+v, want case %d %s permitted=%v",
+				c.a, c.b, got, c.caseNo, c.semantics, c.permitted)
+		}
+	}
+}
+
+func TestTable2Symmetric(t *testing.T) {
+	for _, a := range Classes() {
+		for _, b := range Classes() {
+			if Table2(a, b) != Table2(b, a) {
+				t.Errorf("Table2 not symmetric for (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestStatsCountRegions(t *testing.T) {
+	th, _ := newThread()
+	c := NewController(true, mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K)), &fakeFlusher{})
+	c.Enter(th, machine.RegionAsm)
+	c.Exit(th, machine.RegionAsm)
+	c.Enter(th, machine.RegionAtomicRelaxed)
+	c.Exit(th, machine.RegionAtomicRelaxed)
+	c.Enter(th, machine.RegionAtomicStrong)
+	c.Exit(th, machine.RegionAtomicStrong)
+	if c.Stats.AsmRegions != 1 || c.Stats.RelaxedRegions != 1 || c.Stats.StrongRegions != 1 {
+		t.Errorf("region stats %+v", c.Stats)
+	}
+}

@@ -1,0 +1,64 @@
+package ccc
+
+// This file encodes Table 2 of the paper as data: the semantics of
+// concurrent conflicting accesses between code regions of different
+// consistency classes, and whether the PTSB is permitted for them. The
+// table generator and the consistency tests consume it.
+
+// RegionClass is a row/column of Table 2.
+type RegionClass int
+
+// Region classes.
+const (
+	ClassRegular RegionClass = iota
+	ClassAtomic
+	ClassAsm
+)
+
+func (c RegionClass) String() string {
+	switch c {
+	case ClassRegular:
+		return "regular"
+	case ClassAtomic:
+		return "atomic"
+	case ClassAsm:
+		return "x86 asm"
+	}
+	return "?"
+}
+
+// Interaction is one cell of Table 2.
+type Interaction struct {
+	Case      int    // the paper's case number (1-5)
+	Semantics string // "undefined", "atomic", "unknown", "TSO"
+	// PTSBPermitted reports whether TMI may leave the PTSB active for the
+	// interaction (the shaded cells).
+	PTSBPermitted bool
+}
+
+// Table2 returns the cell for a pair of region classes. The relation is
+// symmetric.
+func Table2(a, b RegionClass) Interaction {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == ClassRegular && b == ClassRegular:
+		return Interaction{Case: 1, Semantics: "undefined", PTSBPermitted: true}
+	case a == ClassRegular && b == ClassAtomic:
+		return Interaction{Case: 1, Semantics: "undefined", PTSBPermitted: true}
+	case a == ClassAtomic && b == ClassAtomic:
+		return Interaction{Case: 2, Semantics: "atomic", PTSBPermitted: false}
+	case a == ClassRegular && b == ClassAsm:
+		// TMI still flushes here for uniformity, though undefined semantics
+		// would permit the PTSB (paper, case 3).
+		return Interaction{Case: 3, Semantics: "unknown", PTSBPermitted: false}
+	case a == ClassAtomic && b == ClassAsm:
+		return Interaction{Case: 4, Semantics: "unknown", PTSBPermitted: false}
+	default: // asm x asm
+		return Interaction{Case: 5, Semantics: "TSO", PTSBPermitted: false}
+	}
+}
+
+// Classes lists the region classes in table order.
+func Classes() []RegionClass { return []RegionClass{ClassRegular, ClassAtomic, ClassAsm} }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disasm"
+	"repro/internal/psync"
+	"repro/internal/sim/machine"
+	"repro/tmi/workload"
+)
+
+// runEnv implements workload.Env over the runtime.
+type runEnv struct{ rt *runtime }
+
+var _ workload.Env = (*runEnv)(nil)
+
+func (e *runEnv) Threads() int  { return e.rt.threads }
+func (e *runEnv) PageSize() int { return e.rt.memory.PageSize() }
+
+func (e *runEnv) Alloc(n, align int) uint64 { return e.rt.al.Alloc(n, align) }
+func (e *runEnv) AllocDefault(n int) uint64 { return e.rt.al.AllocDefault(n) }
+func (e *runEnv) AllocBulk(n int64) uint64  { return e.rt.al.AllocBulk(n) }
+
+func (e *runEnv) AllocGlobal(n, align int) uint64 { return e.rt.al.AllocGlobal(n, align) }
+
+func (e *runEnv) Free(addr uint64, n int) { e.rt.al.Free(addr, n) }
+
+func (e *runEnv) Write(addr uint64, b []byte) {
+	if err := e.rt.sharedView.WriteBytes(addr, b); err != nil {
+		panic(fmt.Sprintf("core: env write: %v", err))
+	}
+}
+
+func (e *runEnv) Read(addr uint64, n int) []byte {
+	b, err := e.rt.sharedView.ReadBytes(addr, n)
+	if err != nil {
+		panic(fmt.Sprintf("core: env read: %v", err))
+	}
+	return b
+}
+
+func (e *runEnv) Store(addr uint64, size int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	e.Write(addr, buf[:size])
+}
+
+func (e *runEnv) Load(addr uint64, size int) uint64 {
+	b := e.Read(addr, size)
+	var buf [8]byte
+	copy(buf[:], b)
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (e *runEnv) Site(name string, kind workload.SiteKind, width int) workload.Site {
+	var dk disasm.Kind
+	switch kind {
+	case workload.SiteLoad:
+		dk = disasm.KindLoad
+	case workload.SiteStore:
+		dk = disasm.KindStore
+	case workload.SiteAtomic:
+		dk = disasm.KindAtomic
+	default:
+		panic(fmt.Sprintf("core: unknown site kind %d", kind))
+	}
+	s := e.rt.prog.Site(name, dk, width)
+	return workload.Site{PC: s.PC(), Kind: kind, Width: width}
+}
+
+// Synchronization handles.
+
+type coreMutex struct {
+	workload.MutexBase
+	m *psync.Mutex
+}
+
+type coreBarrier struct {
+	workload.BarrierBase
+	b *psync.Barrier
+}
+
+type coreCond struct {
+	workload.CondBase
+	c *psync.Cond
+}
+
+type coreRW struct {
+	workload.RWMutexBase
+	rw *psync.RWMutex
+}
+
+func (e *runEnv) NewMutex(name string) workload.Mutex {
+	// A pthread_mutex_t occupies 40 bytes on the application heap; with
+	// TMI indirection the first word becomes the pointer to the shared
+	// object.
+	appAddr := e.rt.al.Alloc(40, 8)
+	return coreMutex{m: e.rt.psyncMgr.NewMutex(name, appAddr)}
+}
+
+func (e *runEnv) NewMutexAt(name string, appAddr uint64) workload.Mutex {
+	return coreMutex{m: e.rt.psyncMgr.NewMutex(name, appAddr)}
+}
+
+func (e *runEnv) NewBarrier(name string, parties int) workload.Barrier {
+	return coreBarrier{b: e.rt.psyncMgr.NewBarrier(name, parties)}
+}
+
+func (e *runEnv) NewCond(name string) workload.Cond {
+	return coreCond{c: e.rt.psyncMgr.NewCond(name)}
+}
+
+func (e *runEnv) NewRWMutex(name string) workload.RWMutex {
+	// A pthread_rwlock_t occupies 56 bytes on the application heap.
+	appAddr := e.rt.al.Alloc(56, 8)
+	return coreRW{rw: e.rt.psyncMgr.NewRWMutex(name, appAddr)}
+}
+
+func (e *runEnv) Note(key string, v float64) { e.rt.notes[key] = v }
+
+// hangSentinel unwinds a livelocked workload thread.
+type hangSentinel struct{}
+
+// runThread implements workload.Thread over a machine thread.
+type runThread struct {
+	rt *runtime
+	mt *machine.Thread
+}
+
+var _ workload.Thread = (*runThread)(nil)
+
+func (t *runThread) ID() int         { return t.mt.ID }
+func (t *runThread) NumThreads() int { return t.rt.threads }
+
+func (t *runThread) Load(s workload.Site, addr uint64) uint64 {
+	return t.mt.Load(s.PC, addr, s.Width)
+}
+
+func (t *runThread) Store(s workload.Site, addr uint64, v uint64) {
+	t.mt.Store(s.PC, addr, s.Width, v)
+}
+
+func regionKind(order workload.MemOrder) machine.RegionKind {
+	if order == workload.Relaxed {
+		return machine.RegionAtomicRelaxed
+	}
+	return machine.RegionAtomicStrong
+}
+
+func (t *runThread) AtomicAdd(s workload.Site, addr uint64, delta uint64, order workload.MemOrder) uint64 {
+	k := regionKind(order)
+	t.mt.EnterRegion(k)
+	old := t.mt.AtomicRMW(s.PC, addr, s.Width, func(o uint64) uint64 { return o + delta })
+	t.mt.ExitRegion(k)
+	return old
+}
+
+func (t *runThread) AtomicCAS(s workload.Site, addr uint64, old, new uint64, order workload.MemOrder) bool {
+	k := regionKind(order)
+	t.mt.EnterRegion(k)
+	ok := t.mt.AtomicCAS(s.PC, addr, s.Width, old, new)
+	t.mt.ExitRegion(k)
+	return ok
+}
+
+func (t *runThread) AtomicLoad(s workload.Site, addr uint64, order workload.MemOrder) uint64 {
+	k := regionKind(order)
+	t.mt.EnterRegion(k)
+	v := t.mt.AtomicLoad(s.PC, addr, s.Width)
+	t.mt.ExitRegion(k)
+	return v
+}
+
+func (t *runThread) AtomicStore(s workload.Site, addr uint64, v uint64, order workload.MemOrder) {
+	k := regionKind(order)
+	t.mt.EnterRegion(k)
+	t.mt.AtomicStore(s.PC, addr, s.Width, v)
+	t.mt.ExitRegion(k)
+}
+
+func (t *runThread) EnterAsm() { t.mt.EnterRegion(machine.RegionAsm) }
+func (t *runThread) ExitAsm()  { t.mt.ExitRegion(machine.RegionAsm) }
+
+func (t *runThread) AsmAtomicSwap(sa, sb workload.Site, addrA, addrB uint64) {
+	t.mt.EnterRegion(machine.RegionAsm)
+	t.mt.AtomicPairSwap(sa.PC, sb.PC, addrA, addrB, sa.Width)
+	t.mt.ExitRegion(machine.RegionAsm)
+}
+
+func (t *runThread) Lock(m workload.Mutex)   { m.(coreMutex).m.Lock(t.mt) }
+func (t *runThread) Unlock(m workload.Mutex) { m.(coreMutex).m.Unlock(t.mt) }
+func (t *runThread) Wait(b workload.Barrier) { b.(coreBarrier).b.Wait(t.mt) }
+
+func (t *runThread) RLock(m workload.RWMutex)   { m.(coreRW).rw.RLock(t.mt) }
+func (t *runThread) RUnlock(m workload.RWMutex) { m.(coreRW).rw.RUnlock(t.mt) }
+func (t *runThread) WLock(m workload.RWMutex)   { m.(coreRW).rw.Lock(t.mt) }
+func (t *runThread) WUnlock(m workload.RWMutex) { m.(coreRW).rw.Unlock(t.mt) }
+
+func (t *runThread) CondWait(c workload.Cond, m workload.Mutex) {
+	c.(coreCond).c.Wait(t.mt, m.(coreMutex).m)
+}
+func (t *runThread) CondSignal(c workload.Cond)    { c.(coreCond).c.Signal(t.mt) }
+func (t *runThread) CondBroadcast(c workload.Cond) { c.(coreCond).c.Broadcast(t.mt) }
+
+func (t *runThread) Work(cycles int64) { t.mt.Work(cycles) }
+
+func (t *runThread) Stream(s workload.Site, base uint64, n int64, write bool) {
+	t.mt.Stream(s.PC, base, n, write)
+}
+
+func (t *runThread) Rand() *rand.Rand { return t.mt.Rand() }
+
+func (t *runThread) Hang(reason string) {
+	t.rt.hangs[t.mt.ID] = reason
+	panic(hangSentinel{})
+}

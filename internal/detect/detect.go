@@ -1,0 +1,275 @@
+// Package detect implements TMI's false sharing detector (paper §3.1): a
+// per-application detection thread that drains the perf HITM sample buffers
+// once per second, filters samples through the process address map (heap and
+// globals only), recovers each sample's access kind and width by
+// disassembling its PC, aggregates samples per cache line, scales counts by
+// the sampling period (a period of n with r records is estimated as n*r
+// events), classifies each hot line as true or false sharing, and requests
+// repair for pages whose false-sharing rate crosses the threshold.
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/disasm"
+	"repro/internal/perfev"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/osim"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// ThresholdPerSec is the estimated HITM events/second on one line above
+	// which false sharing is repaired (the paper repairs structures
+	// producing >100k events/s).
+	ThresholdPerSec float64
+	// MinRecords is the minimum raw records on a line before judging it.
+	MinRecords int
+}
+
+// DefaultConfig matches the paper's operating point.
+func DefaultConfig() Config {
+	return Config{ThresholdPerSec: 100_000, MinRecords: 8}
+}
+
+// span is an exact byte interval [Lo, Hi) a thread touched within a line,
+// with the number of samples that produced it. Spans are kept exact (not
+// widened) and classification is count-weighted, because PEBS data
+// addresses occasionally skid: a single skidded record must not be able to
+// flip a heavily false-shared line to "true sharing".
+type span struct {
+	Lo, Hi int
+	Wrote  bool
+	Count  int
+}
+
+type lineStat struct {
+	records      int
+	writeRecords int
+	byThread     map[int][]span
+}
+
+func (ls *lineStat) add(tid, lo, hi int, wrote bool) {
+	for i, s := range ls.byThread[tid] {
+		if s.Lo == lo && s.Hi == hi && s.Wrote == wrote {
+			ls.byThread[tid][i].Count++
+			return
+		}
+	}
+	if len(ls.byThread[tid]) < 24 {
+		ls.byThread[tid] = append(ls.byThread[tid], span{lo, hi, wrote, 1})
+	}
+}
+
+// Sharing classifies a hot line.
+type Sharing int
+
+// Sharing classes.
+const (
+	SharingNone Sharing = iota
+	SharingTrue
+	SharingFalse
+)
+
+func (s Sharing) String() string {
+	switch s {
+	case SharingTrue:
+		return "true"
+	case SharingFalse:
+		return "false"
+	}
+	return "none"
+}
+
+// LineReport describes one analyzed cache line.
+type LineReport struct {
+	Line    uint64 // line-aligned virtual address
+	Class   Sharing
+	Records int
+	// EstEventsPerSec is records * period / interval.
+	EstEventsPerSec float64
+}
+
+// Request asks the repair engine to protect a set of pages.
+type Request struct {
+	Pages []uint64 // page-aligned virtual addresses
+	Lines []LineReport
+}
+
+// Detector is the per-application detection thread's state.
+type Detector struct {
+	cfg   Config
+	mon   *perfev.Monitor
+	prog  *disasm.Program
+	maps  *osim.AddressMap
+	lines map[uint64]*lineStat
+
+	pageSize uint64
+
+	// Cumulative results for reporting.
+	TotalRecords    uint64
+	FilteredRecords uint64
+	TrueLines       map[uint64]bool
+	FalseLines      map[uint64]bool
+	TrueRecords     uint64
+	FalseRecords    uint64
+	// FalseWriteRecords is the store-triggered subset of FalseRecords;
+	// stores under-report (pebs.StoreCaptureRate), which the speedup
+	// prediction corrects for.
+	FalseWriteRecords uint64
+	// Lines holds, per classified line, the report from its hottest window
+	// (capped; for the tmidetect tool and tests).
+	Lines map[uint64]LineReport
+
+	// archive folds every window's span data for the prediction analyses
+	// (predict.go); capped like Lines.
+	archive map[uint64]*lineStat
+}
+
+// New creates a detector.
+func New(cfg Config, mon *perfev.Monitor, prog *disasm.Program, maps *osim.AddressMap, pageSize int) *Detector {
+	return &Detector{
+		cfg: cfg, mon: mon, prog: prog, maps: maps,
+		lines:      make(map[uint64]*lineStat),
+		pageSize:   uint64(pageSize),
+		TrueLines:  make(map[uint64]bool),
+		FalseLines: make(map[uint64]bool),
+		Lines:      make(map[uint64]LineReport),
+	}
+}
+
+// Tick drains the perf buffers, analyzes the window of intervalSec seconds,
+// and returns a repair request for pages whose false sharing crosses the
+// threshold (nil if none). The window state is reset between ticks.
+func (d *Detector) Tick(intervalSec float64) *Request {
+	recs := d.mon.DrainAll()
+	for _, r := range recs {
+		d.TotalRecords++
+		if !d.maps.Monitorable(r.Addr) {
+			d.FilteredRecords++
+			continue
+		}
+		info, ok := d.prog.Disassemble(r.PC)
+		if !ok {
+			d.FilteredRecords++
+			continue
+		}
+		line := r.Addr &^ (cache.LineSize - 1)
+		lo := int(r.Addr - line)
+		hi := lo + info.Width
+		if hi > cache.LineSize {
+			hi = cache.LineSize
+		}
+		wrote := info.Kind == disasm.KindStore || info.Kind == disasm.KindAtomic
+		ls := d.lines[line]
+		if ls == nil {
+			ls = &lineStat{byThread: make(map[int][]span)}
+			d.lines[line] = ls
+		}
+		ls.records++
+		if wrote {
+			ls.writeRecords++
+		}
+		ls.add(r.TID, lo, hi, wrote)
+	}
+
+	var req Request
+	pages := make(map[uint64]bool)
+	for line, ls := range d.lines {
+		if ls.records < d.cfg.MinRecords {
+			continue
+		}
+		class := classify(ls)
+		est := float64(ls.records) * float64(d.mon.Period()) / intervalSec
+		rep := LineReport{Line: line, Class: class, Records: ls.records, EstEventsPerSec: est}
+		// Archive every sufficiently-sampled line — including single-thread
+		// ones: the Predator-style prediction needs them to see false
+		// sharing that only appears at larger line sizes.
+		d.archiveLine(line, ls)
+		if class != SharingNone && len(d.Lines) < 4096 {
+			if prev, ok := d.Lines[line]; !ok || est > prev.EstEventsPerSec {
+				d.Lines[line] = rep
+			}
+		}
+		switch class {
+		case SharingTrue:
+			d.TrueLines[line] = true
+			d.TrueRecords += uint64(ls.records)
+		case SharingFalse:
+			d.FalseLines[line] = true
+			d.FalseRecords += uint64(ls.records)
+			d.FalseWriteRecords += uint64(ls.writeRecords)
+			if est >= d.cfg.ThresholdPerSec {
+				pages[line&^(d.pageSize-1)] = true
+				req.Lines = append(req.Lines, rep)
+			}
+		}
+	}
+	// Reset the window.
+	d.lines = make(map[uint64]*lineStat)
+	if len(pages) == 0 {
+		return nil
+	}
+	for p := range pages {
+		req.Pages = append(req.Pages, p)
+	}
+	sort.Slice(req.Pages, func(i, j int) bool { return req.Pages[i] < req.Pages[j] })
+	sort.Slice(req.Lines, func(i, j int) bool { return req.Lines[i].Line < req.Lines[j].Line })
+	return &req
+}
+
+// classify decides true vs false sharing for one line. Overlap is weighted
+// by sample counts so that occasional PEBS address skid cannot flip the
+// verdict: the line is true sharing only when a meaningful fraction of its
+// samples sit in cross-thread overlapping byte ranges (with a write);
+// disjoint cross-thread ranges with at least one writer are false sharing.
+func classify(ls *lineStat) Sharing {
+	tids := make([]int, 0, len(ls.byThread))
+	for tid := range ls.byThread {
+		tids = append(tids, tid)
+	}
+	if len(tids) < 2 {
+		return SharingNone
+	}
+	sort.Ints(tids)
+	anyWrite := false
+	for _, spans := range ls.byThread {
+		for _, s := range spans {
+			anyWrite = anyWrite || s.Wrote
+		}
+	}
+	if !anyWrite {
+		return SharingNone
+	}
+	overlapWeight := 0
+	for i := 0; i < len(tids); i++ {
+		for j := i + 1; j < len(tids); j++ {
+			for _, a := range ls.byThread[tids[i]] {
+				for _, b := range ls.byThread[tids[j]] {
+					if a.Lo < b.Hi && b.Lo < a.Hi && (a.Wrote || b.Wrote) {
+						w := a.Count
+						if b.Count < w {
+							w = b.Count
+						}
+						overlapWeight += w
+					}
+				}
+			}
+		}
+	}
+	// One-in-ten samples overlapping marks genuine true sharing; anything
+	// rarer is within PEBS skid noise.
+	if overlapWeight*10 >= ls.records {
+		return SharingTrue
+	}
+	return SharingFalse
+}
+
+// FootprintBytes estimates detector data-structure memory (Figure 8): the
+// disassembly tables plus per-line aggregation state plus fixed overhead
+// for the detection thread.
+func (d *Detector) FootprintBytes() uint64 {
+	const fixed = 48 << 20 // detection thread arenas, maps cache, indexes
+	perLine := uint64(len(d.TrueLines)+len(d.FalseLines)) * 256
+	return fixed + d.prog.FootprintBytes()*16 + perLine
+}

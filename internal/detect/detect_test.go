@@ -1,0 +1,207 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disasm"
+	"repro/internal/perfev"
+	"repro/internal/sim/osim"
+)
+
+const (
+	heapLo = 0x1000_0000
+	heapHi = 0x2000_0000
+	libLo  = 0x7f00_0000
+	libHi  = 0x7f10_0000
+)
+
+type fixture struct {
+	mon  *perfev.Monitor
+	prog *disasm.Program
+	det  *Detector
+
+	ld, st disasm.Site
+}
+
+func newFixture(t *testing.T, period int, cfg Config) *fixture {
+	t.Helper()
+	f := &fixture{
+		mon:  perfev.NewMonitor(4, period, 99),
+		prog: disasm.NewProgram(),
+	}
+	f.ld = f.prog.Site("w.load", disasm.KindLoad, 8)
+	f.st = f.prog.Site("w.store", disasm.KindStore, 8)
+	var maps osim.AddressMap
+	maps.AddRegion(heapLo, heapHi, osim.RegionHeap, "heap")
+	maps.AddRegion(libLo, libHi, osim.RegionLib, "libc")
+	f.det = New(cfg, f.mon, f.prog, &maps, 4096)
+	return f
+}
+
+// feed pushes n HITM events for (tid, pc, addr); with period p, roughly n/p
+// records reach the buffers (exactly, for load events).
+func (f *fixture) feed(tid int, pc, addr uint64, write bool, n int) {
+	s := f.mon.Sampler()
+	for i := 0; i < n; i++ {
+		s.OnHITM(tid, tid, pc, addr, 8, write, int64(i))
+	}
+}
+
+func TestDetectsDisjointStoresAsFalseSharing(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	line := uint64(heapLo + 0x40)
+	f.feed(0, f.st.PC(), line+0, true, 2000)
+	f.feed(1, f.st.PC(), line+8, true, 2000)
+	req := f.det.Tick(1.0)
+	if req == nil {
+		t.Fatal("expected a repair request")
+	}
+	if len(req.Pages) != 1 || req.Pages[0] != heapLo {
+		t.Errorf("pages %v, want [0x%x]", req.Pages, uint64(heapLo))
+	}
+	if len(f.det.FalseLines) != 1 || len(f.det.TrueLines) != 0 {
+		t.Errorf("false=%d true=%d", len(f.det.FalseLines), len(f.det.TrueLines))
+	}
+}
+
+func TestClassifiesOverlapAsTrueSharing(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	addr := uint64(heapLo + 0x80)
+	f.feed(0, f.st.PC(), addr, true, 200)
+	f.feed(1, f.ld.PC(), addr, false, 200)
+	if req := f.det.Tick(1.0); req != nil {
+		t.Errorf("true sharing must not request repair: %+v", req)
+	}
+	if len(f.det.TrueLines) != 1 {
+		t.Errorf("true lines %d, want 1", len(f.det.TrueLines))
+	}
+}
+
+func TestReadOnlySharingIgnored(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	addr := uint64(heapLo + 0xC0)
+	f.feed(0, f.ld.PC(), addr, false, 200)
+	f.feed(1, f.ld.PC(), addr+8, false, 200)
+	if req := f.det.Tick(1.0); req != nil {
+		t.Error("read-only lines must not be classified")
+	}
+	if len(f.det.TrueLines)+len(f.det.FalseLines) != 0 {
+		t.Error("no sharing class for read-only lines")
+	}
+}
+
+func TestSingleThreadLinesIgnored(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	f.feed(0, f.st.PC(), heapLo+0x100, true, 500)
+	if req := f.det.Tick(1.0); req != nil {
+		t.Error("one thread cannot falsely share with itself")
+	}
+}
+
+func TestLibraryAndUnknownAddressesFiltered(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	f.feed(0, f.st.PC(), libLo+0x40, true, 200)
+	f.feed(1, f.st.PC(), libLo+0x48, true, 200)
+	f.feed(0, f.st.PC(), 0x5000_0000, true, 200) // unmapped
+	if req := f.det.Tick(1.0); req != nil {
+		t.Error("library/unmapped addresses must be filtered")
+	}
+	if f.det.FilteredRecords == 0 {
+		t.Error("filter counter should move")
+	}
+}
+
+func TestThresholdGatesRepair(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1_000_000, MinRecords: 8})
+	line := uint64(heapLo + 0x40)
+	f.feed(0, f.st.PC(), line, true, 100)
+	f.feed(1, f.st.PC(), line+8, true, 100)
+	if req := f.det.Tick(1.0); req != nil {
+		t.Error("below-threshold false sharing must not trigger repair")
+	}
+	// Still recorded as false sharing for reporting.
+	if len(f.det.FalseLines) != 1 {
+		t.Error("false sharing should still be classified")
+	}
+}
+
+func TestMinRecordsGate(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1, MinRecords: 50})
+	line := uint64(heapLo + 0x40)
+	f.feed(0, f.st.PC(), line, true, 10)
+	f.feed(1, f.st.PC(), line+8, true, 10)
+	if req := f.det.Tick(1.0); req != nil {
+		t.Error("too few records to judge")
+	}
+}
+
+func TestWindowResetsBetweenTicks(t *testing.T) {
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	line := uint64(heapLo + 0x40)
+	f.feed(0, f.st.PC(), line, true, 6)
+	f.feed(1, f.st.PC(), line+8, true, 6)
+	f.det.Tick(1.0) // 12 records < MinRecords? (some may be stores dropped) — either way, window resets
+	f.feed(0, f.st.PC(), line, true, 4)
+	f.feed(1, f.st.PC(), line+8, true, 3)
+	if req := f.det.Tick(1.0); req != nil {
+		t.Error("window state must not accumulate across ticks")
+	}
+}
+
+func TestSkidDoesNotFlipClassification(t *testing.T) {
+	// With period 1 and thousands of samples, ~2% skid lands on neighbour
+	// offsets; the count-weighted classifier must still say false sharing.
+	f := newFixture(t, 1, Config{ThresholdPerSec: 1000, MinRecords: 8})
+	line := uint64(heapLo + 0x40)
+	f.feed(0, f.st.PC(), line+0, true, 3000)
+	f.feed(1, f.st.PC(), line+8, true, 3000)
+	req := f.det.Tick(1.0)
+	if req == nil {
+		t.Fatal("false sharing expected despite skid")
+	}
+	if len(f.det.TrueLines) != 0 {
+		t.Error("skid flipped the line to true sharing")
+	}
+}
+
+// Property: the period-scaling rule — estimated events = records x period —
+// tracks the true event count within sampling noise.
+func TestQuickPeriodScaling(t *testing.T) {
+	check := func(seed int64) bool {
+		period := int((seed%97+97)%97) + 3
+		f := newFixture(t, period, Config{ThresholdPerSec: 1, MinRecords: 1})
+		// Sized to stay under the per-thread buffer capacity so no records
+		// drop (overflow accounting is tested separately).
+		events := 500 * period
+		f.feed(1, f.st.PC(), heapLo+0x48, true, events/10)
+		f.feed(0, f.ld.PC(), heapLo+0x40, false, events)
+		f.feed(1, f.ld.PC(), heapLo+0x48, false, events)
+		req := f.det.Tick(1.0)
+		if req == nil {
+			return false
+		}
+		var est float64
+		for _, l := range req.Lines {
+			est += l.EstEventsPerSec
+		}
+		// Loads are captured exactly; stores at the documented rate.
+		want := float64(2*events) + float64(events/10)*0.4
+		ratio := est / want
+		return ratio > 0.9 && ratio < 1.1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	f := newFixture(t, 1, DefaultConfig())
+	base := f.det.FootprintBytes()
+	f.feed(0, f.st.PC(), heapLo+0x40, true, 100)
+	f.feed(1, f.st.PC(), heapLo+0x48, true, 100)
+	f.det.Tick(1.0)
+	if f.det.FootprintBytes() <= base {
+		t.Error("per-line state should grow the footprint")
+	}
+}

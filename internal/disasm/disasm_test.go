@@ -1,0 +1,53 @@
+package disasm
+
+import "testing"
+
+func TestSiteRegistrationAndDisassembly(t *testing.T) {
+	p := NewProgram()
+	ld := p.Site("hist.load_pixel", KindLoad, 4)
+	st := p.Site("hist.inc_counter", KindStore, 8)
+	if ld == st {
+		t.Fatal("distinct names must get distinct sites")
+	}
+	if again := p.Site("hist.load_pixel", KindLoad, 4); again != ld {
+		t.Error("re-registration should return the same site")
+	}
+	info, ok := p.Disassemble(st.PC())
+	if !ok || info.Kind != KindStore || info.Width != 8 || info.Name != "hist.inc_counter" {
+		t.Errorf("disassemble store site: %+v ok=%v", info, ok)
+	}
+	if _, ok := p.Disassemble(0x1234); ok {
+		t.Error("address outside text must not disassemble")
+	}
+	if _, ok := p.Disassemble(st.PC() + 1); ok {
+		t.Error("misaligned PC must not disassemble")
+	}
+	if _, ok := p.Disassemble(p.TextEnd()); ok {
+		t.Error("past-the-end PC must not disassemble")
+	}
+}
+
+func TestSiteSignatureConflictPanics(t *testing.T) {
+	p := NewProgram()
+	p.Site("x", KindLoad, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration should panic")
+		}
+	}()
+	p.Site("x", KindStore, 4)
+}
+
+func TestFootprintGrowsWithSites(t *testing.T) {
+	p := NewProgram()
+	base := p.FootprintBytes()
+	for i := 0; i < 100; i++ {
+		p.Site(string(rune('a'+i%26))+string(rune('0'+i/26)), KindLoad, 8)
+	}
+	if p.FootprintBytes() <= base {
+		t.Error("footprint should grow with registered sites")
+	}
+	if p.NumSites() != 100 {
+		t.Errorf("sites %d, want 100", p.NumSites())
+	}
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/tmi"
+)
+
+// This file holds experiments beyond the paper's numbered tables and
+// figures: quantities the paper claims in prose (the introduction's energy
+// penalty, §4.4's commit-cost observations) and reproduction-specific
+// ablations.
+
+func init() {
+	extra = []Experiment{
+		{"energy", "Intro claim: false sharing's energy penalty, and repair's recovery", energyExp},
+		{"commit-cost", "§4.4: PTSB commit cost under 4 KiB vs 2 MiB pages", commitCost},
+		{"prediction", "Extension: Cheetah-style speedup prediction vs measured manual fix", predictionExp},
+	}
+}
+
+var extra []Experiment
+
+// energyExp quantifies the introduction's claim that false sharing "exacts
+// a significant energy penalty for generating and processing cache
+// coherence traffic".
+func energyExp(o *Options) error {
+	header(o, "Energy: coherence traffic and energy estimate, before and after repair")
+	csv, err := csvFile(o, "energy.csv")
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	csvLine(csv, "workload", "baseline_uj", "tmi_uj", "manual_uj", "traffic_mb_baseline", "traffic_mb_tmi")
+	fmt.Fprintf(o.Out, "%-14s %12s %12s %12s %10s\n", "workload", "pthreads uJ", "tmi uJ", "manual uJ", "saving")
+	for _, name := range fsNames {
+		base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			return err
+		}
+		prot, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIProtect})
+		if err != nil {
+			return err
+		}
+		man, err := runMean(o, manualWorkload(name), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			return err
+		}
+		be := base.Cache.EnergyMicroJ()
+		te := prot.Cache.EnergyMicroJ()
+		me := man.Cache.EnergyMicroJ()
+		fmt.Fprintf(o.Out, "%-14s %12.1f %12.1f %12.1f %9.1fx\n", name, be, te, me, be/te)
+		csvLine(csv, name, be, te, me,
+			float64(base.Cache.TrafficBytes())/(1<<20), float64(prot.Cache.TrafficBytes())/(1<<20))
+	}
+	fmt.Fprintf(o.Out, "\nrepair removes the coherence round trips, not just their latency: the energy\n")
+	fmt.Fprintf(o.Out, "and interconnect-traffic savings track the HITM elimination\n")
+	return nil
+}
+
+// commitCost contrasts PTSB commit behavior across page sizes on the
+// commit-heaviest benchmark (shptr-lock flushes at every lock operation):
+// §4.4 observes that 4 KiB pages make commits ~5x cheaper while huge pages
+// win overall via fault savings — so repair-bound, sync-heavy code prefers
+// small pages.
+func commitCost(o *Options) error {
+	header(o, "§4.4: PTSB commit cost, 4 KiB vs 2 MiB pages (shptr-lock, commit-heaviest)")
+	base, err := runMean(o, fsWorkload("shptr-lock"), tmi.Config{System: tmi.Pthreads})
+	if err != nil {
+		return err
+	}
+	small, err := runMean(o, fsWorkload("shptr-lock"), tmi.Config{System: tmi.TMIProtect})
+	if err != nil {
+		return err
+	}
+	huge, err := runMean(o, fsWorkload("shptr-lock"), tmi.Config{System: tmi.TMIProtect, HugePages: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "%-22s %12s %10s %14s\n", "config", "runtime(ms)", "speedup", "commits")
+	fmt.Fprintf(o.Out, "%-22s %12.3f %10s %14s\n", "pthreads", base.SimSeconds*1e3, "1.00x", "-")
+	fmt.Fprintf(o.Out, "%-22s %12.3f %9.2fx %14d\n", "tmi-protect 4K", small.SimSeconds*1e3,
+		base.SimSeconds/small.SimSeconds, small.Commits)
+	fmt.Fprintf(o.Out, "%-22s %12.3f %9.2fx %14d\n", "tmi-protect 2M", huge.SimSeconds*1e3,
+		base.SimSeconds/huge.SimSeconds, huge.Commits)
+	fmt.Fprintf(o.Out, "\nwith a commit at every lock acquire and release, each commit diffs the whole\n")
+	fmt.Fprintf(o.Out, "protected page: 4 KiB keeps that cheap; a 2 MiB page pays 512 slab compares per\n")
+	fmt.Fprintf(o.Out, "commit (paper: 4 KiB commits ~5x cheaper; huge pages still win overall on fault-\n")
+	fmt.Fprintf(o.Out, "bound workloads — Figure 10)\n")
+	return nil
+}
+
+// predictionExp validates the Cheetah-style estimator (an analysis from the
+// related work, §5, implemented over TMI's own sample stream): the detector
+// predicts the manual-fix speedup from sampled false-sharing rates; the
+// harness measures the real manual fix and compares.
+func predictionExp(o *Options) error {
+	header(o, "Extension: predicted (Cheetah-style) vs measured manual-fix speedup")
+	fmt.Fprintf(o.Out, "%-14s %12s %10s %8s\n", "workload", "predicted", "measured", "ratio")
+	for _, name := range fsNames {
+		det, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIDetect, HugePages: true})
+		if err != nil {
+			return err
+		}
+		base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			return err
+		}
+		man, err := runMean(o, manualWorkload(name), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			return err
+		}
+		measured := base.SimSeconds / man.SimSeconds
+		ratio := det.PredictedManualSpeedup / measured
+		fmt.Fprintf(o.Out, "%-14s %11.2fx %9.2fx %8.2f\n",
+			name, det.PredictedManualSpeedup, measured, ratio)
+	}
+	fmt.Fprintf(o.Out, "\nthe estimate counts only sampled HITM savings, so it under-predicts where the\n")
+	fmt.Fprintf(o.Out, "fix also removes secondary traffic (as Cheetah's conservative estimates do)\n")
+	return nil
+}

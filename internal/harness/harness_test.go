@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestByID(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q): %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ids must error")
+	}
+}
+
+func TestExperimentIDsCoverEveryTableAndFigure(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "ablation-everywhere", "leveldb-detect"}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+// TestLightExperimentsRun executes the cheap experiments end to end and
+// checks their rendered output carries the expected headline facts. The
+// heavyweight sweeps (fig7/fig8/fig10 over all 35 workloads) are covered by
+// cmd/tmibench and the root benchmarks.
+func TestLightExperimentsRun(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		want []string
+	}{
+		{"table2", []string{"undefined", "atomic", "TSO"}},
+		{"fig3", []string{"0xABCD", "AMBSA preserved"}},
+		{"fig11", []string{"INCORRECT", "correct"}},
+		{"fig12", []string{"HUNG", "correct"}},
+		{"table3", []string{"lu-ncb", "commits/s"}},
+		{"leveldb-detect", []string{"true", "repaired: false"}},
+		{"ablation-everywhere", []string{"histogramfs", "targeted"}},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			e, err := ByID(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			o := &Options{Runs: 1, Seed: 1, Out: &buf}
+			o.defaults()
+			if err := e.Run(o); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig9WritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	o := &Options{Runs: 1, Seed: 1, Out: &buf, CSVDir: dir}
+	o.defaults()
+	e, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 10 { // header + 9 FS benchmarks
+		t.Errorf("fig9.csv has %d lines, want 10", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,") {
+		t.Errorf("csv header: %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "geomean") {
+		t.Error("fig9 output missing the geomean summary")
+	}
+}

@@ -1,0 +1,64 @@
+package leveldb
+
+// WriteBatch collects puts and deletes and applies them atomically under one
+// lock acquisition and one sequence-number range — leveldb's WriteBatch,
+// which is also how its write queue amortizes synchronization (the behavior
+// the paper's leveldb workload stresses).
+type WriteBatch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key, value []byte
+	delete     bool
+}
+
+// Put queues key = value.
+func (b *WriteBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+}
+
+// Delete queues a tombstone for key.
+func (b *WriteBatch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+}
+
+// Len reports the number of queued operations.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *WriteBatch) Reset() { b.ops = b.ops[:0] }
+
+// Write applies the batch atomically: one lock hold, consecutive sequence
+// numbers, WAL records for every operation before any memtable mutation.
+func (db *DB) Write(b *WriteBatch) {
+	if len(b.ops) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Log first (write-ahead), then apply.
+	seq := db.seq
+	for _, op := range b.ops {
+		seq++
+		if op.delete {
+			db.wal.AppendDelete(op.key, seq)
+		} else {
+			db.wal.AppendPut(op.key, op.value, seq)
+		}
+	}
+	for _, op := range b.ops {
+		db.seq++
+		if op.delete {
+			db.mem.Delete(op.key, db.seq)
+			db.Deletes++
+		} else {
+			db.mem.Set(op.key, op.value, db.seq)
+			db.Puts++
+		}
+	}
+	db.maybeFlush()
+}

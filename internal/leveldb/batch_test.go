@@ -1,0 +1,87 @@
+package leveldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWriteBatchAppliesAtomically(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 4, Seed: 9})
+	db.Put([]byte("gone"), []byte("x"))
+
+	var b WriteBatch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("gone"))
+	if b.Len() != 3 {
+		t.Fatalf("batch len %d", b.Len())
+	}
+	seqBefore := db.Seq()
+	db.Write(&b)
+	if db.Seq() != seqBefore+3 {
+		t.Errorf("batch should consume 3 sequence numbers: %d -> %d", seqBefore, db.Seq())
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2"} {
+		if v, ok := db.Get([]byte(k)); !ok || string(v) != want {
+			t.Errorf("get %s = %q,%v", k, v, ok)
+		}
+	}
+	if _, ok := db.Get([]byte("gone")); ok {
+		t.Error("batched delete did not apply")
+	}
+}
+
+func TestWriteBatchWALRecovery(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 4, Seed: 10})
+	var b WriteBatch
+	for i := 0; i < 50; i++ {
+		b.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Write(&b)
+	rec, err := db.RecoverFromWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 50 {
+		t.Errorf("recovered %d entries, want 50", rec.Len())
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if v, ok := rec.Get(k); !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered %s = %q,%v", k, v, ok)
+		}
+	}
+}
+
+func TestWriteBatchResetAndEmpty(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 4, Seed: 11})
+	var b WriteBatch
+	db.Write(&b) // empty: no-op
+	if db.Seq() != 0 {
+		t.Error("empty batch must not consume sequence numbers")
+	}
+	b.Put([]byte("x"), []byte("1"))
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("reset should clear the batch")
+	}
+	db.Write(&b)
+	if _, ok := db.Get([]byte("x")); ok {
+		t.Error("reset batch must not apply")
+	}
+}
+
+func TestWriteBatchTriggersFlush(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 10, MaxTables: 4, Seed: 12})
+	var b WriteBatch
+	for i := 0; i < 200; i++ {
+		b.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("0123456789abcdef"))
+	}
+	db.Write(&b)
+	if db.Flushes == 0 {
+		t.Error("a large batch should flush the memtable")
+	}
+	if v, ok := db.Get([]byte("key-0199")); !ok || string(v) != "0123456789abcdef" {
+		t.Error("data lost across batch-triggered flush")
+	}
+}

@@ -1,0 +1,160 @@
+package leveldb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Options tunes a DB.
+type Options struct {
+	// MemtableBytes triggers a flush to an SSTable when exceeded.
+	MemtableBytes int
+	// MaxTables triggers compaction (newest two tables merge) when the
+	// table stack grows past it.
+	MaxTables int
+	// Seed drives the skiplist's deterministic level choice.
+	Seed int64
+}
+
+// DefaultOptions mirror a scaled-down leveldb 1.20.
+func DefaultOptions() Options {
+	return Options{MemtableBytes: 64 << 10, MaxTables: 4, Seed: 1}
+}
+
+// DB is the key-value store: a mutable memtable over a stack of immutable
+// SSTables (newest first), with a write-ahead log for the memtable.
+type DB struct {
+	opt Options
+
+	mu     sync.Mutex
+	mem    *Memtable
+	wal    WAL
+	tables []*SSTable // newest first
+	seq    uint64
+
+	// Stats.
+	Flushes     int
+	Compactions int
+	Puts        uint64
+	Gets        uint64
+	Deletes     uint64
+}
+
+// Open creates an empty DB.
+func Open(opt Options) *DB {
+	if opt.MemtableBytes <= 0 {
+		opt.MemtableBytes = DefaultOptions().MemtableBytes
+	}
+	if opt.MaxTables <= 0 {
+		opt.MaxTables = DefaultOptions().MaxTables
+	}
+	return &DB{opt: opt, mem: NewMemtable(opt.Seed)}
+}
+
+// Put stores key = value.
+func (db *DB) Put(key, value []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seq++
+	db.wal.AppendPut(key, value, db.seq)
+	db.mem.Set(key, value, db.seq)
+	db.Puts++
+	db.maybeFlush()
+}
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seq++
+	db.wal.AppendDelete(key, db.seq)
+	db.mem.Delete(key, db.seq)
+	db.Deletes++
+	db.maybeFlush()
+}
+
+// Get returns the newest value for key.
+func (db *DB) Get(key []byte) (value []byte, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.Gets++
+	x := db.mem.findGreaterOrEqual(key, nil)
+	if x != nil && string(x.key) == string(key) {
+		v := x.latest()
+		if v.deleted {
+			return nil, false
+		}
+		return v.value, true
+	}
+	for _, t := range db.tables {
+		if v, deleted, found := t.Get(key); found {
+			if deleted {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Seq returns the current sequence number.
+func (db *DB) Seq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.seq
+}
+
+// Tables reports the SSTable stack depth.
+func (db *DB) Tables() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.tables)
+}
+
+func (db *DB) maybeFlush() {
+	if db.mem.Bytes() < db.opt.MemtableBytes {
+		return
+	}
+	db.flushLocked()
+	for len(db.tables) > db.opt.MaxTables {
+		// Merge the two oldest tables; tombstones drop only at the bottom
+		// of the stack.
+		n := len(db.tables)
+		merged := MergeTables(db.tables[n-2], db.tables[n-1], true)
+		db.tables = append(db.tables[:n-2], merged)
+		db.Compactions++
+	}
+}
+
+func (db *DB) flushLocked() {
+	entries := db.mem.Entries()
+	if len(entries) == 0 {
+		return
+	}
+	db.tables = append([]*SSTable{BuildSSTable(entries)}, db.tables...)
+	db.mem = NewMemtable(db.opt.Seed + int64(db.Flushes) + 1)
+	db.wal.Reset()
+	db.Flushes++
+}
+
+// Flush forces the memtable to an SSTable (test/shutdown use).
+func (db *DB) Flush() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.flushLocked()
+}
+
+// RecoverFromWAL rebuilds the memtable from the write-ahead log, as crash
+// recovery would, and verifies it matches the live memtable (test use).
+func (db *DB) RecoverFromWAL() (*Memtable, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, maxSeq, err := db.wal.Replay(db.opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if maxSeq > db.seq {
+		return nil, fmt.Errorf("leveldb: WAL seq %d ahead of DB seq %d", maxSeq, db.seq)
+	}
+	return m, nil
+}

@@ -1,0 +1,243 @@
+package leveldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemtableSetGetDelete(t *testing.T) {
+	m := NewMemtable(1)
+	if _, ok := m.Get([]byte("a")); ok {
+		t.Fatal("empty table should miss")
+	}
+	m.Set([]byte("a"), []byte("1"), 1)
+	m.Set([]byte("b"), []byte("2"), 2)
+	if v, ok := m.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Errorf("get a = %q,%v", v, ok)
+	}
+	m.Set([]byte("a"), []byte("3"), 3)
+	if v, _ := m.Get([]byte("a")); string(v) != "3" {
+		t.Error("overwrite should win")
+	}
+	m.Delete([]byte("a"), 4)
+	if _, ok := m.Get([]byte("a")); ok {
+		t.Error("deleted key should miss")
+	}
+	es := m.Entries()
+	if len(es) != 2 || string(es[0].Key) != "a" || string(es[1].Key) != "b" {
+		t.Errorf("entries order: %v", es)
+	}
+	if !es[0].Deleted {
+		t.Error("tombstone should survive in entries")
+	}
+}
+
+func TestMemtableOrdering(t *testing.T) {
+	m := NewMemtable(2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", rng.Intn(300)))
+		m.Set(k, []byte{byte(i)}, uint64(i))
+	}
+	es := m.Entries()
+	for i := 1; i < len(es); i++ {
+		if bytes.Compare(es[i-1].Key, es[i].Key) >= 0 {
+			t.Fatalf("entries out of order at %d: %q >= %q", i, es[i-1].Key, es[i].Key)
+		}
+	}
+}
+
+func TestWALReplayReproducesMemtable(t *testing.T) {
+	var w WAL
+	m := NewMemtable(3)
+	rng := rand.New(rand.NewSource(11))
+	for seq := uint64(1); seq <= 300; seq++ {
+		k := []byte(fmt.Sprintf("k%03d", rng.Intn(100)))
+		if rng.Intn(5) == 0 {
+			w.AppendDelete(k, seq)
+			m.Delete(k, seq)
+		} else {
+			v := []byte(fmt.Sprintf("v%d", seq))
+			w.AppendPut(k, v, seq)
+			m.Set(k, v, seq)
+		}
+	}
+	got, maxSeq, err := w.Replay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 300 {
+		t.Errorf("maxSeq %d, want 300", maxSeq)
+	}
+	ge, we := got.Entries(), m.Entries()
+	if len(ge) != len(we) {
+		t.Fatalf("replayed %d entries, want %d", len(ge), len(we))
+	}
+	for i := range ge {
+		if !bytes.Equal(ge[i].Key, we[i].Key) || !bytes.Equal(ge[i].Value, we[i].Value) ||
+			ge[i].Deleted != we[i].Deleted || ge[i].Seq != we[i].Seq {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, ge[i], we[i])
+		}
+	}
+}
+
+func TestWALDetectsCorruption(t *testing.T) {
+	var w WAL
+	w.AppendPut([]byte("k"), []byte("v"), 1)
+	w.buf[6] ^= 0xff // flip a payload byte
+	if _, _, err := w.Replay(1); err == nil {
+		t.Fatal("corrupt WAL must fail replay")
+	}
+}
+
+func TestSSTableGet(t *testing.T) {
+	m := NewMemtable(4)
+	for i := 0; i < 200; i++ {
+		m.Set([]byte(fmt.Sprintf("key-%04d", i*2)), []byte(fmt.Sprintf("val-%d", i)), uint64(i+1))
+	}
+	tbl := BuildSSTable(m.Entries())
+	if tbl.Len() != 200 {
+		t.Fatalf("len %d", tbl.Len())
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i*2))
+		v, deleted, found := tbl.Get(k)
+		if !found || deleted || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %q: %q %v %v", k, v, deleted, found)
+		}
+	}
+	// Misses: between keys, before first, after last.
+	for _, k := range []string{"key-0001", "a", "zzz"} {
+		if _, _, found := tbl.Get([]byte(k)); found {
+			t.Errorf("unexpected hit for %q", k)
+		}
+	}
+}
+
+func TestMergeTablesNewerWinsAndDropsTombstones(t *testing.T) {
+	old := BuildSSTable([]Entry{
+		{Key: []byte("a"), Value: []byte("old-a"), Seq: 1},
+		{Key: []byte("b"), Value: []byte("old-b"), Seq: 2},
+		{Key: []byte("c"), Value: []byte("old-c"), Seq: 3},
+	})
+	new_ := BuildSSTable([]Entry{
+		{Key: []byte("b"), Value: []byte("new-b"), Seq: 5},
+		{Key: []byte("c"), Deleted: true, Seq: 6},
+		{Key: []byte("d"), Value: []byte("new-d"), Seq: 7},
+	})
+	merged := MergeTables(new_, old, true)
+	want := map[string]string{"a": "old-a", "b": "new-b", "d": "new-d"}
+	if merged.Len() != len(want) {
+		t.Fatalf("merged %d entries, want %d", merged.Len(), len(want))
+	}
+	for k, v := range want {
+		got, deleted, found := merged.Get([]byte(k))
+		if !found || deleted || string(got) != v {
+			t.Errorf("merged[%s] = %q,%v,%v want %q", k, got, deleted, found, v)
+		}
+	}
+	if _, _, found := merged.Get([]byte("c")); found {
+		t.Error("tombstoned key must be gone after full compaction")
+	}
+}
+
+func TestDBFlushAndCompaction(t *testing.T) {
+	db := Open(Options{MemtableBytes: 2 << 10, MaxTables: 2, Seed: 5})
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%05d", i%500)), []byte(fmt.Sprintf("value-%06d", i)))
+	}
+	if db.Flushes == 0 {
+		t.Error("expected flushes")
+	}
+	if db.Compactions == 0 {
+		t.Error("expected compactions")
+	}
+	if db.Tables() > 2 {
+		t.Errorf("table stack %d exceeds max", db.Tables())
+	}
+	// Every key's newest value must win across memtable + tables.
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		want := fmt.Sprintf("value-%06d", 1500+i)
+		if v, ok := db.Get([]byte(k)); !ok || string(v) != want {
+			t.Fatalf("get %s = %q,%v want %q", k, v, ok, want)
+		}
+	}
+}
+
+func TestDBDeleteAcrossFlush(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 10, MaxTables: 8, Seed: 6})
+	db.Put([]byte("stay"), []byte("1"))
+	db.Put([]byte("gone"), []byte("2"))
+	db.Flush()
+	db.Delete([]byte("gone"))
+	db.Flush()
+	if _, ok := db.Get([]byte("gone")); ok {
+		t.Error("tombstone in newer table must shadow older value")
+	}
+	if v, ok := db.Get([]byte("stay")); !ok || string(v) != "1" {
+		t.Error("unrelated key lost")
+	}
+}
+
+func TestDBRecoverFromWAL(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 4, Seed: 7})
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i%20)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	rec, err := db.RecoverFromWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, me := rec.Entries(), db.mem.Entries()
+	if len(re) != len(me) {
+		t.Fatalf("recovered %d entries, want %d", len(re), len(me))
+	}
+	for i := range re {
+		if !bytes.Equal(re[i].Key, me[i].Key) || !bytes.Equal(re[i].Value, me[i].Value) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+// Property: the DB agrees with a model map under random puts, deletes and
+// gets, across flushes and compactions.
+func TestQuickDBMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		db := Open(Options{MemtableBytes: 1 << 10, MaxTables: 3, Seed: seed})
+		model := map[string]string{}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 1500; i++ {
+			k := fmt.Sprintf("key-%03d", rng.Intn(150))
+			switch rng.Intn(10) {
+			case 0:
+				db.Delete([]byte(k))
+				delete(model, k)
+			default:
+				v := fmt.Sprintf("val-%d", i)
+				db.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+			if rng.Intn(8) == 0 {
+				got, ok := db.Get([]byte(k))
+				want, wok := model[k]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			}
+		}
+		for k, want := range model {
+			got, ok := db.Get([]byte(k))
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package leveldb
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Iterator walks the merged view of the memtable and every SSTable in key
+// order, newest value winning per key, tombstones suppressed — leveldb's
+// DBIter over a merging iterator.
+type Iterator struct {
+	entries []Entry
+	pos     int
+}
+
+// NewIterator snapshots the database and returns an iterator positioned
+// before the first key.
+func (db *DB) NewIterator() *Iterator {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Sources, newest first: memtable, then tables.
+	sources := make([][]Entry, 0, len(db.tables)+1)
+	sources = append(sources, db.mem.Entries())
+	for _, t := range db.tables {
+		sources = append(sources, t.Entries())
+	}
+	merged := mergeSources(sources)
+	return &Iterator{entries: merged, pos: -1}
+}
+
+// mergeSources merges key-ordered entry lists; earlier sources are newer
+// and win on key collisions. Tombstones are dropped from the merged view.
+func mergeSources(sources [][]Entry) []Entry {
+	type cursor struct {
+		src int
+		idx int
+	}
+	var out []Entry
+	cursors := make([]cursor, len(sources))
+	for i := range cursors {
+		cursors[i] = cursor{src: i}
+	}
+	for {
+		// Find the smallest key across cursors; ties resolve to the newest
+		// (lowest source index).
+		best := -1
+		var bestKey []byte
+		for i, c := range cursors {
+			if c.idx >= len(sources[i]) {
+				continue
+			}
+			k := sources[i][c.idx].Key
+			if best == -1 || bytes.Compare(k, bestKey) < 0 {
+				best = i
+				bestKey = k
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		e := sources[best][cursors[best].idx]
+		// Advance every cursor sitting on this key (the older ones lose).
+		for i := range cursors {
+			for cursors[i].idx < len(sources[i]) && bytes.Equal(sources[i][cursors[i].idx].Key, bestKey) {
+				cursors[i].idx++
+			}
+		}
+		if !e.Deleted {
+			out = append(out, e)
+		}
+	}
+}
+
+// Next advances to the next key; it returns false when exhausted.
+func (it *Iterator) Next() bool {
+	it.pos++
+	return it.pos < len(it.entries)
+}
+
+// Seek positions the iterator at the first key >= target; the next call to
+// Next() lands on it.
+func (it *Iterator) Seek(target []byte) {
+	it.pos = sort.Search(len(it.entries), func(i int) bool {
+		return bytes.Compare(it.entries[i].Key, target) >= 0
+	}) - 1
+}
+
+// Key returns the current key (valid after Next returned true).
+func (it *Iterator) Key() []byte { return it.entries[it.pos].Key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.entries[it.pos].Value }
+
+// Range returns all live key-value pairs in [lo, hi) in key order.
+func (db *DB) Range(lo, hi []byte) []Entry {
+	it := db.NewIterator()
+	it.Seek(lo)
+	var out []Entry
+	for it.Next() {
+		if hi != nil && bytes.Compare(it.Key(), hi) >= 0 {
+			break
+		}
+		out = append(out, Entry{Key: it.Key(), Value: it.Value()})
+	}
+	return out
+}

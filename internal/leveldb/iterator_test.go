@@ -1,0 +1,115 @@
+package leveldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIteratorMergesNewestWins(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 10, MaxTables: 8, Seed: 1})
+	db.Put([]byte("a"), []byte("old-a"))
+	db.Put([]byte("b"), []byte("old-b"))
+	db.Flush()
+	db.Put([]byte("b"), []byte("new-b"))
+	db.Put([]byte("c"), []byte("new-c"))
+
+	it := db.NewIterator()
+	var got []string
+	for it.Next() {
+		got = append(got, fmt.Sprintf("%s=%s", it.Key(), it.Value()))
+	}
+	want := []string{"a=old-a", "b=new-b", "c=new-c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIteratorSkipsTombstones(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 10, MaxTables: 8, Seed: 2})
+	db.Put([]byte("keep"), []byte("1"))
+	db.Put([]byte("kill"), []byte("2"))
+	db.Flush()
+	db.Delete([]byte("kill"))
+	it := db.NewIterator()
+	count := 0
+	for it.Next() {
+		count++
+		if string(it.Key()) == "kill" {
+			t.Error("tombstoned key visible in iteration")
+		}
+	}
+	if count != 1 {
+		t.Errorf("iterated %d keys, want 1", count)
+	}
+}
+
+func TestIteratorSeekAndRange(t *testing.T) {
+	db := Open(Options{MemtableBytes: 512, MaxTables: 3, Seed: 3})
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	it := db.NewIterator()
+	it.Seek([]byte("k050"))
+	if !it.Next() || string(it.Key()) != "k050" {
+		t.Fatalf("seek landed on %q", it.Key())
+	}
+	// Seek to a nonexistent key lands on the next one.
+	it.Seek([]byte("k0505"))
+	if !it.Next() || string(it.Key()) != "k051" {
+		t.Fatalf("seek past landed on %q", it.Key())
+	}
+	got := db.Range([]byte("k010"), []byte("k015"))
+	if len(got) != 5 || string(got[0].Key) != "k010" || string(got[4].Key) != "k014" {
+		t.Fatalf("range returned %d entries, first %q", len(got), got[0].Key)
+	}
+	if all := db.Range(nil, nil); len(all) != 100 {
+		t.Fatalf("full range %d, want 100", len(all))
+	}
+}
+
+// Property: iteration equals the sorted live contents of a model map, under
+// random puts/deletes across flush and compaction boundaries.
+func TestQuickIteratorMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		db := Open(Options{MemtableBytes: 768, MaxTables: 3, Seed: seed})
+		model := map[string]string{}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 800; i++ {
+			k := fmt.Sprintf("key-%03d", rng.Intn(120))
+			if rng.Intn(8) == 0 {
+				db.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", i)
+				db.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		it := db.NewIterator()
+		for _, k := range keys {
+			if !it.Next() {
+				return false
+			}
+			if string(it.Key()) != k || string(it.Value()) != model[k] {
+				return false
+			}
+		}
+		return !it.Next()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

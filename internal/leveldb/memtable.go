@@ -1,0 +1,161 @@
+// Package leveldb is a miniature log-structured-merge key-value store in
+// the style of Google's leveldb 1.20, the real-world workload of the paper's
+// evaluation: an in-memory memtable (skiplist) in front of a write-ahead log,
+// flushed to sorted string tables (SSTables) and compacted by merging.
+//
+// The store is the substrate for the `leveldb` workload: its data plane runs
+// natively while its hot shared state (per-thread operation counters — the
+// paper's injected false-sharing bug — and the sequence number) lives in
+// simulated memory under TMI.
+package leveldb
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const maxHeight = 12
+
+type node struct {
+	key []byte
+	// versions holds the key's history in sequence order (newest last),
+	// so snapshot reads can resolve any pinned sequence number.
+	versions []version
+	next     [maxHeight]*node
+}
+
+type version struct {
+	value   []byte
+	seq     uint64
+	deleted bool
+}
+
+func (n *node) latest() version { return n.versions[len(n.versions)-1] }
+
+// Memtable is a skiplist-ordered in-memory table, single-writer (callers
+// serialize writes, as leveldb's write queue does).
+type Memtable struct {
+	head   *node
+	height int
+	rng    *rand.Rand
+	bytes  int
+	count  int
+}
+
+// NewMemtable returns an empty memtable with deterministic level choice.
+func NewMemtable(seed int64) *Memtable {
+	return &Memtable{head: &node{}, height: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bytes reports the approximate payload size.
+func (m *Memtable) Bytes() int { return m.bytes }
+
+// Len reports the number of entries (including tombstones).
+func (m *Memtable) Len() int { return m.count }
+
+func (m *Memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, filling prev
+// with the predecessors at each level.
+func (m *Memtable) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Set inserts or overwrites key with value at sequence seq.
+func (m *Memtable) Set(key, value []byte, seq uint64) {
+	m.set(key, value, seq, false)
+}
+
+// Delete writes a tombstone for key.
+func (m *Memtable) Delete(key []byte, seq uint64) {
+	m.set(key, nil, seq, true)
+}
+
+func (m *Memtable) set(key, value []byte, seq uint64, deleted bool) {
+	v := version{value: append([]byte(nil), value...), seq: seq, deleted: deleted}
+	var prev [maxHeight]*node
+	x := m.findGreaterOrEqual(key, &prev)
+	if x != nil && bytes.Equal(x.key, key) {
+		x.versions = append(x.versions, v)
+		m.bytes += len(value) + 16
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for level := m.height; level < h; level++ {
+			prev[level] = m.head
+		}
+		m.height = h
+	}
+	n := &node{key: append([]byte(nil), key...), versions: []version{v}}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	m.bytes += len(key) + len(value) + 16
+	m.count++
+}
+
+// Get returns the newest value for key. ok is false if the key is absent
+// or deleted.
+func (m *Memtable) Get(key []byte) (value []byte, ok bool) {
+	x := m.findGreaterOrEqual(key, nil)
+	if x == nil || !bytes.Equal(x.key, key) {
+		return nil, false
+	}
+	v := x.latest()
+	if v.deleted {
+		return nil, false
+	}
+	return v.value, true
+}
+
+// GetAtSeq resolves key as of sequence number seq: the newest version with
+// version.seq <= seq. found reports whether any such version exists (its
+// deleted flag still applies).
+func (m *Memtable) GetAtSeq(key []byte, seq uint64) (value []byte, deleted, found bool) {
+	x := m.findGreaterOrEqual(key, nil)
+	if x == nil || !bytes.Equal(x.key, key) {
+		return nil, false, false
+	}
+	for i := len(x.versions) - 1; i >= 0; i-- {
+		if x.versions[i].seq <= seq {
+			v := x.versions[i]
+			return v.value, v.deleted, true
+		}
+	}
+	return nil, false, false
+}
+
+// Entry is one key-value record with its sequence number.
+type Entry struct {
+	Key, Value []byte
+	Seq        uint64
+	Deleted    bool
+}
+
+// Entries returns the table's contents in key order, newest version per
+// key (what a flush serializes).
+func (m *Memtable) Entries() []Entry {
+	var out []Entry
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		v := x.latest()
+		out = append(out, Entry{Key: x.key, Value: v.value, Seq: v.seq, Deleted: v.deleted})
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package leveldb
+
+// Snapshot is a consistent read-only view of the database as of the moment
+// it was taken: reads resolve against the pinned sequence number in the
+// (versioned) memtable and against the table stack captured at snapshot
+// time. Tables are immutable, so compactions after the snapshot cannot
+// disturb it — exactly leveldb's snapshot mechanism.
+type Snapshot struct {
+	seq    uint64
+	mem    *Memtable
+	tables []*SSTable
+}
+
+// GetSnapshot pins the current state.
+func (db *DB) GetSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return &Snapshot{
+		seq:    db.seq,
+		mem:    db.mem,
+		tables: append([]*SSTable(nil), db.tables...),
+	}
+}
+
+// Seq reports the pinned sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Get resolves key as of the snapshot.
+func (s *Snapshot) Get(key []byte) (value []byte, ok bool) {
+	// The memtable pinned at snapshot time may have grown since; the
+	// version filter hides everything past the pinned sequence.
+	if v, deleted, found := s.mem.GetAtSeq(key, s.seq); found {
+		if deleted {
+			return nil, false
+		}
+		return v, true
+	}
+	for _, t := range s.tables {
+		if v, deleted, found := t.Get(key); found {
+			if deleted {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}

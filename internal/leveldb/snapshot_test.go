@@ -1,0 +1,97 @@
+package leveldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSnapshotIsolatesFromLaterWrites(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 4, Seed: 21})
+	db.Put([]byte("k"), []byte("v1"))
+	snap := db.GetSnapshot()
+	db.Put([]byte("k"), []byte("v2"))
+	db.Put([]byte("new"), []byte("x"))
+
+	if v, ok := snap.Get([]byte("k")); !ok || string(v) != "v1" {
+		t.Errorf("snapshot sees %q,%v, want v1", v, ok)
+	}
+	if _, ok := snap.Get([]byte("new")); ok {
+		t.Error("snapshot must not see later inserts")
+	}
+	if v, _ := db.Get([]byte("k")); string(v) != "v2" {
+		t.Error("live reads see the newest value")
+	}
+}
+
+func TestSnapshotSeesDeletesOnlyAfterIt(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 4, Seed: 22})
+	db.Put([]byte("a"), []byte("1"))
+	db.Delete([]byte("a"))
+	snapAfterDelete := db.GetSnapshot()
+	db.Put([]byte("a"), []byte("2"))
+
+	if _, ok := snapAfterDelete.Get([]byte("a")); ok {
+		t.Error("snapshot taken after the delete must miss")
+	}
+	if v, ok := db.Get([]byte("a")); !ok || string(v) != "2" {
+		t.Error("live read should see the reinsert")
+	}
+}
+
+func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 10, MaxTables: 2, Seed: 23})
+	db.Put([]byte("pinned"), []byte("old"))
+	snap := db.GetSnapshot()
+	// Churn enough to flush and compact several times.
+	for i := 0; i < 1500; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i%300)), []byte(fmt.Sprintf("val-%06d", i)))
+	}
+	db.Put([]byte("pinned"), []byte("new"))
+	if db.Compactions == 0 {
+		t.Fatal("test needs compactions to churn the table stack")
+	}
+	if v, ok := snap.Get([]byte("pinned")); !ok || string(v) != "old" {
+		t.Errorf("snapshot lost its view across compaction: %q,%v", v, ok)
+	}
+	if v, _ := db.Get([]byte("pinned")); string(v) != "new" {
+		t.Error("live view wrong")
+	}
+}
+
+func TestSnapshotReadsThroughPinnedTables(t *testing.T) {
+	db := Open(Options{MemtableBytes: 1 << 20, MaxTables: 8, Seed: 24})
+	db.Put([]byte("flushed"), []byte("f1"))
+	db.Flush()
+	snap := db.GetSnapshot()
+	db.Put([]byte("flushed"), []byte("f2"))
+	if v, ok := snap.Get([]byte("flushed")); !ok || string(v) != "f1" {
+		t.Errorf("snapshot should read the pinned table: %q,%v", v, ok)
+	}
+}
+
+func TestMemtableVersionHistory(t *testing.T) {
+	m := NewMemtable(25)
+	m.Set([]byte("k"), []byte("a"), 1)
+	m.Set([]byte("k"), []byte("b"), 5)
+	m.Delete([]byte("k"), 9)
+	cases := []struct {
+		seq     uint64
+		found   bool
+		deleted bool
+		val     string
+	}{
+		{0, false, false, ""},
+		{1, true, false, "a"},
+		{4, true, false, "a"},
+		{5, true, false, "b"},
+		{8, true, false, "b"},
+		{9, true, true, ""},
+		{100, true, true, ""},
+	}
+	for _, c := range cases {
+		v, deleted, found := m.GetAtSeq([]byte("k"), c.seq)
+		if found != c.found || deleted != c.deleted || (found && !deleted && string(v) != c.val) {
+			t.Errorf("GetAtSeq(%d) = %q,%v,%v want %q,%v,%v", c.seq, v, deleted, found, c.val, c.deleted, c.found)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package leveldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL is the write-ahead log: every mutation is appended (with a CRC) before
+// it reaches the memtable, so the memtable can be reconstructed after a
+// crash. The "file" is an in-memory byte log with leveldb-style record
+// framing.
+type WAL struct {
+	buf []byte
+}
+
+// Record kinds in the log.
+const (
+	walPut    = 1
+	walDelete = 2
+)
+
+// AppendPut logs a put.
+func (w *WAL) AppendPut(key, value []byte, seq uint64) {
+	w.append(walPut, key, value, seq)
+}
+
+// AppendDelete logs a delete.
+func (w *WAL) AppendDelete(key []byte, seq uint64) {
+	w.append(walDelete, key, nil, seq)
+}
+
+func (w *WAL) append(kind byte, key, value []byte, seq uint64) {
+	var hdr [21]byte
+	hdr[4] = kind
+	binary.LittleEndian.PutUint64(hdr[5:], seq)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(len(value)))
+	payload := append(append(append([]byte(nil), hdr[4:]...), key...), value...)
+	binary.LittleEndian.PutUint32(hdr[:4], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, hdr[:4]...)
+	w.buf = append(w.buf, payload...)
+}
+
+// Size reports the log size in bytes.
+func (w *WAL) Size() int { return len(w.buf) }
+
+// Reset truncates the log (after a successful memtable flush).
+func (w *WAL) Reset() { w.buf = w.buf[:0] }
+
+// Replay reconstructs a memtable from the log, returning the highest
+// sequence number seen. A corrupt record stops replay with an error.
+func (w *WAL) Replay(seed int64) (*Memtable, uint64, error) {
+	m := NewMemtable(seed)
+	var maxSeq uint64
+	buf := w.buf
+	off := 0
+	for off < len(buf) {
+		if off+21 > len(buf) {
+			return nil, 0, fmt.Errorf("leveldb: truncated WAL header at %d", off)
+		}
+		crc := binary.LittleEndian.Uint32(buf[off:])
+		kind := buf[off+4]
+		seq := binary.LittleEndian.Uint64(buf[off+5:])
+		klen := int(binary.LittleEndian.Uint32(buf[off+13:]))
+		vlen := int(binary.LittleEndian.Uint32(buf[off+17:]))
+		end := off + 21 + klen + vlen
+		if end > len(buf) {
+			return nil, 0, fmt.Errorf("leveldb: truncated WAL record at %d", off)
+		}
+		if crc32.ChecksumIEEE(buf[off+4:end]) != crc {
+			return nil, 0, fmt.Errorf("leveldb: WAL checksum mismatch at %d", off)
+		}
+		key := buf[off+21 : off+21+klen]
+		val := buf[off+21+klen : end]
+		switch kind {
+		case walPut:
+			m.Set(key, val, seq)
+		case walDelete:
+			m.Delete(key, seq)
+		default:
+			return nil, 0, fmt.Errorf("leveldb: unknown WAL record kind %d", kind)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		off = end
+	}
+	return m, maxSeq, nil
+}

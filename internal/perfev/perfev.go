@@ -1,0 +1,83 @@
+// Package perfev is the userspace perf-API analog: the interface TMI's
+// detection thread uses to consume HITM samples. It mirrors the structure of
+// perf_event_open + mmap ring buffers — one event per monitored thread, a
+// period parameter, and a drain operation — over the pebs hardware model.
+//
+// TMI deliberately uses only this standard interface (no custom driver, in
+// contrast to LASER), which is what makes it portable; this package is the
+// boundary that the detector is written against.
+package perfev
+
+import (
+	"fmt"
+
+	"repro/internal/sim/pebs"
+)
+
+// Event is one opened perf event (one monitored thread).
+type Event struct {
+	TID     int
+	sampler *pebs.Sampler
+}
+
+// Monitor owns the perf events for all threads of an application.
+type Monitor struct {
+	sampler *pebs.Sampler
+	events  []*Event
+}
+
+// NewMonitor opens a HITM sampling event for each of nThreads threads with
+// the given period. This is the work TMI's pthread_create interposition
+// does per thread.
+func NewMonitor(nThreads, period int, seed int64) *Monitor {
+	s := pebs.NewSampler(nThreads, period, seed)
+	m := &Monitor{sampler: s}
+	for i := 0; i < nThreads; i++ {
+		m.events = append(m.events, &Event{TID: i, sampler: s})
+	}
+	return m
+}
+
+// Sampler exposes the underlying PEBS engine (the machine hooks feed it).
+func (m *Monitor) Sampler() *pebs.Sampler { return m.sampler }
+
+// Event returns the perf event for thread tid.
+func (m *Monitor) Event(tid int) (*Event, error) {
+	if tid < 0 || tid >= len(m.events) {
+		return nil, fmt.Errorf("perfev: no event for tid %d", tid)
+	}
+	return m.events[tid], nil
+}
+
+// Read drains the thread's sample buffer.
+func (e *Event) Read() []pebs.Record { return e.sampler.Buffer(e.TID).Drain() }
+
+// DrainAll reads every thread's buffer and returns all pending records.
+func (m *Monitor) DrainAll() []pebs.Record {
+	var out []pebs.Record
+	for _, e := range m.events {
+		out = append(out, e.Read()...)
+	}
+	return out
+}
+
+// Period reports the configured sampling period.
+func (m *Monitor) Period() int { return m.sampler.Period() }
+
+// SetPeriod reprograms the period on every event.
+func (m *Monitor) SetPeriod(p int) { m.sampler.SetPeriod(p) }
+
+// Enable or disable sampling machine-wide.
+func (m *Monitor) Enable(on bool) { m.sampler.SetEnabled(on) }
+
+// Dropped reports records lost to full buffers, across all threads.
+func (m *Monitor) Dropped() uint64 {
+	var n uint64
+	for _, e := range m.events {
+		n += m.sampler.Buffer(e.TID).Dropped
+	}
+	return n
+}
+
+// FootprintBytes reports the perf-side memory cost (mmap buffers).
+func (m *Monitor) FootprintBytes() uint64 { return m.sampler.FootprintBytes() }

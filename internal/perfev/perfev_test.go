@@ -1,0 +1,75 @@
+package perfev
+
+import "testing"
+
+func TestMonitorPerThreadEvents(t *testing.T) {
+	m := NewMonitor(4, 10, 1)
+	if m.Period() != 10 {
+		t.Errorf("period %d", m.Period())
+	}
+	for tid := 0; tid < 4; tid++ {
+		ev, err := m.Event(tid)
+		if err != nil || ev.TID != tid {
+			t.Fatalf("Event(%d): %v", tid, err)
+		}
+	}
+	if _, err := m.Event(4); err == nil {
+		t.Error("out-of-range tid must error")
+	}
+	if _, err := m.Event(-1); err == nil {
+		t.Error("negative tid must error")
+	}
+}
+
+func TestDrainAllCollectsEveryBuffer(t *testing.T) {
+	m := NewMonitor(2, 1, 1)
+	s := m.Sampler()
+	for i := 0; i < 30; i++ {
+		s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, int64(i))
+	}
+	for i := 0; i < 20; i++ {
+		s.OnHITM(1, 1, 0x400004, 0x2000, 8, false, int64(i))
+	}
+	recs := m.DrainAll()
+	if len(recs) != 50 {
+		t.Fatalf("drained %d, want 50", len(recs))
+	}
+	if again := m.DrainAll(); len(again) != 0 {
+		t.Error("second drain should be empty")
+	}
+}
+
+func TestPerThreadRead(t *testing.T) {
+	m := NewMonitor(2, 1, 1)
+	m.Sampler().OnHITM(1, 1, 0x400000, 0x1000, 8, false, 0)
+	ev, _ := m.Event(0)
+	if len(ev.Read()) != 0 {
+		t.Error("thread 0 has no records")
+	}
+	ev1, _ := m.Event(1)
+	if len(ev1.Read()) != 1 {
+		t.Error("thread 1 should have one record")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	m := NewMonitor(1, 1, 1)
+	m.Enable(false)
+	m.Sampler().OnHITM(0, 0, 0x400000, 0x1000, 8, false, 0)
+	if len(m.DrainAll()) != 0 {
+		t.Error("disabled monitor must not record")
+	}
+	m.Enable(true)
+	m.Sampler().OnHITM(0, 0, 0x400000, 0x1000, 8, false, 0)
+	if len(m.DrainAll()) != 1 {
+		t.Error("re-enabled monitor should record")
+	}
+}
+
+func TestFootprintScalesWithThreads(t *testing.T) {
+	small := NewMonitor(2, 1, 1).FootprintBytes()
+	large := NewMonitor(8, 1, 1).FootprintBytes()
+	if large != 4*small {
+		t.Errorf("footprint should scale with thread count: %d vs %d", small, large)
+	}
+}

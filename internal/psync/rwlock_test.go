@@ -1,0 +1,93 @@
+package psync
+
+import (
+	"testing"
+
+	"repro/internal/disasm"
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+func TestRWMutexReadersOverlapWritersExclude(t *testing.T) {
+	f := newFixture(t, 4, true, Hooks{})
+	rw := f.mgr.NewRWMutex("rw", heapBase)
+	var (
+		readersIn, maxReaders int
+		writersIn, maxBoth    int
+	)
+	reader := func(th *machine.Thread) {
+		for i := 0; i < 150; i++ {
+			rw.RLock(th)
+			readersIn++
+			if readersIn > maxReaders {
+				maxReaders = readersIn
+			}
+			if writersIn > 0 {
+				t.Error("reader inside while writer holds")
+			}
+			th.Work(60)
+			readersIn--
+			rw.RUnlock(th)
+			th.Work(20)
+		}
+	}
+	writer := func(th *machine.Thread) {
+		for i := 0; i < 100; i++ {
+			rw.Lock(th)
+			writersIn++
+			if both := writersIn + readersIn; both > maxBoth {
+				maxBoth = both
+			}
+			th.Work(80)
+			writersIn--
+			rw.Unlock(th)
+			th.Work(40)
+		}
+	}
+	if err := f.mc.Run([]func(*machine.Thread){reader, reader, reader, writer}); err != nil {
+		t.Fatal(err)
+	}
+	if maxReaders < 2 {
+		t.Errorf("readers should overlap, max concurrency %d", maxReaders)
+	}
+	if maxBoth > 1 {
+		t.Errorf("writer overlapped with %d other holders", maxBoth-1)
+	}
+	if rw.ReadAcquires != 450 || rw.WriteAcquires != 100 {
+		t.Errorf("acquires %d/%d, want 450/100", rw.ReadAcquires, rw.WriteAcquires)
+	}
+}
+
+func TestRWMutexWriterProtectsData(t *testing.T) {
+	f := newFixture(t, 4, true, Hooks{})
+	rw := f.mgr.NewRWMutex("rw", heapBase)
+	prog := f.mgr.prog
+	st := prog.Site("rw.data", disasm.KindStore, 8)
+	const per = 200
+	body := func(th *machine.Thread) {
+		for i := 0; i < per; i++ {
+			rw.Lock(th)
+			v := th.Load(st.PC(), heapBase+256, 8)
+			th.Store(st.PC(), heapBase+256, 8, v+1)
+			rw.Unlock(th)
+		}
+	}
+	if err := f.mc.Run([]func(*machine.Thread){body, body, body, body}); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := f.space.Translate(heapBase+256, false)
+	if got := mem.LoadUint(tr, 8); got != 4*per {
+		t.Errorf("counter %d, want %d", got, 4*per)
+	}
+}
+
+func TestRWMutexMisusePanics(t *testing.T) {
+	f := newFixture(t, 1, false, Hooks{})
+	rw := f.mgr.NewRWMutex("rw", heapBase)
+	err := f.mc.Run([]func(*machine.Thread){func(th *machine.Thread) {
+		rw.RUnlock(th)
+	}})
+	if err == nil {
+		t.Error("RUnlock without RLock must fail")
+	}
+}

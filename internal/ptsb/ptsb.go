@@ -1,0 +1,356 @@
+// Package ptsb implements the page twinning store buffer (PTSB): the
+// mechanism that actually repairs false sharing once threads run as
+// processes (paper §2.2, §3.3).
+//
+// A protected page is mapped private and read-only in each process. The
+// first write faults; the engine snapshots the page (the "twin"), grants a
+// private copy-on-write copy, and lets subsequent writes run at native speed
+// on the private physical page — which, crucially, has a different physical
+// address than every other thread's copy, so the cache sees no sharing at
+// all. At every synchronization operation the engine diffs each dirty page
+// against its twin byte by byte and merges only the changed bytes into
+// shared memory, then drops the copy and re-protects the page.
+//
+// The byte-granularity merge is faithful, including its known flaw: a
+// multi-byte store whose bytes partially equal the twin is merged as if it
+// were a narrower store, violating aligned multi-byte store atomicity
+// (AMBSA). The word-tearing example of Figure 3 reproduces on this engine
+// for real; code-centric consistency (package ccc) exists to keep that
+// flaw invisible.
+package ptsb
+
+import (
+	"fmt"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+// Cost model (cycles).
+const (
+	// CostTwinFaultBase is the trap + protection-change cost of a PTSB
+	// write fault; copying the page costs CostCopyPerByte on top.
+	CostTwinFaultBase = 6000
+	CostCopyPerByte   = 1.0 / 16.0 // 16 bytes per cycle memcpy
+	// CostCommitPage is the fixed diff overhead per committed page.
+	CostCommitPage = 150
+	// CostScanPerChunk is the memcmp cost for one 64-byte chunk that is
+	// unchanged (the huge-page fast path compares 4 KiB slabs first).
+	CostScanPerChunk = 2
+	// CostMergePerByte is the cost of merging one changed byte.
+	CostMergePerByte = 4
+	// ChunkBytes is the memcmp granularity.
+	ChunkBytes = 64
+	// SlabBytes is the huge-page commit fast path granularity: 4 KiB slabs
+	// are compared wholesale before falling back to chunk scans (§4.4).
+	SlabBytes = 4096
+	// CostSlabCompare is the cost of one 4 KiB slab memcmp.
+	CostSlabCompare = 128
+)
+
+// Stats aggregates PTSB activity for the Table 3 characterization.
+type Stats struct {
+	TwinFaults  uint64
+	Commits     uint64 // commit operations (per thread per sync with dirty pages)
+	PagesDiffed uint64
+	BytesMerged uint64
+}
+
+// threadBuf is one thread's store-buffer state.
+type threadBuf struct {
+	twins map[uint64]*mem.Page // page-aligned vaddr -> twin snapshot
+	order []uint64             // fault order, for deterministic commits
+	space *mem.AddrSpace       // the thread's space, captured at first fault
+}
+
+// PageActivity tracks how much repair a protected page is actually doing,
+// for the teardown extension: a page whose commits stop merging bytes no
+// longer exhibits write sharing and can be returned to direct shared access.
+type PageActivity struct {
+	TwinFaults  uint64
+	BytesMerged uint64
+}
+
+// Engine is the PTSB for one application.
+type Engine struct {
+	memory *mem.Memory
+	shared *mem.AddrSpace // the always-shared view used for merging
+	// protected marks page-aligned virtual addresses with the PTSB armed.
+	protected map[uint64]bool
+	bufs      map[int]*threadBuf
+	pageSize  int
+	activity  map[uint64]*PageActivity
+
+	Stats Stats
+}
+
+// NewEngine creates a PTSB engine merging through the given always-shared
+// view.
+func NewEngine(memory *mem.Memory, shared *mem.AddrSpace) *Engine {
+	return &Engine{
+		memory:    memory,
+		shared:    shared,
+		protected: make(map[uint64]bool),
+		bufs:      make(map[int]*threadBuf),
+		pageSize:  memory.PageSize(),
+		activity:  make(map[uint64]*PageActivity),
+	}
+}
+
+// PageSize reports the engine's page size.
+func (e *Engine) PageSize() int { return e.pageSize }
+
+func (e *Engine) pageBase(addr uint64) uint64 {
+	return addr &^ (uint64(e.pageSize) - 1)
+}
+
+// Protect arms the PTSB on the page containing addr in each of the given
+// address spaces: the page becomes private and read-only so the next write
+// traps. The always-shared view is left untouched.
+func (e *Engine) Protect(addr uint64, spaces []*mem.AddrSpace) error {
+	base := e.pageBase(addr)
+	if e.protected[base] {
+		return nil
+	}
+	for _, sp := range spaces {
+		if err := sp.Protect(base, 1, true, mem.ProtRead); err != nil {
+			return fmt.Errorf("ptsb: protect 0x%x: %w", base, err)
+		}
+	}
+	e.protected[base] = true
+	return nil
+}
+
+// Protected reports whether the page containing addr is PTSB-armed.
+func (e *Engine) Protected(addr uint64) bool { return e.protected[e.pageBase(addr)] }
+
+// ProtectedPages returns the number of armed pages.
+func (e *Engine) ProtectedPages() int { return len(e.protected) }
+
+func (e *Engine) buf(tid int) *threadBuf {
+	b := e.bufs[tid]
+	if b == nil {
+		b = &threadBuf{twins: make(map[uint64]*mem.Page)}
+		e.bufs[tid] = b
+	}
+	return b
+}
+
+// HandleWriteFault services a write fault on a PTSB page for thread t:
+// snapshot the twin, grant a writable private mapping, and report the cost.
+// It returns false if the fault is not on a PTSB page (not ours).
+func (e *Engine) HandleWriteFault(t *machine.Thread, addr uint64) (bool, int64) {
+	base := e.pageBase(addr)
+	if !e.protected[base] {
+		return false, 0
+	}
+	b := e.buf(t.ID)
+	if _, dup := b.twins[base]; dup {
+		// Already writable for this thread; the fault must be from another
+		// cause.
+		return false, 0
+	}
+	// Twin: snapshot of the shared page at protection time.
+	str, fault := e.shared.Translate(base, false)
+	if fault != nil {
+		panic(fmt.Sprintf("ptsb: shared view unmapped at 0x%x: %v", base, fault))
+	}
+	twin := e.memory.NewAnonPage()
+	copy(twin.Data, str.Page.Data)
+	b.twins[base] = twin
+	b.order = append(b.order, base)
+	b.space = t.Space()
+	e.pageActivity(base).TwinFaults++
+	// Grant write: the space's next write performs the COW copy itself.
+	if err := t.Space().Protect(base, 1, true, mem.ProtRW); err != nil {
+		panic(fmt.Sprintf("ptsb: grant write: %v", err))
+	}
+	e.Stats.TwinFaults++
+	cost := int64(CostTwinFaultBase + float64(e.pageSize)*CostCopyPerByte)
+	return true, cost
+}
+
+// DirtyPages reports how many pages thread tid currently holds privately.
+func (e *Engine) DirtyPages(tid int) int {
+	if b := e.bufs[tid]; b != nil {
+		return len(b.twins)
+	}
+	return 0
+}
+
+// Commit diffs and merges every page thread t holds privately into shared
+// memory and returns the cycle cost. Only bytes that differ from the twin
+// are written — exactly the semantics that make PTSBs efficient and
+// AMBSA-breaking. After the merge each page is refreshed in place: the
+// private copy and its twin are reloaded from the merged shared page and
+// the mapping stays writable-private, so steady-state commit cost is a diff
+// plus a page copy rather than a protection fault per critical section.
+func (e *Engine) Commit(t *machine.Thread) int64 {
+	b := e.bufs[t.ID]
+	if b == nil || len(b.twins) == 0 {
+		return 0
+	}
+	var cost int64
+	for _, base := range b.order {
+		twin := b.twins[base]
+		if twin == nil {
+			continue
+		}
+		cost += e.commitPage(t, base, twin)
+	}
+	e.Stats.Commits++
+	return cost
+}
+
+// pageActivity returns (creating if needed) the per-page activity record.
+func (e *Engine) pageActivity(base uint64) *PageActivity {
+	a := e.activity[base]
+	if a == nil {
+		a = &PageActivity{}
+		e.activity[base] = a
+	}
+	return a
+}
+
+// Activity returns a copy of the per-page activity counters for the page
+// containing addr.
+func (e *Engine) Activity(addr uint64) PageActivity {
+	if a := e.activity[e.pageBase(addr)]; a != nil {
+		return *a
+	}
+	return PageActivity{}
+}
+
+// Unprotect tears repair down on the page containing addr: every thread's
+// pending private changes are committed and its copy dropped, the page is
+// restored to direct shared read-write access in the given spaces, and the
+// PTSB forgets it. Used by the teardown extension when a repaired page's
+// commits stop merging bytes (contention has moved on) — the reverse of
+// Protect, preserving the compatible-by-default property in both
+// directions.
+func (e *Engine) Unprotect(addr uint64, spaces []*mem.AddrSpace) error {
+	base := e.pageBase(addr)
+	if !e.protected[base] {
+		return nil
+	}
+	// Flush every thread's pending state for this page.
+	for _, b := range e.bufs {
+		twin := b.twins[base]
+		if twin == nil {
+			continue
+		}
+		if b.space != nil {
+			if mp := b.space.MappingAt(base); mp != nil && mp.Copied != nil {
+				e.mergePageInto(base, twin, mp.Copied.Data)
+			}
+			b.space.DropCopy(base)
+		}
+		delete(b.twins, base)
+		for i, p := range b.order {
+			if p == base {
+				b.order = append(b.order[:i], b.order[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, sp := range spaces {
+		if err := sp.Protect(base, 1, false, mem.ProtRW); err != nil {
+			return fmt.Errorf("ptsb: unprotect 0x%x: %w", base, err)
+		}
+	}
+	delete(e.protected, base)
+	delete(e.activity, base)
+	return nil
+}
+
+// mergePageInto merges priv's changes (vs twin) into the shared page,
+// without cost accounting (runs in PM context during teardown).
+func (e *Engine) mergePageInto(base uint64, twin *mem.Page, priv []byte) {
+	str, fault := e.shared.Translate(base, true)
+	if fault != nil {
+		panic(fmt.Sprintf("ptsb: shared view fault at teardown: %v", fault))
+	}
+	for i := range priv {
+		if priv[i] != twin.Data[i] {
+			str.Page.Data[i] = priv[i]
+		}
+	}
+}
+
+// Release drops every private copy thread t holds and re-protects the
+// pages (used when a thread exits or repair is torn down).
+func (e *Engine) Release(t *machine.Thread) {
+	b := e.bufs[t.ID]
+	if b == nil {
+		return
+	}
+	for _, base := range b.order {
+		t.Space().DropCopy(base)
+		delete(b.twins, base)
+	}
+	b.order = b.order[:0]
+}
+
+func (e *Engine) commitPage(t *machine.Thread, base uint64, twin *mem.Page) int64 {
+	cost := int64(CostCommitPage)
+	mp := t.Space().MappingAt(base)
+	str, fault := e.shared.Translate(base, true)
+	if fault != nil {
+		panic(fmt.Sprintf("ptsb: shared view fault at commit: %v", fault))
+	}
+	sharedData := str.Page.Data
+	e.Stats.PagesDiffed++
+	if mp == nil || mp.Copied == nil {
+		// Granted writable but never written: just refresh nothing.
+		return cost
+	}
+	priv := mp.Copied.Data
+	dirtySlabs := 0
+	// Huge-page fast path: skip identical 4 KiB slabs wholesale (§4.4);
+	// only dirty slabs pay the chunk scan, merge and refresh copy.
+	for slab := 0; slab < e.pageSize; slab += SlabBytes {
+		cost += CostSlabCompare
+		if bytesEqual(priv[slab:slab+SlabBytes], twin.Data[slab:slab+SlabBytes]) {
+			continue
+		}
+		dirtySlabs++
+		for c := slab; c < slab+SlabBytes; c += ChunkBytes {
+			cost += CostScanPerChunk
+			pc := priv[c : c+ChunkBytes]
+			tc := twin.Data[c : c+ChunkBytes]
+			if bytesEqual(pc, tc) {
+				continue
+			}
+			for i := 0; i < ChunkBytes; i++ {
+				if pc[i] != tc[i] {
+					// Merge exactly the changed byte: updating any other
+					// byte would fabricate stores the program did not
+					// perform (§2.2).
+					sharedData[c+i] = pc[i]
+					cost += CostMergePerByte
+					e.Stats.BytesMerged++
+					e.pageActivity(base).BytesMerged++
+				}
+			}
+		}
+	}
+	// Refresh: the private copy and twin become the merged shared image, so
+	// the thread observes other threads' committed writes (the acquire side
+	// of Lemma 3.1) without a protection fault on its next write.
+	copy(priv, sharedData)
+	copy(twin.Data, sharedData)
+	cost += int64(float64(dirtySlabs*SlabBytes) * CostCopyPerByte)
+	return cost
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,341 @@
+package ptsb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+const heapBase = 0x1000_0000
+
+type fixture struct {
+	memory *mem.Memory
+	shared *mem.AddrSpace
+	spaces []*mem.AddrSpace // one private space per thread
+	mc     *machine.Machine
+	eng    *Engine
+}
+
+// newFixture builds two threads in separate "processes" sharing a file, with
+// the engine's fault handling wired into the machine.
+func newFixture(t *testing.T, threads int) *fixture {
+	t.Helper()
+	m := mem.NewMemory(mem.PageSize4K)
+	file := m.NewFile("heap")
+	shared := mem.NewAddrSpace(m)
+	shared.Map(heapBase, 8, file, 0, false, mem.ProtRW)
+	mc := machine.New(machine.Config{Cores: threads, Seed: 5, Mem: m})
+	f := &fixture{memory: m, shared: shared, mc: mc, eng: NewEngine(m, shared)}
+	for _, th := range mc.Threads() {
+		sp := mem.NewAddrSpace(m)
+		sp.Map(heapBase, 8, file, 0, false, mem.ProtRW)
+		th.SetSpace(sp)
+		f.spaces = append(f.spaces, sp)
+	}
+	mc.SetHooks(machine.Hooks{
+		OnFault: func(th *machine.Thread, acc *machine.Access, flt *mem.Fault) (bool, int64) {
+			if flt.Kind == mem.FaultProtWrite {
+				return f.eng.HandleWriteFault(th, acc.Addr)
+			}
+			return false, 0
+		},
+	})
+	return f
+}
+
+func (f *fixture) sharedLoad(t *testing.T, addr uint64, size int) uint64 {
+	t.Helper()
+	tr, fault := f.shared.Translate(addr, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	return mem.LoadUint(tr, size)
+}
+
+func TestProtectTrapsFirstWrite(t *testing.T) {
+	f := newFixture(t, 1)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	if !f.eng.Protected(heapBase + 100) {
+		t.Error("page should be protected")
+	}
+	err := f.mc.Run([]func(*machine.Thread){func(th *machine.Thread) {
+		th.Store(1, heapBase+16, 8, 7)
+		th.Store(1, heapBase+24, 8, 8) // second write: no second fault
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.eng.Stats.TwinFaults != 1 {
+		t.Errorf("twin faults %d, want 1", f.eng.Stats.TwinFaults)
+	}
+	// Uncommitted writes stay invisible in shared memory.
+	if got := f.sharedLoad(t, heapBase+16, 8); got != 0 {
+		t.Errorf("shared sees %d before commit", got)
+	}
+}
+
+func TestCommitMergesOnlyChangedBytes(t *testing.T) {
+	f := newFixture(t, 1)
+	// Pre-existing shared data.
+	tr, _ := f.shared.Translate(heapBase, true)
+	mem.StoreUint(tr, 8, 0x1111_2222_3333_4444)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	err := f.mc.Run([]func(*machine.Thread){func(th *machine.Thread) {
+		th.Store(1, heapBase+16, 8, 99)
+		if cost := f.eng.Commit(th); cost <= 0 {
+			t.Error("commit of a dirty page should cost cycles")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.sharedLoad(t, heapBase+16, 8); got != 99 {
+		t.Errorf("merged value %d, want 99", got)
+	}
+	if got := f.sharedLoad(t, heapBase, 8); got != 0x1111_2222_3333_4444 {
+		t.Errorf("untouched bytes altered: 0x%x", got)
+	}
+	if f.eng.Stats.BytesMerged != 1 { // 99 is one byte; rest of the word was 0
+		t.Errorf("bytes merged %d, want 1", f.eng.Stats.BytesMerged)
+	}
+}
+
+func TestCommittedPagesStayWritableAndRefreshed(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	err := f.mc.Run([]func(*machine.Thread){
+		func(th *machine.Thread) {
+			th.Store(1, heapBase, 8, 10)
+			f.eng.Commit(th)
+			th.Work(10_000)  // let thread 1 commit its own write
+			f.eng.Commit(th) // acquire-side refresh
+			if got := th.Load(1, heapBase+8, 8); got != 20 {
+				t.Errorf("after refresh, thread 0 reads %d, want 20", got)
+			}
+		},
+		func(th *machine.Thread) {
+			th.Store(1, heapBase+8, 8, 20)
+			f.eng.Commit(th)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.eng.Stats.TwinFaults != 2 {
+		t.Errorf("twin faults %d, want 2 (no refault after commit)", f.eng.Stats.TwinFaults)
+	}
+}
+
+func TestIsolationRemovesFalseSharing(t *testing.T) {
+	// Two threads writing disjoint halves of one line: protected pages give
+	// them distinct physical lines, so HITM traffic disappears.
+	run := func(protect bool) uint64 {
+		f := newFixture(t, 2)
+		if protect {
+			if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+				t.Fatal(err)
+			}
+		}
+		body := func(th *machine.Thread) {
+			addr := heapBase + uint64(th.ID)*8
+			for i := 0; i < 500; i++ {
+				th.Store(1, addr, 8, uint64(i))
+				th.Work(40)
+			}
+		}
+		if err := f.mc.Run([]func(*machine.Thread){body, body}); err != nil {
+			t.Fatal(err)
+		}
+		return f.mc.Cache().Stats().HITM
+	}
+	unprotected := run(false)
+	protected := run(true)
+	if protected*10 > unprotected {
+		t.Errorf("PTSB should eliminate false sharing: %d -> %d HITM", unprotected, protected)
+	}
+}
+
+// TestFig3WordTearing reproduces the paper's Figure 3 at the engine level:
+// two aligned 2-byte stores with complementary byte patterns merge into a
+// value no thread wrote.
+func TestFig3WordTearing(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	body := func(val uint64) func(*machine.Thread) {
+		return func(th *machine.Thread) {
+			th.Store(1, heapBase, 2, val)
+			th.Work(1000)
+			f.eng.Commit(th)
+		}
+	}
+	if err := f.mc.Run([]func(*machine.Thread){body(0xAB00), body(0x00CD)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.sharedLoad(t, heapBase, 2); got != 0xABCD {
+		t.Errorf("expected deterministic tearing to 0xABCD, got 0x%04X", got)
+	}
+}
+
+// TestRaceFreeProgramsCommitExactly is Lemma 3.1 as a property test: when
+// writes to shared locations are serialized (each thread owns disjoint
+// offsets, or writes happen in committed turns), diff-and-merge reproduces
+// exactly the values written.
+func TestRaceFreeProgramsCommitExactly(t *testing.T) {
+	check := func(seed int64) bool {
+		f := newFixture(t, 2)
+		if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Disjoint offset sets per thread: race-free by construction.
+		offs := rng.Perm(mem.PageSize4K / 8)
+		want := map[uint64]uint64{}
+		body := func(tid int) func(*machine.Thread) {
+			return func(th *machine.Thread) {
+				myOffs := offs[tid*100 : (tid+1)*100]
+				r := rand.New(rand.NewSource(seed + int64(tid)))
+				for round := 0; round < 3; round++ {
+					for _, o := range myOffs {
+						addr := heapBase + uint64(o)*8
+						v := r.Uint64()
+						th.Store(1, addr, 8, v)
+						want[addr] = v
+					}
+					f.eng.Commit(th)
+				}
+			}
+		}
+		if err := f.mc.Run([]func(*machine.Thread){body(0), body(1)}); err != nil {
+			return false
+		}
+		for addr, v := range want {
+			tr, fault := f.shared.Translate(addr, false)
+			if fault != nil || mem.LoadUint(tr, 8) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTornValuesComposeFromWrittenBytes: even for racy programs, every byte
+// of the merged result was written by some thread (or is the initial value)
+// — merging never fabricates bytes.
+func TestTornValuesComposeFromWrittenBytes(t *testing.T) {
+	check := func(seed int64) bool {
+		f := newFixture(t, 2)
+		if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		vals := [2]uint64{rng.Uint64(), rng.Uint64()}
+		body := func(tid int) func(*machine.Thread) {
+			return func(th *machine.Thread) {
+				th.Store(1, heapBase, 8, vals[tid]) // same address: a race
+				th.Work(500)
+				f.eng.Commit(th)
+			}
+		}
+		if err := f.mc.Run([]func(*machine.Thread){body(0), body(1)}); err != nil {
+			return false
+		}
+		tr, _ := f.shared.Translate(heapBase, false)
+		got := mem.LoadUint(tr, 8)
+		for b := 0; b < 8; b++ {
+			byteOf := func(v uint64) byte { return byte(v >> (8 * b)) }
+			g := byteOf(got)
+			if g != byteOf(vals[0]) && g != byteOf(vals[1]) && g != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommitCleanPageIsCheap(t *testing.T) {
+	f := newFixture(t, 1)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	var dirtyCost, cleanCost int64
+	err := f.mc.Run([]func(*machine.Thread){func(th *machine.Thread) {
+		th.Store(1, heapBase, 8, 1)
+		dirtyCost = f.eng.Commit(th)
+		cleanCost = f.eng.Commit(th) // nothing written since
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanCost >= dirtyCost {
+		t.Errorf("clean commit (%d) should be cheaper than dirty (%d)", cleanCost, dirtyCost)
+	}
+}
+
+func TestReleaseDropsPrivateCopies(t *testing.T) {
+	f := newFixture(t, 1)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	err := f.mc.Run([]func(*machine.Thread){func(th *machine.Thread) {
+		th.Store(1, heapBase, 8, 42)
+		f.eng.Commit(th)
+		f.eng.Release(th)
+		if f.eng.DirtyPages(th.ID) != 0 {
+			t.Error("release should drop all buffered pages")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugePageCommitUsesSlabFastPath(t *testing.T) {
+	m := mem.NewMemory(mem.PageSize2M)
+	file := m.NewFile("heap")
+	shared := mem.NewAddrSpace(m)
+	shared.Map(heapBase, 1, file, 0, false, mem.ProtRW)
+	mc := machine.New(machine.Config{Cores: 1, Seed: 5, Mem: m})
+	eng := NewEngine(m, shared)
+	sp := mem.NewAddrSpace(m)
+	sp.Map(heapBase, 1, file, 0, false, mem.ProtRW)
+	mc.Thread(0).SetSpace(sp)
+	mc.SetHooks(machine.Hooks{
+		OnFault: func(th *machine.Thread, acc *machine.Access, flt *mem.Fault) (bool, int64) {
+			return eng.HandleWriteFault(th, acc.Addr)
+		},
+	})
+	if err := eng.Protect(heapBase, []*mem.AddrSpace{sp}); err != nil {
+		t.Fatal(err)
+	}
+	var cost int64
+	err := mc.Run([]func(*machine.Thread){func(th *machine.Thread) {
+		th.Store(1, heapBase+8, 8, 1) // dirty exactly one 4K slab
+		cost = eng.Commit(th)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full chunk scan of 2 MiB would cost 32768*CostScanPerChunk = 65536+;
+	// the slab fast path must keep it near slab-compare territory.
+	maxExpected := int64(CostCommitPage + 512*CostSlabCompare + (SlabBytes/ChunkBytes)*CostScanPerChunk + 64 + SlabBytes/16)
+	if cost > maxExpected {
+		t.Errorf("huge-page commit cost %d exceeds slab fast path bound %d", cost, maxExpected)
+	}
+}

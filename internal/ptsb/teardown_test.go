@@ -1,0 +1,87 @@
+package ptsb
+
+import (
+	"testing"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+func TestUnprotectFlushesPendingWrites(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	err := f.mc.Run([]func(*machine.Thread){
+		func(th *machine.Thread) {
+			th.Store(1, heapBase, 8, 111)
+			th.Work(5_000)
+			// Teardown happens while this thread still holds an
+			// uncommitted private write: Unprotect must merge it, not
+			// drop it.
+			if err := f.eng.Unprotect(heapBase, f.spaces); err != nil {
+				t.Error(err)
+			}
+			if f.eng.Protected(heapBase) {
+				t.Error("page should be unprotected")
+			}
+			// Writes now go straight to shared memory.
+			th.Store(1, heapBase+32, 8, 5)
+		},
+		func(th *machine.Thread) {
+			th.Store(1, heapBase+8, 8, 222)
+			f.eng.Commit(th)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range map[uint64]uint64{heapBase: 111, heapBase + 8: 222, heapBase + 32: 5} {
+		if got := f.sharedLoad(t, addr, 8); got != want {
+			t.Errorf("shared[0x%x] = %d, want %d", addr, got, want)
+		}
+	}
+	if f.eng.Stats.TwinFaults != 2 {
+		t.Errorf("twin faults %d, want 2", f.eng.Stats.TwinFaults)
+	}
+	// The post-teardown write must not have re-faulted.
+	if f.eng.DirtyPages(0) != 0 || f.eng.DirtyPages(1) != 0 {
+		t.Error("teardown should clear every thread's buffer for the page")
+	}
+}
+
+func TestUnprotectOfUnprotectedPageIsNoOp(t *testing.T) {
+	f := newFixture(t, 1)
+	if err := f.eng.Unprotect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivityCountersTrackRepairWork(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	err := f.mc.Run([]func(*machine.Thread){
+		func(th *machine.Thread) {
+			th.Store(1, heapBase, 8, 1)
+			f.eng.Commit(th)
+			th.Work(1000)
+			f.eng.Commit(th) // clean commit: no new merged bytes
+		},
+		func(th *machine.Thread) { th.Work(10) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := f.eng.Activity(heapBase + 99)
+	if act.TwinFaults != 1 {
+		t.Errorf("activity twin faults %d, want 1", act.TwinFaults)
+	}
+	if act.BytesMerged != 1 {
+		t.Errorf("activity bytes merged %d, want 1", act.BytesMerged)
+	}
+	if a := f.eng.Activity(heapBase + mem.PageSize4K); a.TwinFaults != 0 {
+		t.Error("activity must be per page")
+	}
+}

@@ -1,0 +1,122 @@
+// Package repair implements TMI's repair lifecycle (paper §3.2-3.3): the
+// monitoring process PM reacts to a detector request by stopping every
+// application thread with ptrace, converting each running thread into its
+// own process via an injected fork trampoline, resuming them, and arming the
+// page twinning store buffer on exactly the pages the detector identified.
+//
+// Conversion happens once, lazily, the first time repair is needed — the
+// compatible-by-default property: applications without false sharing never
+// leave the conventional threaded execution model.
+package repair
+
+import (
+	"repro/internal/detect"
+	"repro/internal/ptsb"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/osim"
+)
+
+// Stats characterizes repair activity (Table 3).
+type Stats struct {
+	// RepairEvents counts detector requests acted on.
+	RepairEvents int
+	// PagesProtected counts distinct pages armed.
+	PagesProtected int
+	// ConvertedAtCycle is the simulated time of thread-to-process
+	// conversion (0 if never converted).
+	ConvertedAtCycle int64
+	// T2PCycles is the per-thread conversion cost.
+	T2PCycles []int64
+}
+
+// Engine is the monitoring process PM.
+type Engine struct {
+	os     *osim.OS
+	app    *osim.Process
+	mc     *machine.Machine
+	engine *ptsb.Engine
+	// Everywhere arms the PTSB on the whole heap at the first repair
+	// (the paper's §4.3 PTSB-everywhere ablation) instead of targeting.
+	Everywhere bool
+	// heapPages enumerates all heap pages for the Everywhere ablation.
+	HeapPages func() []uint64
+
+	converted   bool
+	childSpaces []*mem.AddrSpace
+
+	Stats Stats
+}
+
+// New creates a repair engine for app running on mc, arming pages through e.
+func New(o *osim.OS, app *osim.Process, mc *machine.Machine, e *ptsb.Engine) *Engine {
+	return &Engine{os: o, app: app, mc: mc, engine: e}
+}
+
+// Converted reports whether threads have been made processes.
+func (r *Engine) Converted() bool { return r.converted }
+
+// Spaces returns the per-process address spaces after conversion.
+func (r *Engine) Spaces() []*mem.AddrSpace { return r.childSpaces }
+
+// ConvertAllNow performs the stop-the-world thread-to-process conversion
+// immediately (Sheriff converts at startup; TMI calls this lazily from
+// Handle).
+func (r *Engine) ConvertAllNow(now int64) {
+	if r.converted {
+		return
+	}
+	tracer := osim.Attach(r.os, r.app)
+	tracer.StopAll()
+	// Convert a stable snapshot: ConvertThreadToProcess mutates app.Threads.
+	threads := append([]*machine.Thread(nil), r.app.Threads...)
+	for _, th := range threads {
+		if th.State() == machine.Done {
+			continue
+		}
+		child, err := tracer.ConvertThreadToProcess(th)
+		if err != nil {
+			panic("repair: " + err.Error())
+		}
+		r.childSpaces = append(r.childSpaces, child.Space)
+	}
+	tracer.ResumeAll()
+	r.Stats.T2PCycles = tracer.T2PCycles
+	r.Stats.ConvertedAtCycle = now
+	r.converted = true
+}
+
+// Handle services one detector request: convert on first use, then arm the
+// PTSB on the requested pages (or the whole heap in the Everywhere
+// ablation) in every per-process space.
+func (r *Engine) Handle(req *detect.Request, now int64) {
+	if req == nil || len(req.Pages) == 0 {
+		return
+	}
+	r.ConvertAllNow(now)
+	r.Stats.RepairEvents++
+	pages := req.Pages
+	if r.Everywhere && r.HeapPages != nil {
+		pages = r.HeapPages()
+	}
+	for _, p := range pages {
+		if r.engine.Protected(p) {
+			continue
+		}
+		if err := r.engine.Protect(p, r.childSpaces); err != nil {
+			panic("repair: " + err.Error())
+		}
+		r.Stats.PagesProtected++
+	}
+}
+
+// T2PMicros converts the recorded per-thread conversion costs to
+// microseconds.
+func (r *Engine) T2PMicros() []float64 {
+	out := make([]float64, len(r.Stats.T2PCycles))
+	for i, c := range r.Stats.T2PCycles {
+		out[i] = float64(c) / (cache.ClockHz / 1e6)
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+// Package cache simulates an invalidation-based MESI cache coherence
+// protocol across N cores, at cache-line granularity, keyed by *physical*
+// line address. It is the substrate that makes false sharing exist at all in
+// this reproduction: two threads whose virtual pages resolve to the same
+// physical line contend here, and stop contending the moment TMI remaps one
+// of them to a private physical page.
+//
+// The simulator enforces the single-writer/multiple-reader (SWMR) invariant
+// and reports HITM ("hit modified") events — a request hitting a line that a
+// remote core holds in Modified state — which are exactly the events Intel
+// PEBS exposes and TMI's detector consumes.
+package cache
+
+import "fmt"
+
+// State is a MESI line state as seen by one core.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// line is the directory entry for one physical cache line.
+type line struct {
+	sharers uint64 // bitmask of cores holding a valid copy
+	owner   int8   // core holding the line E or M, -1 if none
+	dirty   bool   // owner holds the line Modified
+}
+
+// coreCache tracks one core's resident lines for capacity modeling: a FIFO
+// of fills (the eviction policy real simulators commonly approximate LRU
+// with) plus the resident set.
+type coreCache struct {
+	fifo     []fifoEntry
+	head     int
+	resident map[uint64]uint64 // line -> fill sequence
+	seq      uint64
+}
+
+type fifoEntry struct {
+	la  uint64
+	seq uint64
+}
+
+func (c *coreCache) noteFill(la uint64, capacity int) (evict uint64, ok bool) {
+	if _, here := c.resident[la]; here {
+		return 0, false
+	}
+	c.seq++
+	c.resident[la] = c.seq
+	c.fifo = append(c.fifo, fifoEntry{la, c.seq})
+	for len(c.resident) > capacity && c.head < len(c.fifo) {
+		victim := c.fifo[c.head]
+		c.head++
+		// Skip entries invalidated or refilled since this fill.
+		if s, here := c.resident[victim.la]; here && s == victim.seq {
+			delete(c.resident, victim.la)
+			return victim.la, true
+		}
+	}
+	return 0, false
+}
+
+func (c *coreCache) drop(la uint64) { delete(c.resident, la) }
+
+// HITMEvent is emitted when an access by Core hits a line held Modified by
+// Source. It is the raw hardware event behind PEBS sampling.
+type HITMEvent struct {
+	Core   int    // requesting core
+	Source int    // core that held the line Modified
+	Phys   uint64 // physical byte address of the access
+	Write  bool   // the request was a store
+}
+
+// Result describes the outcome of one line access.
+type Result struct {
+	Latency int64
+	HITM    bool
+	Source  int // valid when HITM
+}
+
+// Stats aggregates coherence activity.
+type Stats struct {
+	Accesses      uint64
+	L1Hits        uint64
+	LLCHits       uint64
+	DRAMFills     uint64
+	HITM          uint64
+	Upgrades      uint64
+	Invalidations uint64
+	Writebacks    uint64
+	Evictions     uint64
+}
+
+// TrafficBytes estimates interconnect traffic: every cross-cache transfer,
+// fill and writeback moves one line.
+func (s Stats) TrafficBytes() uint64 {
+	return (s.LLCHits + s.DRAMFills + s.HITM + s.Writebacks) * LineSize
+}
+
+// EnergyMicroJ estimates the energy cost of the observed memory activity —
+// the "significant energy penalty for generating and processing cache
+// coherence traffic" the paper's introduction cites. Per-event costs are
+// EnergyL1/LLC/HITM/DRAM picojoules (params.go).
+func (s Stats) EnergyMicroJ() float64 {
+	pj := float64(s.L1Hits)*EnergyL1 +
+		float64(s.LLCHits+s.Upgrades)*EnergyLLC +
+		float64(s.HITM)*EnergyHITM +
+		float64(s.DRAMFills+s.Writebacks)*EnergyDRAM
+	return pj / 1e6
+}
+
+// System is the coherence fabric for a fixed set of cores.
+type System struct {
+	numCores int
+	lines    map[uint64]*line
+	stats    Stats
+	onHITM   func(HITMEvent)
+	// perLine tracks HITM counts per line for detector ground-truth tests.
+	perLine map[uint64]uint64
+	// capacity is the per-core private cache size in lines; 0 = unlimited
+	// (the default: contention modeling does not depend on it).
+	capacity int
+	cores    []*coreCache
+}
+
+// New returns a coherence system for numCores cores (max 64) with unlimited
+// per-core capacity.
+func New(numCores int) *System {
+	if numCores < 1 || numCores > 64 {
+		panic(fmt.Sprintf("cache: unsupported core count %d", numCores))
+	}
+	return &System{
+		numCores: numCores,
+		lines:    make(map[uint64]*line),
+		perLine:  make(map[uint64]uint64),
+	}
+}
+
+// SetCapacity bounds each core's private cache to n lines (FIFO eviction);
+// n <= 0 restores the unlimited default. Call before any Access.
+func (s *System) SetCapacity(n int) {
+	if n <= 0 {
+		s.capacity = 0
+		s.cores = nil
+		return
+	}
+	s.capacity = n
+	s.cores = make([]*coreCache, s.numCores)
+	for i := range s.cores {
+		s.cores[i] = &coreCache{resident: make(map[uint64]uint64)}
+	}
+}
+
+// noteFill records that core now holds la and performs a capacity eviction
+// if needed: the victim leaves the core's sharer set, with a writeback if
+// the core held it Modified.
+func (s *System) noteFill(core int, la uint64) {
+	if s.capacity == 0 {
+		return
+	}
+	victim, ok := s.cores[core].noteFill(la, s.capacity)
+	if !ok || victim == la {
+		return
+	}
+	ln := s.lines[victim]
+	if ln == nil || ln.sharers&(1<<uint(core)) == 0 {
+		return
+	}
+	if ln.dirty && int(ln.owner) == core {
+		s.stats.Writebacks++
+		ln.dirty = false
+	}
+	ln.sharers &^= 1 << uint(core)
+	if int(ln.owner) == core {
+		ln.owner = -1
+	}
+	s.stats.Evictions++
+}
+
+// noteInvalidate drops la from core's residence tracking.
+func (s *System) noteInvalidate(core int, la uint64) {
+	if s.capacity != 0 {
+		s.cores[core].drop(la)
+	}
+}
+
+// OnHITM installs the HITM event callback (the PEBS sampler). The callback
+// runs synchronously inside Access; it must not re-enter the System.
+func (s *System) OnHITM(fn func(HITMEvent)) { s.onHITM = fn }
+
+// NumCores reports the configured core count.
+func (s *System) NumCores() int { return s.numCores }
+
+// Stats returns a copy of the aggregate statistics.
+func (s *System) Stats() Stats { return s.stats }
+
+// HITMForLine reports the HITM count observed on the line containing phys.
+func (s *System) HITMForLine(phys uint64) uint64 { return s.perLine[phys&^(LineSize-1)] }
+
+// StateOf reports core's MESI state for the line containing phys
+// (test/debug use).
+func (s *System) StateOf(core int, phys uint64) State {
+	ln, ok := s.lines[phys&^(LineSize-1)]
+	if !ok || ln.sharers&(1<<uint(core)) == 0 {
+		return Invalid
+	}
+	if int(ln.owner) == core {
+		if ln.dirty {
+			return Modified
+		}
+		return Exclusive
+	}
+	return Shared
+}
+
+// Access performs a memory access of size bytes at physical address phys by
+// core. Accesses that span a line boundary are split and their latencies
+// accumulated (the HITM result reflects the first line that hit Modified
+// remotely). atomic adds the locked-RMW cost.
+func (s *System) Access(core int, phys uint64, size int, write, atomic bool) Result {
+	if size <= 0 {
+		size = 1
+	}
+	var res Result
+	first := phys &^ (LineSize - 1)
+	last := (phys + uint64(size) - 1) &^ (LineSize - 1)
+	for la := first; ; la += LineSize {
+		r := s.accessLine(core, la, write)
+		res.Latency += r.Latency
+		if r.HITM && !res.HITM {
+			res.HITM = true
+			res.Source = r.Source
+			if s.onHITM != nil {
+				s.onHITM(HITMEvent{Core: core, Source: r.Source, Phys: phys, Write: write})
+			}
+		}
+		if la == last {
+			break
+		}
+	}
+	if atomic {
+		res.Latency += LatAtomicExtra
+	}
+	return res
+}
+
+func (s *System) accessLine(core int, la uint64, write bool) Result {
+	s.stats.Accesses++
+	bit := uint64(1) << uint(core)
+	ln, ok := s.lines[la]
+	if !ok {
+		ln = &line{owner: -1}
+		s.lines[la] = ln
+	}
+	holds := ln.sharers&bit != 0
+	remoteDirty := ln.dirty && int(ln.owner) != core
+
+	if !write {
+		switch {
+		case holds:
+			s.stats.L1Hits++
+			return Result{Latency: LatL1Hit}
+		case remoteDirty:
+			// Remote core has the line Modified: HITM. The owner writes the
+			// line back and both end up Shared.
+			s.stats.HITM++
+			s.stats.Writebacks++
+			s.perLine[la]++
+			src := int(ln.owner)
+			ln.dirty = false
+			ln.owner = -1
+			ln.sharers |= bit
+			s.noteFill(core, la)
+			return Result{Latency: LatHITM, HITM: true, Source: src}
+		case ln.sharers != 0:
+			// Clean copy in another cache / LLC.
+			s.stats.LLCHits++
+			ln.sharers |= bit
+			if ln.owner >= 0 {
+				// Demote a remote Exclusive holder to Shared.
+				ln.owner = -1
+			}
+			s.noteFill(core, la)
+			return Result{Latency: LatLLC}
+		default:
+			s.stats.DRAMFills++
+			ln.sharers = bit
+			ln.owner = int8(core)
+			ln.dirty = false // Exclusive
+			s.noteFill(core, la)
+			return Result{Latency: LatDRAM}
+		}
+	}
+
+	// Store path.
+	switch {
+	case holds && int(ln.owner) == core:
+		// Already E or M locally.
+		ln.dirty = true
+		s.stats.L1Hits++
+		return Result{Latency: LatL1Hit}
+	case remoteDirty:
+		// RFO hitting a remote Modified line: HITM for stores too.
+		s.stats.HITM++
+		s.stats.Writebacks++
+		s.stats.Invalidations++
+		s.perLine[la]++
+		src := int(ln.owner)
+		s.noteInvalidate(src, la)
+		ln.sharers = bit
+		ln.owner = int8(core)
+		ln.dirty = true
+		s.noteFill(core, la)
+		return Result{Latency: LatHITM, HITM: true, Source: src}
+	case holds:
+		// Shared locally: upgrade, invalidating other sharers.
+		s.stats.Upgrades++
+		s.invalidateOthers(ln, core, la)
+		ln.sharers = bit
+		ln.owner = int8(core)
+		ln.dirty = true
+		return Result{Latency: LatUpgrade}
+	case ln.sharers != 0:
+		// Clean copies elsewhere: invalidate and take ownership.
+		s.stats.LLCHits++
+		s.invalidateOthers(ln, core, la)
+		ln.sharers = bit
+		ln.owner = int8(core)
+		ln.dirty = true
+		s.noteFill(core, la)
+		return Result{Latency: LatLLC}
+	default:
+		s.stats.DRAMFills++
+		ln.sharers = bit
+		ln.owner = int8(core)
+		ln.dirty = true
+		s.noteFill(core, la)
+		return Result{Latency: LatDRAM}
+	}
+}
+
+// CheckSWMR verifies the single-writer/multiple-reader invariant over every
+// line and returns an error describing the first violation. Used by property
+// tests.
+func (s *System) CheckSWMR() error {
+	for la, ln := range s.lines {
+		if ln.dirty {
+			if ln.owner < 0 {
+				return fmt.Errorf("cache: line 0x%x dirty without owner", la)
+			}
+			if ln.sharers != 1<<uint(ln.owner) {
+				return fmt.Errorf("cache: line 0x%x modified by core %d but sharer mask %b", la, ln.owner, ln.sharers)
+			}
+		}
+		if ln.owner >= 0 && ln.sharers&(1<<uint(ln.owner)) == 0 {
+			return fmt.Errorf("cache: line 0x%x owner %d not a sharer", la, ln.owner)
+		}
+	}
+	return nil
+}
+
+// invalidateOthers removes every core but `core` from the line's sharer
+// set, counting the invalidations and updating residence tracking.
+func (s *System) invalidateOthers(ln *line, core int, la uint64) {
+	others := ln.sharers &^ (1 << uint(core))
+	s.stats.Invalidations += uint64(popcount(others))
+	if s.capacity != 0 {
+		for c := 0; others != 0 && c < s.numCores; c++ {
+			if others&(1<<uint(c)) != 0 {
+				s.noteInvalidate(c, la)
+				others &^= 1 << uint(c)
+			}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	s := New(1)
+	s.SetCapacity(4)
+	for i := 0; i < 4; i++ {
+		s.Access(0, uint64(i)*LineSize, 8, false, false)
+	}
+	// All four resident.
+	for i := 0; i < 4; i++ {
+		if r := s.Access(0, uint64(i)*LineSize, 8, false, false); r.Latency != LatL1Hit {
+			t.Fatalf("line %d should be resident", i)
+		}
+	}
+	// A fifth line evicts line 0 (the oldest fill).
+	s.Access(0, 4*LineSize, 8, false, false)
+	if r := s.Access(0, 0, 8, false, false); r.Latency == LatL1Hit {
+		t.Error("line 0 should have been evicted")
+	}
+	if s.Stats().Evictions == 0 {
+		t.Error("evictions should be counted")
+	}
+}
+
+func TestCapacityEvictionWritesBackDirty(t *testing.T) {
+	s := New(1)
+	s.SetCapacity(2)
+	s.Access(0, 0, 8, true, false) // dirty line 0
+	wbBefore := s.Stats().Writebacks
+	s.Access(0, LineSize, 8, false, false)
+	s.Access(0, 2*LineSize, 8, false, false) // evicts dirty line 0
+	if s.Stats().Writebacks != wbBefore+1 {
+		t.Errorf("dirty eviction should write back: %d -> %d", wbBefore, s.Stats().Writebacks)
+	}
+	if s.StateOf(0, 0) != Invalid {
+		t.Error("evicted line should be Invalid for the core")
+	}
+}
+
+func TestEvictedDirtyLineNoLongerHITMs(t *testing.T) {
+	s := New(2)
+	s.SetCapacity(2)
+	s.Access(0, 0, 8, true, false)           // core 0 dirties line 0
+	s.Access(0, LineSize, 8, false, false)   // fill
+	s.Access(0, 2*LineSize, 8, false, false) // evicts line 0 (written back)
+	r := s.Access(1, 0, 8, false, false)
+	if r.HITM {
+		t.Error("line was written back at eviction; no HITM possible")
+	}
+}
+
+func TestInvalidationClearsResidence(t *testing.T) {
+	s := New(2)
+	s.SetCapacity(2)
+	s.Access(0, 0, 8, false, false) // core 0 shares line 0
+	s.Access(1, 0, 8, true, false)  // core 1 takes ownership, invalidating core 0
+	// Core 0's capacity slot is free again: two new fills must not evict
+	// anything that matters.
+	s.Access(0, LineSize, 8, false, false)
+	s.Access(0, 2*LineSize, 8, false, false)
+	if r := s.Access(0, LineSize, 8, false, false); r.Latency != LatL1Hit {
+		t.Error("line 1 should still be resident")
+	}
+}
+
+func TestUnlimitedCapacityNeverEvicts(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10_000; i++ {
+		s.Access(0, uint64(i)*LineSize, 8, false, false)
+	}
+	if s.Stats().Evictions != 0 {
+		t.Error("default capacity is unlimited")
+	}
+	if r := s.Access(0, 0, 8, false, false); r.Latency != LatL1Hit {
+		t.Error("everything stays resident without a capacity bound")
+	}
+}
+
+func TestEnergyAndTrafficAccounting(t *testing.T) {
+	s := New(2)
+	s.Access(0, 0, 8, true, false) // DRAM fill
+	s.Access(1, 4, 8, false, false)
+	st := s.Stats()
+	if st.TrafficBytes() == 0 {
+		t.Error("fills and HITM transfers move bytes")
+	}
+	if st.EnergyMicroJ() <= 0 {
+		t.Error("energy estimate should be positive")
+	}
+	// A HITM-heavy run costs more energy than a hit-heavy one of the same
+	// access count.
+	quiet := New(2)
+	for i := 0; i < 100; i++ {
+		quiet.Access(0, 0, 8, false, false)
+	}
+	noisy := New(2)
+	for i := 0; i < 50; i++ {
+		noisy.Access(0, 0, 8, true, false)
+		noisy.Access(1, 8, 8, true, false)
+	}
+	if noisy.Stats().EnergyMicroJ() <= quiet.Stats().EnergyMicroJ() {
+		t.Error("false sharing must cost more energy than private hits")
+	}
+}
+
+// Property: SWMR holds with capacity-bounded caches too, under random
+// traffic with evictions interleaving.
+func TestQuickSWMRWithCapacity(t *testing.T) {
+	check := func(seed int64) bool {
+		s := New(4)
+		s.SetCapacity(3)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			s.Access(rng.Intn(4), uint64(rng.Intn(12))*LineSize, 8, rng.Intn(2) == 0, false)
+		}
+		return s.CheckSWMR() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: residence tracking and directory agree — whenever a core hits
+// at L1 latency, the directory lists it as a sharer.
+func TestQuickResidenceConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		s := New(2)
+		s.SetCapacity(4)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 1500; i++ {
+			core := rng.Intn(2)
+			la := uint64(rng.Intn(8)) * LineSize
+			r := s.Access(core, la, 8, rng.Intn(3) == 0, false)
+			if r.Latency == LatL1Hit && s.StateOf(core, la) == Invalid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

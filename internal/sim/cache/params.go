@@ -1,0 +1,42 @@
+package cache
+
+// Latency model, in CPU cycles at the simulated clock (3.4 GHz, matching the
+// paper's 4-core Haswell repair machine). These constants are the calibration
+// surface of the whole reproduction: every experiment's absolute numbers are
+// downstream of this file, while the qualitative shapes (who wins, crossover
+// points) are robust to reasonable changes here.
+const (
+	// LatL1Hit is a load/store hit in the local private cache.
+	LatL1Hit = 4
+	// LatLLC is a miss served by the shared LLC or a clean remote copy.
+	LatLLC = 40
+	// LatHITM is a miss served by a remote private cache holding the line
+	// Modified: the serialized writeback + transfer that makes false sharing
+	// an order-of-magnitude slowdown (paper §1).
+	LatHITM = 150
+	// LatDRAM is a miss served by memory.
+	LatDRAM = 220
+	// LatUpgrade is a store to a Shared line: ownership upgrade and remote
+	// invalidations.
+	LatUpgrade = 40
+	// LatAtomicExtra is the added cost of a locked RMW operation.
+	LatAtomicExtra = 24
+	// LatStream is the amortized per-line cost of prefetched sequential
+	// streaming over bulk data.
+	LatStream = 6
+)
+
+// ClockHz is the simulated core frequency.
+const ClockHz = 3_400_000_000
+
+// LineSize is the coherence granularity in bytes.
+const LineSize = 64
+
+// Energy model, picojoules per event, for the Stats.EnergyMicroJ estimate
+// (magnitudes from published CACTI-class numbers; only ratios matter here).
+const (
+	EnergyL1   = 10
+	EnergyLLC  = 250
+	EnergyHITM = 1200
+	EnergyDRAM = 4000
+)

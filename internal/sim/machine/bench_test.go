@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim/mem"
+)
+
+func benchMachine(n int) (*Machine, *mem.AddrSpace) {
+	m := mem.NewMemory(mem.PageSize4K)
+	f := m.NewFile("shm")
+	as := mem.NewAddrSpace(m)
+	as.Map(heapBase, 16, f, 0, false, mem.ProtRW)
+	mc := New(Config{Cores: n, Seed: 1, Mem: m})
+	for _, th := range mc.Threads() {
+		th.SetSpace(as)
+	}
+	return mc, as
+}
+
+// BenchmarkStepThroughputContended measures simulator throughput with 4
+// threads ping-ponging one cache line (worst-case token handoff).
+func BenchmarkStepThroughputContended(b *testing.B) {
+	mc, _ := benchMachine(4)
+	per := b.N/4 + 1
+	body := func(th *Thread) {
+		for i := 0; i < per; i++ {
+			th.Store(1, heapBase+uint64(th.ID)*8, 8, uint64(i))
+		}
+	}
+	b.ResetTimer()
+	if err := mc.Run([]func(*Thread){body, body, body, body}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStepThroughputPrivate measures throughput when threads run on
+// private lines with pacing work (common case).
+func BenchmarkStepThroughputPrivate(b *testing.B) {
+	mc, _ := benchMachine(4)
+	per := b.N/4 + 1
+	body := func(th *Thread) {
+		addr := heapBase + uint64(th.ID)*512
+		for i := 0; i < per; i++ {
+			th.Store(1, addr, 8, uint64(i))
+		}
+	}
+	b.ResetTimer()
+	if err := mc.Run([]func(*Thread){body, body, body, body}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,417 @@
+// Package machine implements the simulated multicore: threads pinned to
+// cores, a deterministic min-clock discrete-event scheduler, the instruction
+// API that workload programs execute (loads, stores, atomics, streaming,
+// compute), simulated-time timers, and the hook points the TMI runtime
+// attaches to (fault handling, address-space selection, access sampling,
+// consistency-region callbacks).
+//
+// Each simulated thread runs as a goroutine, but only one thread executes at
+// a time, always the runnable thread with the smallest local clock, so every
+// run is deterministic for a fixed seed: memory operations are globally
+// ordered by simulated time, which is what makes the coherence simulation
+// and the consistency experiments reproducible.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/sim/cache"
+	"repro/internal/sim/mem"
+)
+
+// Config configures a Machine.
+type Config struct {
+	Cores int
+	Seed  int64
+	Mem   *mem.Memory
+	Cache *cache.System
+}
+
+// Access describes one memory instruction as it flows through the hooks.
+type Access struct {
+	PC     uint64
+	Addr   uint64 // virtual address
+	Size   int
+	Write  bool
+	Atomic bool
+}
+
+// RegionKind tags code-region boundaries for code-centric consistency.
+type RegionKind uint8
+
+// Region kinds (paper §3.4).
+const (
+	RegionAtomicRelaxed RegionKind = iota
+	RegionAtomicStrong
+	RegionAsm
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionAtomicRelaxed:
+		return "atomic-relaxed"
+	case RegionAtomicStrong:
+		return "atomic-strong"
+	case RegionAsm:
+		return "asm"
+	}
+	return "?"
+}
+
+// Hooks are the runtime attachment points. All hooks run in the context of
+// the executing thread with the machine quiescent (no other thread running),
+// so they may inspect and mutate runtime state freely but must not block.
+type Hooks struct {
+	// SpaceFor selects the address space an access resolves through.
+	// Nil or returning nil means the thread's current space. TMI uses this
+	// to route atomics and assembly regions to the always-shared view.
+	SpaceFor func(t *Thread, acc *Access) *mem.AddrSpace
+	// OnFault handles a protection fault. Returning handled=true retries the
+	// access once; cost is charged to the thread either way.
+	OnFault func(t *Thread, acc *Access, f *mem.Fault) (handled bool, cost int64)
+	// PostAccess observes every completed access (PEBS sampling) and may
+	// charge extra cycles.
+	PostAccess func(t *Thread, acc *Access, res cache.Result) (extra int64)
+	// RegionEnter/RegionExit observe code-centric consistency boundaries.
+	RegionEnter func(t *Thread, k RegionKind)
+	RegionExit  func(t *Thread, k RegionKind)
+	// OnFirstTouch charges the page-fault cost for a first touch of a page
+	// (or a COW copy). If nil, DefaultFaultCost is used.
+	OnFirstTouch func(t *Thread, tr mem.Translation) (cost int64)
+}
+
+// DefaultFaultCost is the minor page-fault cost when no OnFirstTouch hook is
+// installed.
+const DefaultFaultCost = 3000
+
+// schedSlack is the scheduler's clock tolerance: a thread keeps executing
+// while no runnable thread is more than this many cycles behind it. It is
+// chosen below the cheapest cross-core latency (LatUpgrade/LatLLC = 40), so
+// batched execution can only reorder same-core L1 hits.
+const schedSlack = 4
+
+// ThreadState is a thread's scheduler state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	Ready ThreadState = iota
+	Blocked
+	Done
+)
+
+// ThreadStats counts per-thread activity.
+type ThreadStats struct {
+	Instructions uint64
+	MemOps       uint64
+	HITM         uint64
+	Faults       uint64
+	FirstTouches uint64
+}
+
+// Thread is one simulated hardware thread, pinned 1:1 to a core.
+type Thread struct {
+	ID   int
+	Core int
+
+	m     *Machine
+	space *mem.AddrSpace
+	clock int64
+	state ThreadState
+	runCh chan struct{}
+	rng   *rand.Rand
+
+	// User carries runtime-private per-thread state (CCC region nesting,
+	// PTSB dirty sets). The machine never inspects it.
+	User any
+
+	Stats ThreadStats
+
+	// permits/pendingWake implement race-free wakeups: an Unblock that
+	// arrives before the target's Block deposits a permit instead.
+	permits     int
+	pendingWake int64
+
+	body func(*Thread)
+}
+
+// Machine is the simulated multicore.
+type Machine struct {
+	cfg     Config
+	cacheS  *cache.System
+	threads []*Thread
+	hooks   Hooks
+
+	mu      sync.Mutex
+	timers  []*timer
+	started bool
+	doneCh  chan struct{}
+	failure error
+	aborted bool
+
+	nextTimerID int
+}
+
+type timer struct {
+	id     int
+	at     int64
+	period int64 // 0 = one-shot
+	fn     func(now int64)
+}
+
+// New constructs a machine with cfg.Cores threads ready to run.
+func New(cfg Config) *Machine {
+	if cfg.Cores < 1 {
+		panic("machine: need at least one core")
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = cache.New(cfg.Cores)
+	}
+	m := &Machine{cfg: cfg, cacheS: cfg.Cache, doneCh: make(chan struct{})}
+	for i := 0; i < cfg.Cores; i++ {
+		m.threads = append(m.threads, &Thread{
+			ID:    i,
+			Core:  i,
+			m:     m,
+			runCh: make(chan struct{}, 1),
+			rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(i) + 1)),
+		})
+	}
+	return m
+}
+
+// SetHooks installs the runtime hooks. Must be called before Run.
+func (m *Machine) SetHooks(h Hooks) { m.hooks = h }
+
+// Cache returns the coherence system.
+func (m *Machine) Cache() *cache.System { return m.cacheS }
+
+// Threads returns the machine's threads.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Thread returns thread i.
+func (m *Machine) Thread(i int) *Thread { return m.threads[i] }
+
+// AddTimer schedules fn at simulated time at; if period > 0 it repeats.
+// Timers fire at scheduling boundaries, with all threads quiescent.
+func (m *Machine) AddTimer(at, period int64, fn func(now int64)) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTimerID++
+	t := &timer{id: m.nextTimerID, at: at, period: period, fn: fn}
+	m.timers = append(m.timers, t)
+	sortTimers(m.timers)
+	return t.id
+}
+
+// RemoveTimer cancels a timer by id.
+func (m *Machine) RemoveTimer(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, t := range m.timers {
+		if t.id == id {
+			m.timers = append(m.timers[:i], m.timers[i+1:]...)
+			return
+		}
+	}
+}
+
+func sortTimers(ts []*timer) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].at < ts[j].at })
+}
+
+// Run executes bodies, one per thread (len(bodies) must not exceed the core
+// count; extra cores stay idle). It blocks until all threads finish and
+// returns the first failure (panic in a body, deadlock) if any.
+func (m *Machine) Run(bodies []func(*Thread)) error {
+	if len(bodies) > len(m.threads) {
+		return fmt.Errorf("machine: %d bodies for %d cores", len(bodies), len(m.threads))
+	}
+	if m.started {
+		return fmt.Errorf("machine: Run called twice")
+	}
+	m.started = true
+	for i, t := range m.threads {
+		if i < len(bodies) {
+			t.body = bodies[i]
+			t.state = Ready
+		} else {
+			t.state = Done
+		}
+	}
+	var wg sync.WaitGroup
+	for _, t := range m.threads {
+		if t.body == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(t *Thread) {
+			defer wg.Done()
+			<-t.runCh
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(abortSentinel); ok {
+							return // controlled unwind after machine abort
+						}
+						m.mu.Lock()
+						if m.failure == nil {
+							m.failure = fmt.Errorf("machine: thread %d panic: %v", t.ID, r)
+						}
+						m.aborted = true
+						m.mu.Unlock()
+					}
+				}()
+				t.body(t)
+			}()
+			m.finish(t)
+		}(t)
+	}
+	// Kick the minimum-clock thread.
+	if first := m.minReady(); first != nil {
+		first.runCh <- struct{}{}
+	} else {
+		close(m.doneCh)
+	}
+	<-m.doneCh
+	wg.Wait()
+	return m.failure
+}
+
+// Elapsed reports the simulated run time: the maximum thread clock.
+func (m *Machine) Elapsed() int64 {
+	var max int64
+	for _, t := range m.threads {
+		if t.clock > max {
+			max = t.clock
+		}
+	}
+	return max
+}
+
+// ElapsedSeconds converts Elapsed to seconds at the simulated clock rate.
+func (m *Machine) ElapsedSeconds() float64 {
+	return float64(m.Elapsed()) / float64(cache.ClockHz)
+}
+
+func (m *Machine) minReady() *Thread {
+	var best *Thread
+	for _, t := range m.threads {
+		if t.state != Ready {
+			continue
+		}
+		if best == nil || t.clock < best.clock || (t.clock == best.clock && t.ID < best.ID) {
+			best = t
+		}
+	}
+	return best
+}
+
+// yield hands the token to the next runnable thread (running due timers
+// first) and, unless t is done, waits until the token comes back.
+func (m *Machine) yield(t *Thread) {
+	for {
+		m.mu.Lock()
+		next := m.minReady()
+		// Fire timers due before the next thread would run. Timers advance
+		// only with thread progress: once no thread is runnable, remaining
+		// timers never fire.
+		var due *timer
+		if len(m.timers) > 0 && next != nil && m.timers[0].at <= next.clock {
+			due = m.timers[0]
+			m.timers = m.timers[1:]
+		}
+		if due != nil {
+			m.mu.Unlock()
+			due.fn(due.at)
+			if due.period > 0 {
+				m.mu.Lock()
+				due.at += due.period
+				m.timers = append(m.timers, due)
+				sortTimers(m.timers)
+				m.mu.Unlock()
+			}
+			continue // re-evaluate: the timer may have changed thread states
+		}
+		if next == nil {
+			// Nothing runnable: either everyone is done, or deadlock.
+			var blocked []*Thread
+			for _, th := range m.threads {
+				if th.state == Blocked {
+					blocked = append(blocked, th)
+				}
+			}
+			if len(blocked) > 0 {
+				if m.failure == nil {
+					m.failure = fmt.Errorf("machine: deadlock — all live threads blocked at t=%d", t.clock)
+				}
+				m.aborted = true
+			}
+			m.mu.Unlock()
+			// Wake every parked goroutine so it can unwind via abort panic.
+			for _, th := range blocked {
+				select {
+				case th.runCh <- struct{}{}:
+				default:
+				}
+			}
+			select {
+			case <-m.doneCh:
+			default:
+				close(m.doneCh)
+			}
+			return
+		}
+		m.mu.Unlock()
+		if next == t {
+			return // keep the token
+		}
+		// Slack: keep the token while within schedSlack cycles of the true
+		// minimum. schedSlack is below every coherence latency, so only
+		// local L1 hits batch — cross-core event ordering is unaffected —
+		// while token handoffs drop by an order of magnitude.
+		if t.state == Ready && t.clock <= next.clock+schedSlack {
+			return
+		}
+		// Read own state before handing over: the moment the token is sent,
+		// the new holder may Unblock this thread concurrently.
+		wasDone := t.state == Done
+		next.runCh <- struct{}{}
+		if wasDone {
+			return
+		}
+		<-t.runCh
+		m.checkAbort()
+		return
+	}
+}
+
+// checkAbort panics out of a thread body when the machine has been aborted
+// (deadlock or external failure); the Run wrapper recovers it.
+func (m *Machine) checkAbort() {
+	m.mu.Lock()
+	a := m.aborted
+	m.mu.Unlock()
+	if a {
+		panic(abortSentinel{})
+	}
+}
+
+type abortSentinel struct{}
+
+func (m *Machine) finish(t *Thread) {
+	t.state = Done
+	m.yield(t)
+}
+
+// Fail aborts the run with err the next time the failing thread yields.
+func (m *Machine) Fail(err error) {
+	m.mu.Lock()
+	if m.failure == nil {
+		m.failure = err
+	}
+	m.mu.Unlock()
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/mem"
+)
+
+// Property: only one thread executes machine operations at a time (the
+// token discipline), and per-thread clocks never go backwards.
+func TestQuickTokenExclusivityAndMonotonicClocks(t *testing.T) {
+	check := func(seed int64) bool {
+		m := mem.NewMemory(mem.PageSize4K)
+		f := m.NewFile("shm")
+		as := mem.NewAddrSpace(m)
+		as.Map(heapBase, 4, f, 0, false, mem.ProtRW)
+		mc := New(Config{Cores: 4, Seed: seed, Mem: m})
+		for _, th := range mc.Threads() {
+			th.SetSpace(as)
+		}
+		violated := false
+		var lastClock [4]int64
+		body := func(th *Thread) {
+			rng := rand.New(rand.NewSource(seed + int64(th.ID)))
+			for i := 0; i < 300; i++ {
+				before := th.Clock()
+				switch rng.Intn(4) {
+				case 0:
+					th.Load(1, heapBase+uint64(rng.Intn(64))*8, 8)
+				case 1:
+					th.Store(1, heapBase+uint64(rng.Intn(64))*8, 8, uint64(i))
+				case 2:
+					th.AtomicRMW(1, heapBase, 8, func(o uint64) uint64 { return o + 1 })
+				case 3:
+					th.Work(int64(rng.Intn(200)))
+				}
+				if th.Clock() < before || th.Clock() < lastClock[th.ID] {
+					violated = true
+				}
+				lastClock[th.ID] = th.Clock()
+			}
+		}
+		if err := mc.Run([]func(*Thread){body, body, body, body}); err != nil {
+			return false
+		}
+		return !violated && mc.Cache().CheckSWMR() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinism — identical seeds produce identical final memory,
+// clocks and cache statistics, for random mixed workloads.
+func TestQuickDeterminism(t *testing.T) {
+	type outcome struct {
+		elapsed int64
+		hitm    uint64
+		value   uint64
+	}
+	runOnce := func(seed int64) (outcome, bool) {
+		m := mem.NewMemory(mem.PageSize4K)
+		f := m.NewFile("shm")
+		as := mem.NewAddrSpace(m)
+		as.Map(heapBase, 4, f, 0, false, mem.ProtRW)
+		mc := New(Config{Cores: 3, Seed: seed, Mem: m})
+		for _, th := range mc.Threads() {
+			th.SetSpace(as)
+		}
+		body := func(th *Thread) {
+			rng := th.Rand()
+			for i := 0; i < 400; i++ {
+				addr := heapBase + uint64(rng.Intn(32))*8
+				if rng.Intn(2) == 0 {
+					th.Store(1, addr, 8, rng.Uint64())
+				} else {
+					th.Load(1, addr, 8)
+				}
+				th.Work(int64(rng.Intn(60)))
+			}
+		}
+		if err := mc.Run([]func(*Thread){body, body, body}); err != nil {
+			return outcome{}, false
+		}
+		tr, _ := as.Translate(heapBase, false)
+		return outcome{mc.Elapsed(), mc.Cache().Stats().HITM, mem.LoadUint(tr, 8)}, true
+	}
+	check := func(seed int64) bool {
+		a, ok := runOnce(seed)
+		if !ok {
+			return false
+		}
+		b, ok := runOnce(seed)
+		return ok && a == b
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Work-only threads accumulate exactly the requested cycles, and
+// Elapsed equals the max across threads.
+func TestQuickWorkAccounting(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := mem.NewMemory(mem.PageSize4K)
+		mc := New(Config{Cores: 3, Seed: seed, Mem: m})
+		var want [3]int64
+		bodies := make([]func(*Thread), 3)
+		for i := range bodies {
+			n := rng.Intn(40) + 1
+			var total int64
+			chunks := make([]int64, n)
+			for j := range chunks {
+				chunks[j] = int64(rng.Intn(5000))
+				total += chunks[j]
+			}
+			want[i] = total
+			bodies[i] = func(th *Thread) {
+				for _, c := range chunks {
+					th.Work(c)
+				}
+			}
+		}
+		if err := mc.Run(bodies); err != nil {
+			return false
+		}
+		var max int64
+		for i, th := range mc.Threads() {
+			if th.Clock() != want[i] {
+				return false
+			}
+			if th.Clock() > max {
+				max = th.Clock()
+			}
+		}
+		return mc.Elapsed() == max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

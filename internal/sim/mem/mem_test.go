@@ -1,0 +1,320 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newSpace(t *testing.T, pages int) (*Memory, *File, *AddrSpace) {
+	t.Helper()
+	m := NewMemory(PageSize4K)
+	f := m.NewFile("shm")
+	as := NewAddrSpace(m)
+	as.Map(0x1000_0000, pages, f, 0, false, ProtRW)
+	return m, f, as
+}
+
+func TestSharedMappingReadWrite(t *testing.T) {
+	_, _, as := newSpace(t, 4)
+	tr, fault := as.Translate(0x1000_0042, true)
+	if fault != nil {
+		t.Fatalf("unexpected fault: %v", fault)
+	}
+	if !tr.FirstTouch {
+		t.Error("first access should be a first touch")
+	}
+	StoreUint(tr, 4, 0xdeadbeef)
+	tr2, _ := as.Translate(0x1000_0042, false)
+	if tr2.FirstTouch {
+		t.Error("second access should not be a first touch")
+	}
+	if got := LoadUint(tr2, 4); got != 0xdeadbeef {
+		t.Errorf("read back 0x%x, want 0xdeadbeef", got)
+	}
+}
+
+func TestTwoSpacesShareFilePages(t *testing.T) {
+	m, f, as1 := newSpace(t, 2)
+	as2 := NewAddrSpace(m)
+	as2.Map(0x1000_0000, 2, f, 0, false, ProtRW)
+
+	tr1, _ := as1.Translate(0x1000_0100, true)
+	StoreUint(tr1, 8, 42)
+	tr2, _ := as2.Translate(0x1000_0100, false)
+	if got := LoadUint(tr2, 8); got != 42 {
+		t.Errorf("shared mapping: space2 read %d, want 42", got)
+	}
+	if tr1.Phys != tr2.Phys {
+		t.Errorf("shared mappings should alias: 0x%x vs 0x%x", tr1.Phys, tr2.Phys)
+	}
+}
+
+func TestPrivateCOWIsolatesWrites(t *testing.T) {
+	m, f, shared := newSpace(t, 2)
+	// Write initial data via the shared view.
+	tr, _ := shared.Translate(0x1000_0000, true)
+	StoreUint(tr, 8, 7)
+
+	priv := NewAddrSpace(m)
+	priv.Map(0x1000_0000, 2, f, 0, true, ProtRW)
+
+	// Private read sees file contents before any write.
+	rp, _ := priv.Translate(0x1000_0000, false)
+	if got := LoadUint(rp, 8); got != 7 {
+		t.Fatalf("private read before COW: %d, want 7", got)
+	}
+	// Private write copies.
+	wp, fault := priv.Translate(0x1000_0000, true)
+	if fault != nil {
+		t.Fatalf("fault: %v", fault)
+	}
+	if !wp.CowCopied {
+		t.Error("first private write should COW")
+	}
+	StoreUint(wp, 8, 99)
+	// Shared view unchanged.
+	rs, _ := shared.Translate(0x1000_0000, false)
+	if got := LoadUint(rs, 8); got != 7 {
+		t.Errorf("shared view sees %d after private write, want 7", got)
+	}
+	// Physical addresses now differ: no false sharing possible.
+	if rs.Phys == wp.Phys {
+		t.Error("COW pages should have distinct physical addresses")
+	}
+}
+
+func TestProtWriteFault(t *testing.T) {
+	m, f, _ := newSpace(t, 1)
+	ro := NewAddrSpace(m)
+	ro.Map(0x1000_0000, 1, f, 0, true, ProtRead)
+	_, fault := ro.Translate(0x1000_0008, true)
+	if fault == nil || fault.Kind != FaultProtWrite {
+		t.Fatalf("want prot-write fault, got %v", fault)
+	}
+	// Reads still fine.
+	if _, fault := ro.Translate(0x1000_0008, false); fault != nil {
+		t.Fatalf("read should not fault: %v", fault)
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	_, _, as := newSpace(t, 1)
+	_, fault := as.Translate(0x9000_0000, false)
+	if fault == nil || fault.Kind != FaultUnmapped {
+		t.Fatalf("want unmapped fault, got %v", fault)
+	}
+}
+
+func TestProtectTransitions(t *testing.T) {
+	m, f, _ := newSpace(t, 1)
+	as := NewAddrSpace(m)
+	as.Map(0x1000_0000, 1, f, 0, false, ProtRW)
+	// Flip to private read-only (PTSB arming).
+	if err := as.Protect(0x1000_0000, 1, true, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := as.Translate(0x1000_0000, true); fault == nil {
+		t.Fatal("write after arming should fault")
+	}
+	// Grant write: next write COWs.
+	if err := as.Protect(0x1000_0000, 1, true, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	tr, fault := as.Translate(0x1000_0000, true)
+	if fault != nil || !tr.CowCopied {
+		t.Fatalf("expected COW write, got tr=%+v fault=%v", tr, fault)
+	}
+	StoreUint(tr, 1, 0xAA)
+	// Back to shared: copy discarded, shared bytes visible.
+	if err := as.Protect(0x1000_0000, 1, false, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := as.Translate(0x1000_0000, false)
+	if got := LoadUint(tr2, 1); got == 0xAA {
+		t.Error("shared view must not see discarded private write")
+	}
+}
+
+func TestDropCopyReprotects(t *testing.T) {
+	m, f, _ := newSpace(t, 1)
+	as := NewAddrSpace(m)
+	as.Map(0x1000_0000, 1, f, 0, true, ProtRW)
+	tr, _ := as.Translate(0x1000_0000, true)
+	StoreUint(tr, 8, 5)
+	as.DropCopy(0x1000_0000)
+	mp := as.MappingAt(0x1000_0000)
+	if mp.Copied != nil {
+		t.Error("DropCopy should discard the private copy")
+	}
+	if mp.Prot&ProtWrite != 0 {
+		t.Error("DropCopy should re-protect a private page read-only")
+	}
+}
+
+func TestCloneIsForkLike(t *testing.T) {
+	m, f, as := newSpace(t, 2)
+	tr, _ := as.Translate(0x1000_0000, true)
+	StoreUint(tr, 8, 1234)
+	child := as.Clone()
+	ct, _ := child.Translate(0x1000_0000, false)
+	if got := LoadUint(ct, 8); got != 1234 {
+		t.Errorf("child read %d, want 1234", got)
+	}
+	// Both map the same file pages (shared mapping clones stay shared).
+	at, _ := as.Translate(0x1000_0000, false)
+	if at.Phys != ct.Phys {
+		t.Error("cloned shared mappings should alias the parent")
+	}
+	_ = m
+	_ = f
+}
+
+func TestClonePrivateCopiesAreIndependent(t *testing.T) {
+	m, f, _ := newSpace(t, 1)
+	as := NewAddrSpace(m)
+	as.Map(0x1000_0000, 1, f, 0, true, ProtRW)
+	tr, _ := as.Translate(0x1000_0000, true)
+	StoreUint(tr, 8, 11)
+	child := as.Clone()
+	ctr, _ := child.Translate(0x1000_0000, true)
+	StoreUint(ctr, 8, 22)
+	ptr, _ := as.Translate(0x1000_0000, false)
+	if got := LoadUint(ptr, 8); got != 11 {
+		t.Errorf("parent sees %d after child write, want 11", got)
+	}
+}
+
+func TestBulkRegionAccounting(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	as := NewAddrSpace(m)
+	const gb = 1 << 30
+	r := as.MapBulk(0x4000_0000, gb)
+	as.Memory().Reserve(gb)
+	if m.AccountedBytes() != gb {
+		t.Errorf("accounted %d, want %d", m.AccountedBytes(), gb)
+	}
+	if m.MaterializedPages() != 0 {
+		t.Error("bulk regions must not materialize pages")
+	}
+	if got := as.BulkAt(0x4000_0000 + 12345); got != r {
+		t.Error("BulkAt should find the region")
+	}
+	if as.BulkAt(0x3fff_ffff) != nil {
+		t.Error("BulkAt out of range should be nil")
+	}
+}
+
+func TestReadWriteBytesCrossPage(t *testing.T) {
+	_, _, as := newSpace(t, 2)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	addr := uint64(0x1000_0000 + PageSize4K - 50)
+	if err := as.WriteBytes(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadBytes(addr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page read-back mismatch")
+	}
+}
+
+func TestHugePageSize(t *testing.T) {
+	m := NewMemory(PageSize2M)
+	f := m.NewFile("huge")
+	as := NewAddrSpace(m)
+	as.Map(0, 1, f, 0, false, ProtRW)
+	tr, fault := as.Translate(PageSize2M-8, true)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	StoreUint(tr, 8, 9)
+	if got := m.AccountedBytes(); got != PageSize2M {
+		t.Errorf("accounted %d, want one huge page", got)
+	}
+}
+
+// Property: read-after-write is exact within one address space, for random
+// (addr, size, value) sequences over a small region, including across
+// private COW transitions.
+func TestQuickReadAfterWrite(t *testing.T) {
+	const pages = 4
+	check := func(seed int64) bool {
+		m := NewMemory(PageSize4K)
+		f := m.NewFile("shm")
+		as := NewAddrSpace(m)
+		as.Map(0, pages, f, 0, false, ProtRW)
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[uint64]byte)
+		for i := 0; i < 500; i++ {
+			sizes := []int{1, 2, 4, 8}
+			size := sizes[rng.Intn(len(sizes))]
+			addr := uint64(rng.Intn(pages*PageSize4K - size))
+			addr &^= uint64(size - 1) // aligned
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				tr, fault := as.Translate(addr, true)
+				if fault != nil {
+					return false
+				}
+				StoreUint(tr, size, v)
+				for b := 0; b < size; b++ {
+					model[addr+uint64(b)] = byte(v >> (8 * b))
+				}
+			} else {
+				tr, fault := as.Translate(addr, false)
+				if fault != nil {
+					return false
+				}
+				v := LoadUint(tr, size)
+				for b := 0; b < size; b++ {
+					if byte(v>>(8*b)) != model[addr+uint64(b)] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fork preserves bytes — a clone reads exactly what the parent
+// wrote, for random writes.
+func TestQuickClonePreservesBytes(t *testing.T) {
+	check := func(seed int64) bool {
+		m := NewMemory(PageSize4K)
+		f := m.NewFile("shm")
+		as := NewAddrSpace(m)
+		as.Map(0, 2, f, 0, true, ProtRW)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			addr := uint64(rng.Intn(2*PageSize4K-8)) &^ 7
+			tr, fault := as.Translate(addr, true)
+			if fault != nil {
+				return false
+			}
+			StoreUint(tr, 8, rng.Uint64())
+		}
+		child := as.Clone()
+		for a := uint64(0); a < 2*PageSize4K; a += 8 {
+			pt, _ := as.Translate(a, false)
+			ct, _ := child.Translate(a, false)
+			if LoadUint(pt, 8) != LoadUint(ct, 8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

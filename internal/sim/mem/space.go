@@ -1,0 +1,351 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Prot is a page protection: a combination of read and write permission.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtRW         = ProtRead | ProtWrite
+)
+
+func (p Prot) String() string {
+	s := [2]byte{'-', '-'}
+	if p&ProtRead != 0 {
+		s[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		s[1] = 'w'
+	}
+	return string(s[:])
+}
+
+// FaultKind distinguishes the ways a memory access can trap.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultUnmapped  FaultKind = iota // no mapping covers the address
+	FaultProtWrite                  // write to a page without write permission
+	FaultProtRead                   // read from a page without read permission
+)
+
+// Fault describes a trapping access. It is delivered to the runtime's fault
+// handler, which may repair the mapping (e.g. PTSB copy-on-write) and retry.
+type Fault struct {
+	Addr  uint64
+	Write bool
+	Kind  FaultKind
+}
+
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mem: fault (%v) on %s of 0x%x", f.Kind, op, f.Addr)
+}
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultProtWrite:
+		return "prot-write"
+	case FaultProtRead:
+		return "prot-read"
+	}
+	return "unknown"
+}
+
+// Mapping is one virtual page's mapping within an address space.
+type Mapping struct {
+	File     *File
+	FilePage int
+	Private  bool // private (copy-on-write) vs shared
+	Prot     Prot
+	// Copied is the private COW copy, nil until the first private write.
+	Copied *Page
+	// Touched records whether this space has faulted the page in at all
+	// (used to charge first-touch fault costs).
+	Touched bool
+}
+
+// BulkRegion models a large data range (e.g. a multi-GB input array) at
+// region granularity: it supports streaming-access accounting (page faults,
+// footprint) but not byte-level data. Byte-level loads and stores inside a
+// bulk region are a programming error in a workload.
+type BulkRegion struct {
+	Start, End uint64 // virtual byte range [Start, End)
+
+	// faulted tracks which pages have been touched, one bit per page
+	// (lazily sized at first use, when the page size becomes known).
+	faulted  []uint64
+	pageSize uint64
+}
+
+// TouchRange marks the pages covering [addr, addr+n) as faulted and returns
+// how many of them were new — the page faults this access incurs.
+func (r *BulkRegion) TouchRange(addr, n, pageSize uint64) (newPages int64) {
+	if n == 0 {
+		return 0
+	}
+	if r.faulted == nil || r.pageSize != pageSize {
+		r.pageSize = pageSize
+		pages := (r.End - r.Start + pageSize - 1) / pageSize
+		r.faulted = make([]uint64, (pages+63)/64)
+	}
+	first := (addr - r.Start) / pageSize
+	last := (addr + n - 1 - r.Start) / pageSize
+	for p := first; p <= last; p++ {
+		w, b := p/64, p%64
+		if int(w) >= len(r.faulted) {
+			break
+		}
+		if r.faulted[w]&(1<<b) == 0 {
+			r.faulted[w] |= 1 << b
+			newPages++
+		}
+	}
+	return newPages
+}
+
+// AddrSpace is a per-process virtual address space.
+type AddrSpace struct {
+	mem      *Memory
+	pageSize int
+	pages    map[uint64]*Mapping // virtual page number -> mapping
+	bulk     []*BulkRegion       // sorted by Start
+}
+
+// NewAddrSpace returns an empty address space over m.
+func NewAddrSpace(m *Memory) *AddrSpace {
+	return &AddrSpace{mem: m, pageSize: m.pageSize, pages: make(map[uint64]*Mapping)}
+}
+
+// PageSize reports the page size of the space.
+func (as *AddrSpace) PageSize() int { return as.pageSize }
+
+// Memory returns the backing physical memory manager.
+func (as *AddrSpace) Memory() *Memory { return as.mem }
+
+func (as *AddrSpace) vpn(addr uint64) uint64 { return addr / uint64(as.pageSize) }
+
+// Map maps npages virtual pages starting at vaddr (which must be page
+// aligned) to consecutive pages of f starting at fpage.
+func (as *AddrSpace) Map(vaddr uint64, npages int, f *File, fpage int, private bool, prot Prot) {
+	if vaddr%uint64(as.pageSize) != 0 {
+		panic(fmt.Sprintf("mem: Map of unaligned address 0x%x", vaddr))
+	}
+	base := as.vpn(vaddr)
+	for i := 0; i < npages; i++ {
+		as.pages[base+uint64(i)] = &Mapping{File: f, FilePage: fpage + i, Private: private, Prot: prot}
+	}
+}
+
+// MapBulk registers a bulk region of nbytes at vaddr. The bytes are never
+// materialized; the caller accounts them (once, not per space) via
+// Memory.Reserve.
+func (as *AddrSpace) MapBulk(vaddr, nbytes uint64) *BulkRegion {
+	r := &BulkRegion{Start: vaddr, End: vaddr + nbytes}
+	as.bulk = append(as.bulk, r)
+	sort.Slice(as.bulk, func(i, j int) bool { return as.bulk[i].Start < as.bulk[j].Start })
+	return r
+}
+
+// BulkAt returns the bulk region containing addr, if any.
+func (as *AddrSpace) BulkAt(addr uint64) *BulkRegion {
+	i := sort.Search(len(as.bulk), func(i int) bool { return as.bulk[i].End > addr })
+	if i < len(as.bulk) && as.bulk[i].Start <= addr {
+		return as.bulk[i]
+	}
+	return nil
+}
+
+// Protect changes the protection and privacy of npages pages at vaddr.
+// Changing a page from private back to shared discards any COW copy.
+func (as *AddrSpace) Protect(vaddr uint64, npages int, private bool, prot Prot) error {
+	base := as.vpn(vaddr)
+	for i := 0; i < npages; i++ {
+		mp, ok := as.pages[base+uint64(i)]
+		if !ok {
+			return &Fault{Addr: vaddr + uint64(i*as.pageSize), Kind: FaultUnmapped}
+		}
+		mp.Private = private
+		mp.Prot = prot
+		if !private {
+			mp.Copied = nil
+		}
+	}
+	return nil
+}
+
+// MappingAt returns the mapping covering addr, or nil.
+func (as *AddrSpace) MappingAt(addr uint64) *Mapping {
+	return as.pages[as.vpn(addr)]
+}
+
+// DropCopy discards the private COW copy of the page containing addr, so
+// subsequent reads see the shared file page and the next private write
+// faults again. This is the "mark read-only again" step of a PTSB commit.
+func (as *AddrSpace) DropCopy(addr uint64) {
+	if mp := as.pages[as.vpn(addr)]; mp != nil {
+		mp.Copied = nil
+		if mp.Private {
+			mp.Prot &^= ProtWrite
+		}
+	}
+}
+
+// Translation is the result of a successful address translation.
+type Translation struct {
+	Page       *Page  // the physical page the access hits
+	Phys       uint64 // physical byte address (PhysID*pageSize + offset)
+	Offset     int    // offset within the page
+	FirstTouch bool   // true if this access faulted the page in
+	CowCopied  bool   // true if this access performed an implicit COW copy
+	Private    bool   // true if the access resolved to a private copy
+}
+
+// Translate resolves a virtual address for a read or write. It enforces
+// protections, performs implicit copy-on-write for writable private pages,
+// and reports first-touch faults for cost accounting. A protection violation
+// returns a *Fault for the runtime to handle.
+func (as *AddrSpace) Translate(addr uint64, write bool) (Translation, *Fault) {
+	mp, ok := as.pages[as.vpn(addr)]
+	if !ok {
+		return Translation{}, &Fault{Addr: addr, Write: write, Kind: FaultUnmapped}
+	}
+	if write && mp.Prot&ProtWrite == 0 {
+		return Translation{}, &Fault{Addr: addr, Write: true, Kind: FaultProtWrite}
+	}
+	if !write && mp.Prot&ProtRead == 0 {
+		return Translation{}, &Fault{Addr: addr, Kind: FaultProtRead}
+	}
+	var t Translation
+	if !mp.Touched {
+		mp.Touched = true
+		t.FirstTouch = true
+	}
+	page := mp.File.Page(mp.FilePage)
+	if mp.Private {
+		if mp.Copied == nil && write {
+			// Implicit COW: writable private page, first write.
+			cp := as.mem.NewAnonPage()
+			copy(cp.Data, page.Data)
+			mp.Copied = cp
+			t.CowCopied = true
+		}
+		if mp.Copied != nil {
+			page = mp.Copied
+			t.Private = true
+		}
+	}
+	off := int(addr % uint64(as.pageSize))
+	t.Page = page
+	t.Offset = off
+	t.Phys = page.PhysID*uint64(as.pageSize) + uint64(off)
+	return t, nil
+}
+
+// Clone returns a copy of the address space, as fork(2) would create: all
+// mappings are duplicated; private COW copies are duplicated eagerly (the
+// caller accounts the cost). Bulk regions are shared by reference since they
+// carry no data.
+func (as *AddrSpace) Clone() *AddrSpace {
+	n := NewAddrSpace(as.mem)
+	for vpn, mp := range as.pages {
+		c := *mp
+		if mp.Copied != nil {
+			cp := as.mem.NewAnonPage()
+			copy(cp.Data, mp.Copied.Data)
+			c.Copied = cp
+		}
+		n.pages[vpn] = &c
+	}
+	n.bulk = append(n.bulk, as.bulk...)
+	return n
+}
+
+// ReadBytes copies n bytes at addr into a new slice, crossing pages as
+// needed. It bypasses protection (runtime/debug use; simulated instructions
+// go through Translate).
+func (as *AddrSpace) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		mp, ok := as.pages[as.vpn(addr+uint64(i))]
+		if !ok {
+			return nil, &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
+		}
+		page := mp.File.Page(mp.FilePage)
+		if mp.Private && mp.Copied != nil {
+			page = mp.Copied
+		}
+		off := int((addr + uint64(i)) % uint64(as.pageSize))
+		c := copy(out[i:], page.Data[off:])
+		i += c
+	}
+	return out, nil
+}
+
+// WriteBytes writes b at addr, crossing pages as needed, bypassing
+// protection (used by setup code, not by simulated instructions).
+func (as *AddrSpace) WriteBytes(addr uint64, b []byte) error {
+	for i := 0; i < len(b); {
+		mp, ok := as.pages[as.vpn(addr+uint64(i))]
+		if !ok {
+			return &Fault{Addr: addr + uint64(i), Write: true, Kind: FaultUnmapped}
+		}
+		page := mp.File.Page(mp.FilePage)
+		if mp.Private && mp.Copied != nil {
+			page = mp.Copied
+		}
+		off := int((addr + uint64(i)) % uint64(as.pageSize))
+		c := copy(page.Data[off:], b[i:])
+		i += c
+	}
+	return nil
+}
+
+// LoadUint reads a little-endian unsigned integer of the given width (1, 2,
+// 4 or 8 bytes) from the translated page. The access must not cross a page
+// boundary.
+func LoadUint(t Translation, size int) uint64 {
+	d := t.Page.Data[t.Offset : t.Offset+size]
+	switch size {
+	case 1:
+		return uint64(d[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(d))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(d))
+	case 8:
+		return binary.LittleEndian.Uint64(d)
+	}
+	panic(fmt.Sprintf("mem: unsupported access size %d", size))
+}
+
+// StoreUint writes a little-endian unsigned integer of the given width into
+// the translated page.
+func StoreUint(t Translation, size int, v uint64) {
+	d := t.Page.Data[t.Offset : t.Offset+size]
+	switch size {
+	case 1:
+		d[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(d, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(d, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(d, v)
+	default:
+		panic(fmt.Sprintf("mem: unsupported access size %d", size))
+	}
+}

@@ -1,0 +1,229 @@
+// Package osim models the slice of a Linux system that TMI depends on:
+// processes and threads, fork with copy-on-write address-space cloning,
+// shared-memory objects, a ptrace facade (attach, stop, context save,
+// call injection, resume) and /proc/<pid>/maps-style address maps.
+//
+// The central operation is ConvertThreadToProcess: the paper's mechanism of
+// stopping a running thread with ptrace, injecting a trampoline that calls
+// fork(), and resuming the clone with the original register state — giving
+// the former thread its own page tables so individual pages can be remapped
+// privately (§3.2). Here the conversion clones the simulated address space
+// and charges the measured sub-200µs cost to the thread's simulated clock.
+package osim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+// Process is a simulated OS process.
+type Process struct {
+	ID      int
+	Space   *mem.AddrSpace
+	Parent  int
+	Threads []*machine.Thread
+}
+
+// OS is the process table and system-call surface.
+type OS struct {
+	Mem    *mem.Memory
+	nextID int
+	procs  map[int]*Process
+}
+
+// New returns an OS over the given physical memory.
+func New(m *mem.Memory) *OS {
+	return &OS{Mem: m, nextID: 1, procs: make(map[int]*Process)}
+}
+
+// NewProcess creates a fresh process with an empty address space.
+func (o *OS) NewProcess() *Process {
+	p := &Process{ID: o.nextID, Space: mem.NewAddrSpace(o.Mem)}
+	o.nextID++
+	o.procs[p.ID] = p
+	return p
+}
+
+// Fork clones p, fork(2)-style: the child gets a copy of the address space
+// (shared mappings stay shared; private COW copies are duplicated).
+func (o *OS) Fork(p *Process) *Process {
+	c := &Process{ID: o.nextID, Space: p.Space.Clone(), Parent: p.ID}
+	o.nextID++
+	o.procs[c.ID] = c
+	return c
+}
+
+// Process looks up a process by ID.
+func (o *OS) Process(id int) *Process { return o.procs[id] }
+
+// Processes returns all live processes in ID order.
+func (o *OS) Processes() []*Process {
+	out := make([]*Process, 0, len(o.procs))
+	for _, p := range o.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ShmOpen creates a named shared-memory object (shm_open analog).
+func (o *OS) ShmOpen(name string) *mem.File { return o.Mem.NewFile(name) }
+
+// Ptrace cost model, in cycles at 3.4 GHz.
+const (
+	// CostPtraceStop is charged to each thread when PM attaches and stops it.
+	CostPtraceStop = 70_000 // ~20µs
+	// CostT2PBase/CostT2PSpan bound the thread-to-process conversion time:
+	// the paper measures 73–179µs per application (Table 3).
+	CostT2PBase = 255_000 // 75µs
+	CostT2PSpan = 357_000 // up to +105µs
+
+	// OneTimeCompression scales one-time costs (ptrace stop, T2P) down to
+	// the reproduction's compressed timescale: runs are ~500x shorter than
+	// the paper's, so a cost paid once per execution is charged at 1/64 to
+	// keep its share of the runtime proportionate. Reported T2P times
+	// (Table 3) remain the uncompressed values.
+	OneTimeCompression = 64
+)
+
+// ThreadContext is the register state ptrace saves around call injection.
+type ThreadContext struct {
+	PC   uint64
+	Regs [16]uint64
+}
+
+// Tracer is the monitoring process PM's handle on the application process
+// PA (Figure 5). It can stop all application threads at a safe point,
+// convert each into its own process, and resume them.
+type Tracer struct {
+	OS  *OS
+	App *Process
+	// T2PCycles records the conversion cost charged per converted thread,
+	// for the Table 3 characterization.
+	T2PCycles []int64
+	stopped   bool
+}
+
+// Attach creates a tracer for app.
+func Attach(o *OS, app *Process) *Tracer { return &Tracer{OS: o, App: app} }
+
+// StopAll brings every application thread to a stop, charging the ptrace
+// attach/stop cost to each. In the simulator threads are always at an
+// instruction boundary when runtime code runs, so the stop is immediate.
+func (tr *Tracer) StopAll() {
+	for _, th := range tr.App.Threads {
+		th.AddCost(CostPtraceStop / OneTimeCompression)
+	}
+	tr.stopped = true
+}
+
+// Stopped reports whether StopAll has been called without a ResumeAll.
+func (tr *Tracer) Stopped() bool { return tr.stopped }
+
+// SaveContext captures a thread's context (modeled; the simulator does not
+// carry real registers, but the protocol and its costs are preserved).
+func (tr *Tracer) SaveContext(th *machine.Thread) ThreadContext {
+	return ThreadContext{PC: 0, Regs: [16]uint64{uint64(th.ID)}}
+}
+
+// ConvertThreadToProcess performs the TMI trampoline: with the thread
+// stopped, inject fork(), move the thread into the new child process with
+// its context restored, and charge the measured conversion cost. The new
+// process initially shares every mapping with the parent, so execution
+// resumes with identical memory contents.
+func (tr *Tracer) ConvertThreadToProcess(th *machine.Thread) (*Process, error) {
+	if !tr.stopped {
+		return nil, fmt.Errorf("osim: convert requires stopped threads")
+	}
+	ctx := tr.SaveContext(th)
+	child := tr.OS.Fork(tr.App)
+	child.Threads = []*machine.Thread{th}
+	// Remove the thread from the application process.
+	for i, t := range tr.App.Threads {
+		if t == th {
+			tr.App.Threads = append(tr.App.Threads[:i], tr.App.Threads[i+1:]...)
+			break
+		}
+	}
+	th.SetSpace(child.Space)
+	cost := CostT2PBase + th.Rand().Int63n(CostT2PSpan)
+	th.AddCost(cost / OneTimeCompression)
+	tr.T2PCycles = append(tr.T2PCycles, cost)
+	_ = ctx // context restore: execution continues at the same point
+	return child, nil
+}
+
+// ResumeAll detaches and lets the application run again.
+func (tr *Tracer) ResumeAll() { tr.stopped = false }
+
+// RegionKind classifies address-map regions for detector filtering.
+type RegionKind uint8
+
+// Address-map region kinds.
+const (
+	RegionHeap RegionKind = iota
+	RegionGlobals
+	RegionStack
+	RegionLib
+	RegionCode
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionHeap:
+		return "heap"
+	case RegionGlobals:
+		return "globals"
+	case RegionStack:
+		return "stack"
+	case RegionLib:
+		return "lib"
+	case RegionCode:
+		return "code"
+	}
+	return "?"
+}
+
+// MapEntry is one /proc/<pid>/maps line.
+type MapEntry struct {
+	Start, End uint64
+	Kind       RegionKind
+	Label      string
+}
+
+// AddressMap is the process memory map the detector consults to restrict
+// detection to the heap and globals (paper §3.1).
+type AddressMap struct {
+	entries []MapEntry
+}
+
+// AddRegion appends a region; regions must not overlap.
+func (am *AddressMap) AddRegion(start, end uint64, kind RegionKind, label string) {
+	am.entries = append(am.entries, MapEntry{start, end, kind, label})
+	sort.Slice(am.entries, func(i, j int) bool { return am.entries[i].Start < am.entries[j].Start })
+}
+
+// Lookup returns the region containing addr.
+func (am *AddressMap) Lookup(addr uint64) (MapEntry, bool) {
+	i := sort.Search(len(am.entries), func(i int) bool { return am.entries[i].End > addr })
+	if i < len(am.entries) && am.entries[i].Start <= addr {
+		return am.entries[i], true
+	}
+	return MapEntry{}, false
+}
+
+// Monitorable reports whether the detector should consider addr: heap and
+// globals are monitored; stacks and system libraries are filtered out.
+func (am *AddressMap) Monitorable(addr uint64) bool {
+	e, ok := am.Lookup(addr)
+	if !ok {
+		return false
+	}
+	return e.Kind == RegionHeap || e.Kind == RegionGlobals
+}
+
+// Entries returns the map in address order.
+func (am *AddressMap) Entries() []MapEntry { return am.entries }

@@ -1,0 +1,119 @@
+package osim
+
+import (
+	"testing"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+func TestForkSharesAndIsolates(t *testing.T) {
+	m := mem.NewMemory(mem.PageSize4K)
+	o := New(m)
+	p := o.NewProcess()
+	f := o.ShmOpen("app")
+	p.Space.Map(0x1000_0000, 2, f, 0, false, mem.ProtRW)
+	tr, _ := p.Space.Translate(0x1000_0000, true)
+	mem.StoreUint(tr, 8, 41)
+
+	c := o.Fork(p)
+	if c.Parent != p.ID {
+		t.Errorf("child parent %d, want %d", c.Parent, p.ID)
+	}
+	ct, _ := c.Space.Translate(0x1000_0000, false)
+	if mem.LoadUint(ct, 8) != 41 {
+		t.Error("child must see parent's shared data")
+	}
+	// Shared mapping: writes remain visible both ways.
+	ct2, _ := c.Space.Translate(0x1000_0000, true)
+	mem.StoreUint(ct2, 8, 42)
+	pt, _ := p.Space.Translate(0x1000_0000, false)
+	if mem.LoadUint(pt, 8) != 42 {
+		t.Error("shared mapping should stay shared across fork")
+	}
+}
+
+func TestConvertThreadToProcess(t *testing.T) {
+	m := mem.NewMemory(mem.PageSize4K)
+	o := New(m)
+	app := o.NewProcess()
+	f := o.ShmOpen("app")
+	app.Space.Map(0x1000_0000, 4, f, 0, false, mem.ProtRW)
+
+	mc := machine.New(machine.Config{Cores: 2, Seed: 3, Mem: m})
+	for _, th := range mc.Threads() {
+		th.SetSpace(app.Space)
+		app.Threads = append(app.Threads, th)
+	}
+	tr := Attach(o, app)
+	if _, err := tr.ConvertThreadToProcess(mc.Thread(0)); err == nil {
+		t.Fatal("convert without stop should fail")
+	}
+	tr.StopAll()
+	before := mc.Thread(1).Clock()
+	if before < CostPtraceStop/OneTimeCompression {
+		t.Error("stop cost not charged")
+	}
+	p1, err := tr.ConvertThreadToProcess(mc.Thread(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Thread(1).Space() != p1.Space {
+		t.Error("converted thread should run in the child's space")
+	}
+	if len(app.Threads) != 1 {
+		t.Errorf("app should keep 1 thread, has %d", len(app.Threads))
+	}
+	charged := mc.Thread(1).Clock() - before
+	if charged < CostT2PBase/OneTimeCompression || charged > (CostT2PBase+CostT2PSpan)/OneTimeCompression {
+		t.Errorf("charged T2P cost %d outside compressed range", charged)
+	}
+	if len(tr.T2PCycles) != 1 {
+		t.Fatal("T2P cost not recorded")
+	}
+	if rec := tr.T2PCycles[0]; rec < CostT2PBase || rec > CostT2PBase+CostT2PSpan {
+		t.Errorf("recorded T2P cost %d outside [%d,%d]", rec, CostT2PBase, CostT2PBase+CostT2PSpan)
+	}
+	tr.ResumeAll()
+	if tr.Stopped() {
+		t.Error("resume should clear stopped")
+	}
+	// Per-page protection in the child must not affect the parent space.
+	if err := p1.Space.Protect(0x1000_0000, 1, true, mem.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := app.Space.Translate(0x1000_0000, true); fault != nil {
+		t.Error("parent space must stay writable")
+	}
+}
+
+func TestAddressMapFiltering(t *testing.T) {
+	var am AddressMap
+	am.AddRegion(0x0040_0000, 0x0050_0000, RegionCode, "text")
+	am.AddRegion(0x1000_0000, 0x2000_0000, RegionHeap, "heap")
+	am.AddRegion(0x2000_0000, 0x2100_0000, RegionGlobals, "bss")
+	am.AddRegion(0x7f00_0000, 0x7f10_0000, RegionLib, "libc")
+	am.AddRegion(0x7fff_0000, 0x8000_0000, RegionStack, "stack0")
+
+	cases := []struct {
+		addr uint64
+		want bool
+	}{
+		{0x1000_0040, true},  // heap
+		{0x2000_0010, true},  // globals
+		{0x7f00_0abc, false}, // libc filtered
+		{0x7fff_1234, false}, // stack filtered
+		{0x6000_0000, false}, // unmapped
+		{0x0040_0004, false}, // code
+		{0x1fff_ffff, true},  // heap upper edge
+		{0x2100_0000, false}, // just past globals
+	}
+	for _, c := range cases {
+		if got := am.Monitorable(c.addr); got != c.want {
+			t.Errorf("Monitorable(0x%x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+	if e, ok := am.Lookup(0x7f00_0abc); !ok || e.Kind != RegionLib {
+		t.Error("Lookup should find libc region")
+	}
+}

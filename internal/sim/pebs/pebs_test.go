@@ -1,0 +1,105 @@
+package pebs
+
+import "testing"
+
+func TestPeriodControlsRecordRate(t *testing.T) {
+	recordsAt := func(period int) uint64 {
+		s := NewSampler(1, period, 1)
+		for i := 0; i < 10_000; i++ {
+			s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, int64(i))
+			s.Buffer(0).Drain() // keep the buffer from overflowing
+		}
+		return s.RecordsEmitted
+	}
+	r1 := recordsAt(1)
+	r100 := recordsAt(100)
+	if r1 != 10_000 {
+		t.Errorf("period 1: %d records, want 10000", r1)
+	}
+	if r100 != 100 {
+		t.Errorf("period 100: %d records, want 100", r100)
+	}
+}
+
+func TestStoresUnderReport(t *testing.T) {
+	s := NewSampler(1, 1, 42)
+	for i := 0; i < 10_000; i++ {
+		s.OnHITM(0, 0, 0x400000, 0x1000, 8, true, int64(i))
+		s.Buffer(0).Drain()
+	}
+	got := float64(s.RecordsEmitted) / 10_000
+	if got < StoreCaptureRate-0.05 || got > StoreCaptureRate+0.05 {
+		t.Errorf("store capture rate %.3f, want ~%.2f", got, StoreCaptureRate)
+	}
+}
+
+func TestAssistCostCharged(t *testing.T) {
+	s := NewSampler(1, 10, 1)
+	var total int64
+	for i := 0; i < 100; i++ {
+		total += s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, int64(i))
+	}
+	if total != 10*CostAssist {
+		t.Errorf("cost %d, want %d", total, 10*CostAssist)
+	}
+}
+
+func TestBufferOverflowDropsAndInterrupts(t *testing.T) {
+	s := NewSampler(1, 1, 1)
+	var cost int64
+	for i := 0; i < BufferRecords+50; i++ {
+		cost += s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, int64(i))
+	}
+	b := s.Buffer(0)
+	if b.Len() != BufferRecords {
+		t.Errorf("buffer holds %d, want %d", b.Len(), BufferRecords)
+	}
+	if b.Dropped != 50 {
+		t.Errorf("dropped %d, want 50", b.Dropped)
+	}
+	if s.InterruptsTaken != 1 {
+		t.Errorf("interrupts %d, want 1", s.InterruptsTaken)
+	}
+	if cost != int64(BufferRecords+50)*CostAssist+CostInterrupt {
+		t.Errorf("unexpected total cost %d", cost)
+	}
+	recs := b.Drain()
+	if len(recs) != BufferRecords || b.Len() != 0 {
+		t.Error("drain should empty the buffer")
+	}
+	if recs[0].PC != 0x400000 || recs[0].TID != 0 {
+		t.Errorf("record contents: %+v", recs[0])
+	}
+}
+
+func TestDisabledSamplerIsFree(t *testing.T) {
+	s := NewSampler(1, 1, 1)
+	s.SetEnabled(false)
+	if c := s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, 0); c != 0 {
+		t.Errorf("disabled sampler charged %d", c)
+	}
+	if s.EventsSeen != 0 || s.RecordsEmitted != 0 {
+		t.Error("disabled sampler should record nothing")
+	}
+}
+
+func TestAddressSkidStaysNearAccess(t *testing.T) {
+	s := NewSampler(1, 1, 7)
+	const addr, size = 0x2000, 8
+	skids := 0
+	for i := 0; i < 5000; i++ {
+		s.OnHITM(0, 0, 0x400000, addr, size, false, int64(i))
+	}
+	for _, r := range s.Buffer(0).Drain() {
+		switch r.Addr {
+		case addr:
+		case addr - size, addr + size:
+			skids++
+		default:
+			t.Fatalf("skid outside one access step: 0x%x", r.Addr)
+		}
+	}
+	if skids == 0 {
+		t.Error("expected some address skid")
+	}
+}

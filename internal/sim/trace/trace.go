@@ -1,0 +1,162 @@
+// Package trace records structured runtime events — synchronization
+// operations, consistency-region boundaries, PTSB faults and commits,
+// detector ticks and repair actions — into a bounded in-memory buffer, and
+// summarizes them per thread and per kind.
+//
+// It is the observability layer behind cmd/tmitrace: where Report.Events
+// keeps a short human-readable lifecycle log, the tracer captures every
+// instance with timestamps, cheap enough to leave on for whole runs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindSync Kind = iota // lock/unlock/barrier boundary (PTSB commit point)
+	KindRegionEnter
+	KindRegionExit
+	KindTwinFault
+	KindCommit
+	KindDetectTick
+	KindRepair
+	KindTeardown
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSync:
+		return "sync"
+	case KindRegionEnter:
+		return "region-enter"
+	case KindRegionExit:
+		return "region-exit"
+	case KindTwinFault:
+		return "twin-fault"
+	case KindCommit:
+		return "commit"
+	case KindDetectTick:
+		return "detect-tick"
+	case KindRepair:
+		return "repair"
+	case KindTeardown:
+		return "teardown"
+	}
+	return "?"
+}
+
+// Event is one traced occurrence. Arg's meaning depends on the kind (page
+// address for faults/repairs, region kind for regions, cycle cost for
+// commits).
+type Event struct {
+	At   int64 // simulated cycles
+	TID  int   // -1 for runtime-level events
+	Kind Kind
+	Arg  uint64
+}
+
+// Recorder buffers events up to a capacity; beyond it, events are counted
+// but not stored.
+type Recorder struct {
+	cap     int
+	events  []Event
+	Dropped uint64
+	counts  [numKinds]uint64
+	byTID   map[int]*[numKinds]uint64
+}
+
+// NewRecorder creates a recorder holding at most capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Recorder{cap: capacity, byTID: make(map[int]*[numKinds]uint64)}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(at int64, tid int, kind Kind, arg uint64) {
+	r.counts[kind]++
+	per := r.byTID[tid]
+	if per == nil {
+		per = &[numKinds]uint64{}
+		r.byTID[tid] = per
+	}
+	per[kind]++
+	if len(r.events) >= r.cap {
+		r.Dropped++
+		return
+	}
+	r.events = append(r.events, Event{At: at, TID: tid, Kind: kind, Arg: arg})
+}
+
+// Events returns the stored events in record order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Count reports how many events of kind were recorded (including dropped).
+func (r *Recorder) Count(kind Kind) uint64 { return r.counts[kind] }
+
+// Summary renders per-kind totals and a per-thread breakdown.
+func (r *Recorder) Summary(clockHz float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s\n", "event", "count")
+	for k := Kind(0); k < numKinds; k++ {
+		if r.counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %10d\n", k, r.counts[k])
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d events beyond the %d-event buffer were counted but not stored)\n", r.Dropped, r.cap)
+	}
+	tids := make([]int, 0, len(r.byTID))
+	for tid := range r.byTID {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		per := r.byTID[tid]
+		var parts []string
+		for k := Kind(0); k < numKinds; k++ {
+			if per[k] > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", k, per[k]))
+			}
+		}
+		who := fmt.Sprintf("thread %d", tid)
+		if tid < 0 {
+			who = "runtime"
+		}
+		fmt.Fprintf(&b, "  %-10s %s\n", who, strings.Join(parts, " "))
+	}
+	if len(r.events) > 0 && clockHz > 0 {
+		first, last := r.events[0].At, r.events[len(r.events)-1].At
+		fmt.Fprintf(&b, "window: %.3f ms .. %.3f ms\n", float64(first)/clockHz*1e3, float64(last)/clockHz*1e3)
+	}
+	return b.String()
+}
+
+// Format renders one event for the dump listing.
+func (e Event) Format(clockHz float64) string {
+	who := fmt.Sprintf("t%d", e.TID)
+	if e.TID < 0 {
+		who = "rt"
+	}
+	detail := ""
+	switch e.Kind {
+	case KindTwinFault, KindRepair, KindTeardown:
+		detail = fmt.Sprintf(" page=0x%x", e.Arg)
+	case KindCommit:
+		detail = fmt.Sprintf(" cost=%d", e.Arg)
+	case KindRegionEnter, KindRegionExit:
+		detail = fmt.Sprintf(" kind=%d", e.Arg)
+	case KindDetectTick:
+		detail = fmt.Sprintf(" records=%d", e.Arg)
+	}
+	return fmt.Sprintf("%10.4fms %-3s %-13s%s", float64(e.At)/clockHz*1e3, who, e.Kind, detail)
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCountsAndStores(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(int64(i*100), i%2, KindSync, 0)
+	}
+	r.Record(700, -1, KindRepair, 0x1000)
+	if got := r.Count(KindSync); got != 6 {
+		t.Errorf("sync count %d, want 6", got)
+	}
+	if got := r.Count(KindRepair); got != 1 {
+		t.Errorf("repair count %d, want 1", got)
+	}
+	if len(r.Events()) != 4 {
+		t.Errorf("stored %d events, want capacity 4", len(r.Events()))
+	}
+	if r.Dropped != 3 {
+		t.Errorf("dropped %d, want 3", r.Dropped)
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	r := NewRecorder(100)
+	r.Record(3400, 0, KindSync, 0)
+	r.Record(6800, 0, KindCommit, 900)
+	r.Record(10200, -1, KindDetectTick, 42)
+	s := r.Summary(3.4e9)
+	for _, want := range []string{"sync", "commit", "detect-tick", "thread 0", "runtime", "window:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEventFormat(t *testing.T) {
+	e := Event{At: 3_400_000, TID: 2, Kind: KindTwinFault, Arg: 0x10002000}
+	s := e.Format(3.4e9)
+	for _, want := range []string{"1.0000ms", "t2", "twin-fault", "0x10002000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("format missing %q: %s", want, s)
+		}
+	}
+	rt := Event{At: 0, TID: -1, Kind: KindDetectTick, Arg: 7}
+	if !strings.Contains(rt.Format(3.4e9), "rt") {
+		t.Error("runtime events format as rt")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d lacks a name", k)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package tmi_test
+
+import (
+	"testing"
+
+	"repro/tmi"
+)
+
+// The adaptive-period extension automates Figure 4's tradeoff: starting at
+// period 1 on a workload with persistent true sharing (so sampling load
+// never stops), the detection thread must back the period off within a few
+// intervals, recovering most of the assist cost of static period 1.
+func TestAdaptivePeriodBacksOffUnderLoad(t *testing.T) {
+	rep := run(t, "leveldb-clean", tmi.Config{System: tmi.TMIDetect, HugePages: true, Period: 1, AdaptivePeriod: true})
+	if !rep.Validated {
+		t.Fatal(rep.ValidationErr)
+	}
+	p, adapted := rep.Notes["adaptive.period"]
+	if !adapted || p <= 1 {
+		t.Fatalf("period should have been raised from 1, got %v (adapted=%v)", p, adapted)
+	}
+	static := run(t, "leveldb-clean", tmi.Config{System: tmi.TMIDetect, HugePages: true, Period: 1})
+	if rep.SimSeconds >= static.SimSeconds {
+		t.Errorf("adaptive (%.3fms) should beat static period 1 (%.3fms)",
+			rep.SimSeconds*1e3, static.SimSeconds*1e3)
+	}
+}
+
+// On a quiet workload the adaptive detector sharpens (lowers) the period to
+// regain sampling resolution, without measurable cost.
+func TestAdaptivePeriodSharpensWhenQuiet(t *testing.T) {
+	rep := run(t, "leveldb-clean", tmi.Config{System: tmi.TMIDetect, HugePages: true, Period: 1000, AdaptivePeriod: true})
+	if !rep.Validated {
+		t.Fatal(rep.ValidationErr)
+	}
+	if p, adapted := rep.Notes["adaptive.period"]; !adapted || p >= 1000 {
+		t.Errorf("period should have been lowered from 1000, got %v (adapted=%v)", p, adapted)
+	}
+}

@@ -1,0 +1,71 @@
+package tmi_test
+
+import (
+	"testing"
+
+	"repro/tmi"
+	"repro/tmi/workloads"
+)
+
+// TestSystemWorkloadMatrix sweeps every compatible (system, workload) pair
+// over the repair suite and asserts the correctness contract of each
+// system: TMI, LASER and Plastic always preserve semantics; the pthreads
+// baseline trivially does; Sheriff preserves them exactly when the workload
+// uses neither atomics nor assembly (Lemma 3.1 plus its known gaps).
+func TestSystemWorkloadMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep is slow")
+	}
+	systems := []tmi.System{tmi.Pthreads, tmi.TMIProtect, tmi.LASER, tmi.Plastic}
+	for _, w := range workloads.FSSuite() {
+		name := w.Name()
+		for _, sys := range systems {
+			sys := sys
+			t.Run(name+"/"+sys.String(), func(t *testing.T) {
+				wl, err := workloads.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := tmi.Run(wl, tmi.Config{System: sys, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Hung {
+					t.Fatalf("hung: %s", rep.HangReason)
+				}
+				if !rep.Validated {
+					t.Fatalf("%s corrupted %s: %s", sys, name, rep.ValidationErr)
+				}
+			})
+		}
+	}
+}
+
+// TestSheriffMatrixContract: on the suite members Sheriff can run, it is
+// correct exactly when the workload avoids atomics and assembly.
+func TestSheriffMatrixContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep is slow")
+	}
+	for _, w := range workloads.Suite() {
+		name := w.Name()
+		info := w.Info()
+		t.Run(name, func(t *testing.T) {
+			wl, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := tmi.Run(wl, tmi.Config{System: tmi.SheriffProtect, Seed: 7})
+			if err != nil {
+				return // incompatible: acceptable for any workload
+			}
+			usesUnsafe := info.UsesAtomics || info.UsesAsm
+			if !usesUnsafe && !(rep.Validated || rep.Hung) {
+				t.Errorf("Sheriff corrupted a plain-C workload: %s", rep.ValidationErr)
+			}
+			if usesUnsafe && rep.Validated {
+				t.Errorf("Sheriff unexpectedly preserved atomics/asm semantics on %s", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package tmi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+)
+
+// phased is a two-phase workload: a heavy false-sharing phase followed by a
+// long private-compute phase. With the teardown extension, TMI should
+// repair during phase one and withdraw the repair once the page goes quiet.
+type phased struct {
+	fsIters, quietIters int
+
+	counters uint64
+	bar      workload.Barrier
+	inc      workload.Site
+}
+
+func (p *phased) Name() string { return "phased" }
+
+func (p *phased) Info() workload.Info {
+	return workload.Info{Threads: 4, HasFalseSharing: true, Desc: "FS phase then quiet phase"}
+}
+
+func (p *phased) Setup(env workload.Env) error {
+	p.counters = env.Alloc(8*env.Threads(), 64)
+	p.bar = env.NewBarrier("phased.bar", env.Threads())
+	p.inc = env.Site("phased.inc", workload.SiteStore, 8)
+	return nil
+}
+
+func (p *phased) Body(t workload.Thread) {
+	mine := p.counters + uint64(t.ID())*8
+	for i := 0; i < p.fsIters; i++ {
+		t.Store(p.inc, mine, uint64(i+1))
+		t.Work(30)
+	}
+	t.Wait(p.bar) // phase boundary: commits everyone's counters
+	for i := 0; i < p.quietIters; i++ {
+		t.Work(400)
+		if i%500 == 499 {
+			t.Wait(p.bar) // periodic sync keeps commits (empty) flowing
+		}
+	}
+	t.Wait(p.bar)
+}
+
+func (p *phased) Validate(env workload.Env) error {
+	for tid := 0; tid < env.Threads(); tid++ {
+		if got := env.Load(p.counters+uint64(tid)*8, 8); got != uint64(p.fsIters) {
+			return fmt.Errorf("phased: thread %d counter %d, want %d", tid, got, p.fsIters)
+		}
+	}
+	return nil
+}
+
+func TestTeardownUnrepairsQuietPage(t *testing.T) {
+	w := &phased{fsIters: 8000, quietIters: 12_000}
+	rep, err := tmi.Run(w, tmi.Config{System: tmi.TMIProtect, TeardownIdleIntervals: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Validated {
+		t.Fatalf("teardown corrupted the counters: %s", rep.ValidationErr)
+	}
+	if !rep.Repaired {
+		t.Fatal("phase one should have triggered repair")
+	}
+	if rep.Notes["teardown.pages"] < 1 {
+		t.Error("the quiet page should have been un-repaired")
+	}
+	if rep.PagesProtected == 0 {
+		t.Error("PagesProtected counts lifetime arming")
+	}
+}
+
+func TestNoTeardownWhileContended(t *testing.T) {
+	// Without a quiet phase the page keeps merging bytes: no teardown.
+	w := &phased{fsIters: 20_000, quietIters: 0}
+	rep, err := tmi.Run(w, tmi.Config{System: tmi.TMIProtect, TeardownIdleIntervals: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Validated {
+		t.Fatal(rep.ValidationErr)
+	}
+	if rep.Notes["teardown.pages"] != 0 {
+		t.Error("an actively repaired page must not be torn down")
+	}
+}
+
+func TestTeardownOffByDefault(t *testing.T) {
+	w := &phased{fsIters: 8000, quietIters: 12_000}
+	rep, err := tmi.Run(w, tmi.Config{System: tmi.TMIProtect, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Notes["teardown.pages"] != 0 {
+		t.Error("teardown must be opt-in (the paper's behavior)")
+	}
+}

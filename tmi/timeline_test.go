@@ -1,0 +1,66 @@
+package tmi_test
+
+import (
+	"testing"
+
+	"repro/tmi"
+)
+
+// The timeline must make the repair visible: the HITM rate after the page
+// is armed collapses relative to the peak before it.
+func TestTimelineShowsRepairCliff(t *testing.T) {
+	rep := run(t, "histogramfs", tmi.Config{System: tmi.TMIProtect})
+	if len(rep.Timeline) < 4 {
+		t.Fatalf("timeline too short: %d points", len(rep.Timeline))
+	}
+	var peakBefore, lastAfter float64
+	repairSeen := false
+	for _, p := range rep.Timeline {
+		if p.PagesProtected == 0 {
+			if p.HITMPerSec > peakBefore {
+				peakBefore = p.HITMPerSec
+			}
+		} else {
+			repairSeen = true
+			lastAfter = p.HITMPerSec
+		}
+	}
+	if !repairSeen {
+		t.Fatal("timeline never shows a protected page")
+	}
+	if peakBefore == 0 || lastAfter > peakBefore/10 {
+		t.Errorf("no repair cliff: peak %.0f HITM/s before, %.0f after", peakBefore, lastAfter)
+	}
+	// Times are ordered and within the run.
+	for i := 1; i < len(rep.Timeline); i++ {
+		if rep.Timeline[i].AtSec <= rep.Timeline[i-1].AtSec {
+			t.Fatal("timeline not monotonically ordered")
+		}
+	}
+	if last := rep.Timeline[len(rep.Timeline)-1].AtSec; last > rep.SimSeconds {
+		t.Errorf("timeline point at %f past the run end %f", last, rep.SimSeconds)
+	}
+}
+
+// Unmonitored runs carry no timeline.
+func TestTimelineOnlyWhenMonitoring(t *testing.T) {
+	rep := run(t, "histogramfs", tmi.Config{System: tmi.Pthreads})
+	if len(rep.Timeline) != 0 {
+		t.Error("the baseline has no detection thread and no timeline")
+	}
+}
+
+// Tracing is opt-in and captures the repair lifecycle.
+func TestTracerCapturesLifecycle(t *testing.T) {
+	rep := run(t, "histogramfs", tmi.Config{System: tmi.TMIProtect, Trace: true})
+	if rep.Tracer == nil {
+		t.Fatal("trace requested but absent")
+	}
+	if rep.Tracer.Count(0) == 0 { // KindSync
+		t.Error("no sync events traced")
+	}
+	off := run(t, "histogramfs", tmi.Config{System: tmi.TMIProtect})
+	if off.Tracer != nil {
+		t.Error("tracing must be opt-in")
+	}
+}

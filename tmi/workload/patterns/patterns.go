@@ -1,0 +1,293 @@
+// Package patterns is a small builder library over tmi/workload for
+// assembling custom benchmarks from the memory-sharing idioms this
+// reproduction (and the false sharing literature) deals in: per-thread
+// counter blocks (packed or padded), shared atomic words, lock-protected
+// slots, streamed bulk inputs and private scratch arrays.
+//
+// A Builder collects resources and a per-thread body; Build returns a
+// workload.Workload whose Setup allocates every resource, whose Body runs
+// the user function against resolved handles, and whose Validate checks the
+// invariants each resource carries (per-thread counters hold their final
+// value, shared words hold the exact sum of adds).
+//
+//	b := patterns.New("mybench", 4)
+//	stats := b.Counters("stats", 3, patterns.Packed)
+//	refs := b.SharedWord("refcount")
+//	b.Body(func(t workload.Thread, r *patterns.Resources) {
+//	    for i := 0; i < 10_000; i++ {
+//	        r.Inc(stats, t, i%3)
+//	        if i%16 == 0 {
+//	            r.Add(refs, t, 1, workload.Relaxed)
+//	        }
+//	        t.Work(50)
+//	    }
+//	})
+//	w := b.Build()
+package patterns
+
+import (
+	"fmt"
+
+	"repro/tmi/workload"
+)
+
+// Layout selects counter-block placement.
+type Layout int
+
+// Layouts.
+const (
+	// Packed places per-thread blocks back to back — the false sharing bug.
+	Packed Layout = iota
+	// Padded gives each thread's block its own cache line — the manual fix.
+	Padded
+)
+
+// CountersHandle identifies a Counters resource.
+type CountersHandle int
+
+// WordHandle identifies a SharedWord resource.
+type WordHandle int
+
+// BulkHandle identifies a Bulk resource.
+type BulkHandle int
+
+// ScratchHandle identifies a PrivateScratch resource.
+type ScratchHandle int
+
+type countersSpec struct {
+	name      string
+	perThread int
+	layout    Layout
+}
+
+type bulkSpec struct {
+	name string
+	mb   int
+}
+
+type scratchSpec struct {
+	name  string
+	bytes int
+}
+
+// Builder accumulates a workload definition.
+type Builder struct {
+	name    string
+	threads int
+	info    workload.Info
+
+	counters []countersSpec
+	words    []string
+	bulks    []bulkSpec
+	scratch  []scratchSpec
+	mutexes  []string
+
+	body     func(t workload.Thread, r *Resources)
+	validate func(env workload.Env, r *Resources) error
+}
+
+// New starts a workload definition.
+func New(name string, threads int) *Builder {
+	return &Builder{name: name, threads: threads, info: workload.Info{Threads: threads, Desc: "patterns-built workload"}}
+}
+
+// Info overrides the workload metadata (threads from New still apply if the
+// override leaves Threads zero).
+func (b *Builder) Info(info workload.Info) *Builder {
+	if info.Threads == 0 {
+		info.Threads = b.threads
+	}
+	b.info = info
+	return b
+}
+
+// Counters declares a per-thread block of 8-byte counters.
+func (b *Builder) Counters(name string, perThread int, layout Layout) CountersHandle {
+	b.counters = append(b.counters, countersSpec{name, perThread, layout})
+	if layout == Packed {
+		b.info.HasFalseSharing = true
+	}
+	return CountersHandle(len(b.counters) - 1)
+}
+
+// SharedWord declares one atomically-updated 8-byte word on its own line
+// (true sharing).
+func (b *Builder) SharedWord(name string) WordHandle {
+	b.words = append(b.words, name)
+	return WordHandle(len(b.words) - 1)
+}
+
+// Bulk declares mb megabytes of streamed input data.
+func (b *Builder) Bulk(name string, mb int) BulkHandle {
+	b.bulks = append(b.bulks, bulkSpec{name, mb})
+	if b.info.FootprintMB < mb {
+		b.info.FootprintMB = mb
+	}
+	return BulkHandle(len(b.bulks) - 1)
+}
+
+// PrivateScratch declares a padded per-thread array of the given size.
+func (b *Builder) PrivateScratch(name string, bytes int) ScratchHandle {
+	b.scratch = append(b.scratch, scratchSpec{name, bytes})
+	return ScratchHandle(len(b.scratch) - 1)
+}
+
+// Mutex declares a named lock available to the body via Resources.Lock.
+func (b *Builder) Mutex(name string) int {
+	b.mutexes = append(b.mutexes, name)
+	return len(b.mutexes) - 1
+}
+
+// Body installs the per-thread function.
+func (b *Builder) Body(fn func(t workload.Thread, r *Resources)) *Builder {
+	b.body = fn
+	return b
+}
+
+// Validate installs an extra validation function (the built-in resource
+// invariants always run).
+func (b *Builder) Validate(fn func(env workload.Env, r *Resources) error) *Builder {
+	b.validate = fn
+	return b
+}
+
+// Build finalizes the workload.
+func (b *Builder) Build() workload.Workload {
+	if b.body == nil {
+		panic("patterns: Build without Body")
+	}
+	return &built{def: b}
+}
+
+// Resources resolves handles to simulated addresses at run time.
+type Resources struct {
+	def *Builder
+
+	counterBase   []uint64
+	counterStride []uint64
+	wordAddr      []uint64
+	bulkBase      []uint64
+	scratchBase   []uint64
+	mutexes       []workload.Mutex
+	bar           workload.Barrier
+
+	sInc, sAdd, sStream, sScratch workload.Site
+
+	// expected tracks per-(handle,tid,idx) final counter values and per-word
+	// add totals for validation.
+	counterFinal map[[3]int]uint64
+	wordTotal    []uint64
+}
+
+// Inc stores v+1-style monotonic values: it writes iteration i+1 into the
+// counter so validation can check the exact final value.
+func (r *Resources) Inc(h CountersHandle, t workload.Thread, idx int) {
+	addr := r.CounterAddr(h, t.ID(), idx)
+	key := [3]int{int(h), t.ID(), idx}
+	r.counterFinal[key]++
+	t.Store(r.sInc, addr, r.counterFinal[key])
+}
+
+// CounterAddr resolves a counter's address.
+func (r *Resources) CounterAddr(h CountersHandle, tid, idx int) uint64 {
+	return r.counterBase[h] + uint64(tid)*r.counterStride[h] + uint64(idx)*8
+}
+
+// Add atomically adds to a shared word.
+func (r *Resources) Add(h WordHandle, t workload.Thread, delta uint64, order workload.MemOrder) {
+	r.wordTotal[h] += delta
+	t.AtomicAdd(r.sAdd, r.wordAddr[h], delta, order)
+}
+
+// Stream sweeps n bytes of the bulk resource starting at offset off.
+func (r *Resources) Stream(h BulkHandle, t workload.Thread, off, n int64) {
+	t.Stream(r.sStream, r.bulkBase[h]+uint64(off), n, false)
+}
+
+// ScratchWrite stores into the thread's private scratch at byte offset off
+// (8-byte aligned).
+func (r *Resources) ScratchWrite(h ScratchHandle, t workload.Thread, off int, v uint64) {
+	base := r.scratchBase[h] + uint64(t.ID())*uint64(r.def.scratch[h].bytes)
+	t.Store(r.sScratch, base+uint64(off)&^7, v)
+}
+
+// Lock and Unlock operate on a declared mutex.
+func (r *Resources) Lock(i int, t workload.Thread)   { t.Lock(r.mutexes[i]) }
+func (r *Resources) Unlock(i int, t workload.Thread) { t.Unlock(r.mutexes[i]) }
+
+// Barrier blocks until every thread arrives.
+func (r *Resources) Barrier(t workload.Thread) { t.Wait(r.bar) }
+
+// built adapts a Builder to workload.Workload.
+type built struct {
+	def *Builder
+	res *Resources
+}
+
+var _ workload.Workload = (*built)(nil)
+
+func (w *built) Name() string        { return w.def.name }
+func (w *built) Info() workload.Info { return w.def.info }
+
+func (w *built) Setup(env workload.Env) error {
+	d := w.def
+	r := &Resources{def: d, counterFinal: make(map[[3]int]uint64)}
+	for _, c := range d.counters {
+		stride := uint64(c.perThread * 8)
+		if c.layout == Padded {
+			if stride < 64 {
+				stride = 64
+			} else {
+				stride = (stride + 63) &^ 63
+			}
+		}
+		r.counterBase = append(r.counterBase, env.Alloc(int(stride)*d.threads, 8))
+		r.counterStride = append(r.counterStride, stride)
+	}
+	for range d.words {
+		r.wordAddr = append(r.wordAddr, env.Alloc(8, 64))
+	}
+	r.wordTotal = make([]uint64, len(d.words))
+	for _, bs := range d.bulks {
+		r.bulkBase = append(r.bulkBase, env.AllocBulk(int64(bs.mb)<<20))
+	}
+	for _, ss := range d.scratch {
+		r.scratchBase = append(r.scratchBase, env.Alloc(ss.bytes*d.threads, 64))
+	}
+	for _, name := range d.mutexes {
+		r.mutexes = append(r.mutexes, env.NewMutex(d.name+"."+name))
+	}
+	r.bar = env.NewBarrier(d.name+".done", d.threads)
+	r.sInc = env.Site(d.name+".counter_inc", workload.SiteStore, 8)
+	r.sAdd = env.Site(d.name+".word_add", workload.SiteAtomic, 8)
+	r.sStream = env.Site(d.name+".stream", workload.SiteLoad, 8)
+	r.sScratch = env.Site(d.name+".scratch", workload.SiteStore, 8)
+	w.res = r
+	return nil
+}
+
+func (w *built) Body(t workload.Thread) {
+	w.def.body(t, w.res)
+	w.res.Barrier(t)
+}
+
+func (w *built) Validate(env workload.Env) error {
+	r := w.res
+	for key, want := range r.counterFinal {
+		h, tid, idx := CountersHandle(key[0]), key[1], key[2]
+		if got := env.Load(r.CounterAddr(h, tid, idx), 8); got != want {
+			return fmt.Errorf("%s: counters[%d] thread %d idx %d = %d, want %d",
+				w.def.name, h, tid, idx, got, want)
+		}
+	}
+	for h, want := range r.wordTotal {
+		if got := env.Load(r.wordAddr[h], 8); got != want {
+			return fmt.Errorf("%s: shared word %d = %d, want %d (lost updates)",
+				w.def.name, h, got, want)
+		}
+	}
+	if w.def.validate != nil {
+		return w.def.validate(env, r)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package patterns_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+	"repro/tmi/workload/patterns"
+)
+
+func buildFS(layout patterns.Layout) workload.Workload {
+	b := patterns.New("patterns-test", 4)
+	stats := b.Counters("stats", 3, layout)
+	ref := b.SharedWord("refcount")
+	bulk := b.Bulk("input", 8)
+	scratch := b.PrivateScratch("scratch", 512)
+	b.Body(func(t workload.Thread, r *patterns.Resources) {
+		for i := 0; i < 4000; i++ {
+			r.Stream(bulk, t, int64(t.ID())*(1<<20), 256)
+			r.Inc(stats, t, i%3)
+			r.ScratchWrite(scratch, t, (i%64)*8, uint64(i))
+			if i%32 == 0 {
+				r.Add(ref, t, 1, workload.Relaxed)
+			}
+			t.Work(30)
+		}
+	})
+	return b.Build()
+}
+
+func TestPackedCountersFalselyShareAndRepair(t *testing.T) {
+	base, err := tmi.Run(buildFS(patterns.Packed), tmi.Config{System: tmi.Pthreads, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Validated {
+		t.Fatal(base.ValidationErr)
+	}
+	padded, err := tmi.Run(buildFS(patterns.Padded), tmi.Config{System: tmi.Pthreads, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.HITMEvents < 4*padded.HITMEvents {
+		t.Errorf("packed layout should contend: %d vs %d HITM", base.HITMEvents, padded.HITMEvents)
+	}
+	prot, err := tmi.Run(buildFS(patterns.Packed), tmi.Config{System: tmi.TMIProtect, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Repaired || !prot.Validated {
+		t.Fatalf("TMI should repair the built workload: repaired=%v err=%s", prot.Repaired, prot.ValidationErr)
+	}
+	if sp := tmi.Speedup(base, prot); sp < 1.5 {
+		t.Errorf("repair speedup %.2f too small", sp)
+	}
+}
+
+func TestBuilderValidatesLostUpdates(t *testing.T) {
+	// Under Sheriff (no CCC), the relaxed atomic adds go through the PTSB
+	// and lose updates; the builder's built-in word invariant must catch it.
+	rep, err := tmi.Run(buildFS(patterns.Packed), tmi.Config{System: tmi.SheriffProtect, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Validated {
+		t.Error("builder validation should catch Sheriff's lost atomic updates")
+	}
+}
+
+func TestBuilderInfoAndOverrides(t *testing.T) {
+	b := patterns.New("x", 2)
+	b.Counters("c", 1, patterns.Packed)
+	b.Bulk("in", 64)
+	b.Body(func(t workload.Thread, r *patterns.Resources) {})
+	w := b.Build()
+	info := w.Info()
+	if info.Threads != 2 || !info.HasFalseSharing || info.FootprintMB != 64 {
+		t.Errorf("derived info wrong: %+v", info)
+	}
+	b2 := patterns.New("y", 3).Info(workload.Info{UsesAsm: true, Desc: "custom"})
+	b2.Body(func(t workload.Thread, r *patterns.Resources) {})
+	if got := b2.Build().Info(); got.Threads != 3 || !got.UsesAsm {
+		t.Errorf("info override wrong: %+v", got)
+	}
+}
+
+func TestBuilderMutexAndCustomValidate(t *testing.T) {
+	b := patterns.New("locked", 4)
+	mu := b.Mutex("global")
+	sum := b.SharedWord("sum")
+	customRan := false
+	b.Body(func(t workload.Thread, r *patterns.Resources) {
+		for i := 0; i < 300; i++ {
+			r.Lock(mu, t)
+			r.Add(sum, t, 2, workload.SeqCst)
+			r.Unlock(mu, t)
+			t.Work(40)
+		}
+	})
+	b.Validate(func(env workload.Env, r *patterns.Resources) error {
+		customRan = true
+		return nil
+	})
+	rep, err := tmi.Run(b.Build(), tmi.Config{System: tmi.TMIProtect, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Validated {
+		t.Fatal(rep.ValidationErr)
+	}
+	if !customRan {
+		t.Error("custom validation did not run")
+	}
+}
+
+func TestBuilderCustomValidateFailurePropagates(t *testing.T) {
+	b := patterns.New("failing", 1)
+	b.Body(func(t workload.Thread, r *patterns.Resources) { t.Work(10) })
+	b.Validate(func(env workload.Env, r *patterns.Resources) error {
+		return fmt.Errorf("deliberate")
+	})
+	rep, err := tmi.Run(b.Build(), tmi.Config{System: tmi.Pthreads, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Validated || rep.ValidationErr != "deliberate" {
+		t.Errorf("custom failure lost: %v %q", rep.Validated, rep.ValidationErr)
+	}
+}
+
+func TestBuildWithoutBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build without Body should panic")
+		}
+	}()
+	patterns.New("empty", 1).Build()
+}

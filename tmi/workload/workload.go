@@ -1,0 +1,223 @@
+// Package workload defines the public programming model for programs that
+// run on the simulated machine under TMI: the Workload lifecycle, the Env
+// used at setup time (allocation, synchronization objects, instruction-site
+// registration) and the Thread API a running thread uses (loads, stores,
+// atomics with memory orders, assembly regions, locks, barriers, bulk
+// streaming and compute).
+//
+// Downstream users author a Workload and run it with the tmi package; the
+// benchmark catalog in tmi/workloads is written against exactly this API.
+package workload
+
+import "math/rand"
+
+// SiteKind classifies a registered instruction site.
+type SiteKind int
+
+// Site kinds.
+const (
+	SiteLoad SiteKind = iota
+	SiteStore
+	SiteAtomic
+)
+
+// Site identifies a static instruction in the workload's synthetic binary.
+// The detector disassembles the site's PC to recover the access kind and
+// width, exactly as TMI disassembles a real binary. Obtain sites from
+// Env.Site during Setup.
+type Site struct {
+	PC    uint64
+	Kind  SiteKind
+	Width int
+}
+
+// MemOrder is a C/C++-style atomic memory order. Relaxed atomics require
+// only atomicity and do not force a PTSB flush under code-centric
+// consistency; stronger orders do (paper §3.4, case 2).
+type MemOrder int
+
+// Memory orders.
+const (
+	Relaxed MemOrder = iota
+	Acquire
+	Release
+	SeqCst
+)
+
+// Mutex is an opaque handle to a runtime-managed lock. Under TMI the lock
+// word the application sees is replaced by an indirection to a cache-line
+// sized process-shared object (paper §3.2).
+type Mutex interface{ mutexHandle() }
+
+// Barrier is an opaque handle to a runtime-managed barrier.
+type Barrier interface{ barrierHandle() }
+
+// Cond is an opaque handle to a runtime-managed condition variable.
+type Cond interface{ condHandle() }
+
+// RWMutex is an opaque handle to a runtime-managed readers-writer lock.
+type RWMutex interface{ rwMutexHandle() }
+
+// MutexBase, BarrierBase and CondBase are embedded by runtime
+// implementations to satisfy the sealed handle interfaces.
+type MutexBase struct{}
+
+func (MutexBase) mutexHandle() {}
+
+// BarrierBase implements Barrier by embedding.
+type BarrierBase struct{}
+
+func (BarrierBase) barrierHandle() {}
+
+// CondBase implements Cond by embedding.
+type CondBase struct{}
+
+func (CondBase) condHandle() {}
+
+// RWMutexBase implements RWMutex by embedding.
+type RWMutexBase struct{}
+
+func (RWMutexBase) rwMutexHandle() {}
+
+// Env is the setup-time environment: it allocates simulated memory, creates
+// synchronization objects, and registers instruction sites.
+type Env interface {
+	// Threads reports how many threads will run Body.
+	Threads() int
+	// PageSize reports the backing page size (4 KiB, or 2 MiB with huge
+	// pages enabled).
+	PageSize() int
+
+	// Alloc returns the address of n fresh bytes with the given alignment.
+	Alloc(n, align int) uint64
+	// AllocDefault allocates with the active allocator's default placement
+	// policy; layout-sensitive bugs (lu-ncb) depend on this policy.
+	AllocDefault(n int) uint64
+	// AllocBulk reserves n bytes of bulk data (streamed, never byte-
+	// addressed); it contributes to the memory footprint at zero host cost.
+	AllocBulk(n int64) uint64
+	// AllocGlobal places n bytes in the globals region (.data/.bss); the
+	// detector monitors globals exactly like the heap (§3.1).
+	AllocGlobal(n, align int) uint64
+	// Free recycles a heap block (size-classed, like the Lockless
+	// allocator's fast path).
+	Free(addr uint64, n int)
+
+	// Write/Read/Store/Load give setup and validation code direct access to
+	// simulated memory, without timing or coherence effects.
+	Write(addr uint64, b []byte)
+	Read(addr uint64, n int) []byte
+	Store(addr uint64, size int, v uint64)
+	Load(addr uint64, size int) uint64
+
+	// Site registers an instruction site.
+	Site(name string, kind SiteKind, width int) Site
+
+	// NewMutex allocates a lock whose application-visible word is placed by
+	// the allocator; NewMutexAt places the word at a caller-chosen address
+	// (how spinlockpool packs its locks into one line).
+	NewMutex(name string) Mutex
+	NewMutexAt(name string, appAddr uint64) Mutex
+	NewBarrier(name string, parties int) Barrier
+	NewCond(name string) Cond
+	// NewRWMutex allocates a readers-writer lock (pthread_rwlock analog).
+	NewRWMutex(name string) RWMutex
+
+	// Note records a named metric into the run report.
+	Note(key string, v float64)
+}
+
+// Thread is the execution API for one running thread.
+type Thread interface {
+	// ID is the thread index in [0, NumThreads).
+	ID() int
+	NumThreads() int
+
+	// Load and Store perform plain (non-atomic) accesses of the site's
+	// width.
+	Load(s Site, addr uint64) uint64
+	Store(s Site, addr uint64, v uint64)
+
+	// AtomicAdd adds delta and returns the old value; AtomicCAS compares
+	// and swaps. The memory order drives code-centric consistency: SeqCst/
+	// Acquire/Release flush and disable the PTSB around the operation,
+	// Relaxed only routes the access to shared memory.
+	AtomicAdd(s Site, addr uint64, delta uint64, order MemOrder) uint64
+	AtomicCAS(s Site, addr uint64, old, new uint64, order MemOrder) bool
+	AtomicLoad(s Site, addr uint64, order MemOrder) uint64
+	AtomicStore(s Site, addr uint64, v uint64, order MemOrder)
+
+	// EnterAsm/ExitAsm bracket an inline-assembly region (the callbacks the
+	// paper's LLVM pass inserts).
+	EnterAsm()
+	ExitAsm()
+
+	// AsmAtomicSwap performs a lock-free atomic pair-swap written in
+	// assembly (canneal's pointer swap): the values at addrA and addrB are
+	// exchanged indivisibly, inside an implicit assembly region.
+	AsmAtomicSwap(sa, sb Site, addrA, addrB uint64)
+
+	// Lock/Unlock and Wait are pthreads-equivalent synchronization; they
+	// are PTSB commit points.
+	Lock(m Mutex)
+	Unlock(m Mutex)
+	// RLock/RUnlock take and release a shared (reader) hold; WLock/WUnlock
+	// an exclusive one. All four are PTSB commit points.
+	RLock(m RWMutex)
+	RUnlock(m RWMutex)
+	WLock(m RWMutex)
+	WUnlock(m RWMutex)
+	Wait(b Barrier)
+	CondWait(c Cond, m Mutex)
+	CondSignal(c Cond)
+	CondBroadcast(c Cond)
+
+	// Work advances simulated time by pure computation.
+	Work(cycles int64)
+	// Stream models a prefetch-friendly sequential sweep over bulk data.
+	Stream(s Site, base uint64, n int64, write bool)
+
+	// Rand is the thread's deterministic random source.
+	Rand() *rand.Rand
+
+	// Hang reports that the thread is livelocked (e.g. spinning on a flag
+	// that a broken runtime never delivers) and abandons the body.
+	Hang(reason string)
+}
+
+// Info carries static metadata the harness and the baseline systems use:
+// compatibility traits and nominal footprints.
+type Info struct {
+	// Threads is the default thread count.
+	Threads int
+	// UsesAtomics/UsesAsm/UsesCustomSync flag the language features that
+	// interact with memory-consistency handling (Table 2) and with
+	// Sheriff's documented incompatibilities.
+	UsesAtomics    bool
+	UsesAsm        bool
+	UsesCustomSync bool
+	// FootprintMB is the nominal baseline memory footprint.
+	FootprintMB int
+	// HasFalseSharing marks ground truth for the harness tables.
+	HasFalseSharing bool
+	// SyncHeavy marks workloads with very frequent synchronization (drives
+	// LASER's decision to keep repair off for TSO reasons).
+	SyncHeavy bool
+	// Desc is a one-line description.
+	Desc string
+}
+
+// Workload is a program that runs on the simulated machine.
+type Workload interface {
+	// Name is the benchmark's name as it appears in the paper's figures.
+	Name() string
+	// Info returns static metadata.
+	Info() Info
+	// Setup allocates and initializes memory and registers sites.
+	Setup(env Env) error
+	// Body runs on every thread.
+	Body(t Thread)
+	// Validate checks the final memory state; a consistency-breaking
+	// runtime (PTSB without code-centric consistency) fails here.
+	Validate(env Env) error
+}

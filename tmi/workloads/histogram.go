@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/tmi/workload"
+)
+
+// histogram reproduces the Phoenix histogram benchmark and its well-known
+// false sharing bug: each thread keeps private red/green/blue counters, and
+// the counter blocks of different threads are packed into the same cache
+// lines. Which counters are hot depends on the input image — the paper
+// evaluates the standard input (histogram, mild contention mixed with real
+// work) and a contention-accentuating image (histogramfs).
+//
+// The manual fix pads each thread's counter block to a full cache line.
+type histogram struct {
+	name    string
+	variant Variant
+	// workPerPixel scales the non-shared work per pixel batch; the fs input
+	// makes increments dominate.
+	workPerPixel int64
+	chunk        int64
+	iters        int
+
+	image    uint64
+	counters uint64
+	stride   uint64
+	scratch  uint64
+	bar      workload.Barrier
+
+	sPixel, sInc, sScratch workload.Site
+}
+
+// Phoenix's map phase writes intermediate results across many pages; the
+// scratch region models it: histScratchPages small pages per thread, with
+// a phase barrier every histBarrierEvery iterations. This is what makes the
+// paper's PTSB-everywhere ablation expensive — at every synchronization,
+// every dirty page is diffed, not just the falsely-shared one.
+const (
+	histScratchPage  = 4096
+	histScratchPages = 64
+	histBarrierEvery = 500
+)
+
+// Histogram is the standard-input benchmark; HistogramFS uses the
+// false-sharing-accentuating image.
+func Histogram(v Variant) workload.Workload {
+	return &histogram{name: "histogram", variant: v, workPerPixel: 1100, chunk: 512, iters: 9000}
+}
+
+// HistogramFS accentuates the contention (the paper's alternative image).
+func HistogramFS(v Variant) workload.Workload {
+	return &histogram{name: "histogramfs", variant: v, workPerPixel: 24, chunk: 256, iters: 30_000}
+}
+
+var _ workload.Workload = (*histogram)(nil)
+
+func (h *histogram) Name() string {
+	if h.variant == VariantManual {
+		return h.name + "-manual"
+	}
+	return h.name
+}
+
+func (h *histogram) Info() workload.Info {
+	return workload.Info{
+		Threads:         4,
+		FootprintMB:     12,
+		HasFalseSharing: h.variant == VariantFS,
+		Desc:            "per-thread RGB counters packed into shared lines",
+	}
+}
+
+const histCountersPerThread = 3
+
+func (h *histogram) Setup(env workload.Env) error {
+	n := env.Threads()
+	h.image = env.AllocBulk(int64(h.Info().FootprintMB) << 20)
+	if h.variant == VariantManual {
+		h.stride = 64
+	} else {
+		h.stride = histCountersPerThread * 8 // 24B: ~2.6 threads per line
+	}
+	h.counters = env.Alloc(int(h.stride)*n, 8)
+	// Per-thread scratch (decode buffers): page-sized so the paper's
+	// PTSB-everywhere ablation has innocent written pages to tax.
+	h.scratch = env.Alloc(histScratchPage*histScratchPages*n, histScratchPage)
+	h.bar = env.NewBarrier("histogram.bar", n)
+	h.sPixel = env.Site("histogram.load_pixels", workload.SiteLoad, 8)
+	h.sInc = env.Site("histogram.inc_counter", workload.SiteStore, 8)
+	h.sScratch = env.Site("histogram.scratch", workload.SiteStore, 8)
+	return nil
+}
+
+func (h *histogram) Body(t workload.Thread) {
+	// Each run simulates a time-slice of the full pass over the image: a
+	// fixed pixel batch per iteration within the thread's partition.
+	n := t.NumThreads()
+	chunk := h.chunk
+	partSize := (int64(h.Info().FootprintMB) << 20) / int64(n)
+	part := h.image + uint64(t.ID())*uint64(partSize)
+	base := h.counters + uint64(t.ID())*h.stride
+	for i := 0; i < h.iters; i++ {
+		t.Stream(h.sPixel, part+uint64((int64(i)*chunk)%(partSize-chunk)), chunk, false)
+		// Pixel decode work interleaves with the counter updates, as the
+		// real per-pixel loop does.
+		for c := 0; c < histCountersPerThread; c++ {
+			t.Work(h.workPerPixel / histCountersPerThread)
+			t.Store(h.sInc, base+uint64(c)*8, uint64(i+1))
+		}
+		// Intermediate output lands on a rotating scratch page.
+		page := uint64(i % histScratchPages)
+		off := uint64((i / histScratchPages) % (histScratchPage / 8))
+		t.Store(h.sScratch, h.scratch+uint64(t.ID())*histScratchPage*histScratchPages+page*histScratchPage+off*8, uint64(i))
+		if (i+1)%histBarrierEvery == 0 {
+			t.Wait(h.bar)
+		}
+	}
+	t.Wait(h.bar)
+}
+
+func (h *histogram) Validate(env workload.Env) error {
+	n := env.Threads()
+	for tid := 0; tid < n; tid++ {
+		base := h.counters + uint64(tid)*h.stride
+		for c := 0; c < histCountersPerThread; c++ {
+			got := env.Load(base+uint64(c)*8, 8)
+			if got != uint64(h.iters) {
+				return fmt.Errorf("%s: thread %d counter %d = %d, want %d", h.name, tid, c, got, h.iters)
+			}
+		}
+	}
+	return nil
+}

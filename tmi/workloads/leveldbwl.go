@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/leveldb"
+	"repro/tmi/workload"
+)
+
+// leveldbWL is the paper's real-world workload: the leveldb key-value store
+// driven by concurrent client threads. The data plane is the real mini-LSM
+// store (internal/leveldb: memtable, WAL, SSTables, compaction), charged as
+// compute; the hot shared state lives in simulated memory:
+//
+//   - per-thread operation counters — the paper's injected bug packs them
+//     into a single cache line (VariantFS); leveldb as shipped pads them
+//     (VariantClean);
+//   - the global sequence number, bumped with inline-assembly atomics
+//     (leveldb has 8 asm fragments per §4.5) — true sharing;
+//   - the write-queue mutex — more true sharing, which is why unmodified
+//     leveldb shows ~10x more true-sharing than false-sharing HITM events.
+type leveldbWL struct {
+	variant Variant
+	iters   int
+
+	db *leveldb.DB
+
+	counters  uint64
+	stride    uint64
+	seqAddr   uint64
+	stateAddr uint64
+	queueMu   workload.Mutex
+	bar       workload.Barrier
+
+	sCtr, sSeqA, sSeqB, sStateUpd workload.Site
+}
+
+// Leveldb constructs the workload; VariantFS injects the packed-counter
+// false sharing bug, VariantClean is leveldb as shipped, VariantManual
+// fixes the injected bug at the source.
+func Leveldb(v Variant) workload.Workload {
+	return &leveldbWL{variant: v, iters: 6000}
+}
+
+var _ workload.Workload = (*leveldbWL)(nil)
+
+func (l *leveldbWL) Name() string {
+	switch l.variant {
+	case VariantManual:
+		return "leveldb-manual"
+	case VariantClean:
+		return "leveldb-clean"
+	}
+	return "leveldb"
+}
+
+func (l *leveldbWL) Info() workload.Info {
+	return workload.Info{
+		Threads:         4,
+		FootprintMB:     200,
+		UsesAtomics:     true,
+		UsesAsm:         true,
+		HasFalseSharing: l.variant == VariantFS,
+		Desc:            "key-value store; injected packed per-thread op counters",
+	}
+}
+
+// KVOpCycles is the modeled compute cost of one Put/Get against the store.
+const KVOpCycles = 150
+
+func (l *leveldbWL) Setup(env workload.Env) error {
+	n := env.Threads()
+	l.db = leveldb.Open(leveldb.Options{MemtableBytes: 6 << 10, MaxTables: 2, Seed: 42})
+	env.AllocBulk(int64(l.Info().FootprintMB) << 20) // block cache + tables
+
+	if l.variant == VariantFS {
+		l.stride = 48 // injected bug: six stat counters per thread, packed
+	} else {
+		l.stride = 64
+	}
+	l.counters = env.Alloc(int(l.stride)*n, 64)
+	l.seqAddr = env.Alloc(8, 64)
+	// The block cache's reference count word: bumped with a relaxed atomic
+	// by every operation (leveldb's lock-free read path) — genuine true
+	// sharing, the dominant HITM source in unmodified leveldb (§4.2).
+	l.stateAddr = env.Alloc(8, 64)
+	l.queueMu = env.NewMutex("leveldb.write_queue")
+	l.bar = env.NewBarrier("leveldb.bar", n)
+	l.sCtr = env.Site("leveldb.op_counter", workload.SiteStore, 8)
+	l.sSeqA = env.Site("leveldb.seq_xadd", workload.SiteAtomic, 8)
+	l.sSeqB = env.Site("leveldb.seq_xadd2", workload.SiteAtomic, 8)
+	l.sStateUpd = env.Site("leveldb.blockcache_refcount", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (l *leveldbWL) Body(t workload.Thread) {
+	my := l.counters + uint64(t.ID())*l.stride
+	rng := t.Rand()
+	var snap *leveldb.Snapshot
+	for i := 0; i < l.iters; i++ {
+		if i%64 == 0 {
+			snap = l.db.GetSnapshot() // periodic consistent read view
+		}
+		key := fmt.Sprintf("user%04d", rng.Intn(4000))
+		if i%24 == 0 {
+			// Writes go through the write queue and bump the sequence
+			// number with the store's inline-asm atomic.
+			t.Lock(l.queueMu)
+			l.db.Put([]byte(key), []byte(fmt.Sprintf("value-%d-%d", t.ID(), i)))
+			t.Unlock(l.queueMu)
+			t.EnterAsm()
+			t.AtomicAdd(l.sSeqA, l.seqAddr, 1, workload.SeqCst)
+			t.ExitAsm()
+		} else if i%8 == 0 {
+			snap.Get([]byte(key)) // snapshot read (leveldb's read path)
+		} else {
+			l.db.Get([]byte(key))
+		}
+		// Every operation pins a block-cache handle: a relaxed atomic
+		// reference-count bump on a shared line (true sharing, no PTSB
+		// flush needed thanks to code-centric consistency).
+		t.AtomicAdd(l.sStateUpd, l.stateAddr, 1, workload.Relaxed)
+		t.Work(KVOpCycles)
+		// The injected bug: every operation updates the packed per-thread
+		// statistics block (ops, bytes/keys read and written, cache and
+		// filter hits), interleaved with the op's own work.
+		for c := uint64(0); c < 6; c++ {
+			t.Work(10)
+			t.Store(l.sCtr, my+c*8, uint64(i+1))
+		}
+	}
+	t.Wait(l.bar)
+}
+
+func (l *leveldbWL) Validate(env workload.Env) error {
+	n := env.Threads()
+	for tid := 0; tid < n; tid++ {
+		for c := uint64(0); c < 6; c++ {
+			if got := env.Load(l.counters+uint64(tid)*l.stride+c*8, 8); got != uint64(l.iters) {
+				return fmt.Errorf("leveldb: thread %d stat %d = %d, want %d", tid, c, got, l.iters)
+			}
+		}
+	}
+	wantSeq := uint64(n) * uint64((l.iters+23)/24)
+	if got := env.Load(l.seqAddr, 8); got != wantSeq {
+		return fmt.Errorf("leveldb: sequence number %d, want %d (asm atomicity broken)", got, wantSeq)
+	}
+	if l.db.Puts == 0 || l.db.Flushes == 0 {
+		return fmt.Errorf("leveldb: store saw no traffic (puts=%d flushes=%d)", l.db.Puts, l.db.Flushes)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/tmi/workload"
+)
+
+// linearRegression reproduces Phoenix's linear-regression bug: the per-
+// thread args structs (running sums SX, SY, SXX, SYY, SXY) are 40 bytes and
+// the args array is not 64-byte aligned by default, so neighbouring threads'
+// sums share cache lines and every accumulation ping-pongs the line. The
+// manual fix pads each struct to a cache line.
+type linearRegression struct {
+	variant Variant
+	iters   int
+
+	input  uint64
+	args   uint64
+	stride uint64
+	bar    workload.Barrier
+
+	sPoint, sSum workload.Site
+}
+
+// LinearRegression constructs the benchmark ("lreg" in the figures).
+func LinearRegression(v Variant) workload.Workload {
+	return &linearRegression{variant: v, iters: 22_000}
+}
+
+var _ workload.Workload = (*linearRegression)(nil)
+
+const lregFields = 5 // SX, SY, SXX, SYY, SXY
+
+func (l *linearRegression) Name() string {
+	if l.variant == VariantManual {
+		return "lreg-manual"
+	}
+	return "lreg"
+}
+
+func (l *linearRegression) Info() workload.Info {
+	return workload.Info{
+		Threads:         4,
+		FootprintMB:     10,
+		HasFalseSharing: l.variant == VariantFS,
+		Desc:            "per-thread regression sums in one unaligned args array",
+	}
+}
+
+func (l *linearRegression) Setup(env workload.Env) error {
+	n := env.Threads()
+	l.input = env.AllocBulk(int64(l.Info().FootprintMB) << 20)
+	if l.variant == VariantManual {
+		l.stride = 64
+		l.args = env.Alloc(64*n, 64)
+	} else {
+		l.stride = lregFields * 8 // 40B packed, unaligned array start
+		env.Alloc(8, 8)           // leave the array off line alignment
+		l.args = env.Alloc(int(l.stride)*n, 8)
+	}
+	l.bar = env.NewBarrier("lreg.bar", n)
+	l.sPoint = env.Site("lreg.load_points", workload.SiteLoad, 8)
+	l.sSum = env.Site("lreg.update_sum", workload.SiteStore, 8)
+	return nil
+}
+
+func (l *linearRegression) Body(t workload.Thread) {
+	n := t.NumThreads()
+	const chunk = int64(128)
+	partSize := (int64(l.Info().FootprintMB) << 20) / int64(n)
+	part := l.input + uint64(t.ID())*uint64(partSize)
+	base := l.args + uint64(t.ID())*l.stride
+	for i := 0; i < l.iters; i++ {
+		if i%8 == 0 {
+			t.Stream(l.sPoint, part+uint64((int64(i)*chunk)%(partSize-chunk)), chunk*8, false)
+		}
+		// The real loop updates each running sum as it computes it, with a
+		// few cycles of arithmetic between updates.
+		for _, off := range [4]uint64{0, 8, 16, 32} {
+			t.Work(8)
+			t.Store(l.sSum, base+off, uint64(i+1))
+		}
+	}
+	t.Wait(l.bar)
+}
+
+func (l *linearRegression) Validate(env workload.Env) error {
+	for tid := 0; tid < env.Threads(); tid++ {
+		base := l.args + uint64(tid)*l.stride
+		for _, off := range []uint64{0, 8, 16, 32} {
+			if got := env.Load(base+off, 8); got != uint64(l.iters) {
+				return fmt.Errorf("lreg: thread %d sum@%d = %d, want %d", tid, off, got, l.iters)
+			}
+		}
+	}
+	return nil
+}

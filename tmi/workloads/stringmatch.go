@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/tmi/workload"
+)
+
+// stringmatch reproduces Phoenix's string-match bug: two per-thread
+// structures, cur_word and cur_word_final, are allocated back to back and
+// can partially overlap on the same cache line across threads. Each key
+// processed updates cur_word; matches update cur_word_final.
+type stringmatch struct {
+	variant Variant
+	iters   int
+
+	keys   uint64
+	cur    uint64
+	final  uint64
+	stride uint64
+	bar    workload.Barrier
+
+	sKey, sCur, sFinal workload.Site
+}
+
+// Stringmatch constructs the benchmark.
+func Stringmatch(v Variant) workload.Workload {
+	return &stringmatch{variant: v, iters: 25_000}
+}
+
+var _ workload.Workload = (*stringmatch)(nil)
+
+func (s *stringmatch) Name() string {
+	if s.variant == VariantManual {
+		return "stringmatch-manual"
+	}
+	return "stringmatch"
+}
+
+func (s *stringmatch) Info() workload.Info {
+	return workload.Info{
+		Threads:         4,
+		FootprintMB:     12,
+		HasFalseSharing: s.variant == VariantFS,
+		Desc:            "per-thread cur_word/cur_word_final structs overlapping lines",
+	}
+}
+
+func (s *stringmatch) Setup(env workload.Env) error {
+	n := env.Threads()
+	s.keys = env.AllocBulk(int64(s.Info().FootprintMB) << 20)
+	if s.variant == VariantManual {
+		s.stride = 64
+	} else {
+		s.stride = 24 // packed 24-byte structs: threads interleave on lines
+	}
+	s.cur = env.Alloc(int(s.stride)*n, 8)
+	s.final = env.Alloc(int(s.stride)*n, 8)
+	s.bar = env.NewBarrier("stringmatch.bar", n)
+	s.sKey = env.Site("stringmatch.load_keys", workload.SiteLoad, 8)
+	s.sCur = env.Site("stringmatch.set_cur_word", workload.SiteStore, 8)
+	s.sFinal = env.Site("stringmatch.set_cur_word_final", workload.SiteStore, 8)
+	return nil
+}
+
+func (s *stringmatch) Body(t workload.Thread) {
+	n := t.NumThreads()
+	const chunk = int64(256)
+	partSize := (int64(s.Info().FootprintMB) << 20) / int64(n)
+	part := s.keys + uint64(t.ID())*uint64(partSize)
+	cur := s.cur + uint64(t.ID())*s.stride
+	final := s.final + uint64(t.ID())*s.stride
+	matches := 0
+	for i := 0; i < s.iters; i++ {
+		t.Stream(s.sKey, part+uint64((int64(i)*chunk)%(partSize-chunk)), chunk, false)
+		t.Work(15) // hash the key
+		t.Store(s.sCur, cur, uint64(i+1))
+		if i%16 == 0 { // a match
+			matches++
+			t.Store(s.sFinal, final, uint64(matches))
+		}
+	}
+	t.Wait(s.bar)
+}
+
+func (s *stringmatch) Validate(env workload.Env) error {
+	for tid := 0; tid < env.Threads(); tid++ {
+		if got := env.Load(s.cur+uint64(tid)*s.stride, 8); got != uint64(s.iters) {
+			return fmt.Errorf("stringmatch: thread %d cur_word %d, want %d", tid, got, s.iters)
+		}
+		wantMatches := uint64((s.iters + 15) / 16)
+		if got := env.Load(s.final+uint64(tid)*s.stride, 8); got != wantMatches {
+			return fmt.Errorf("stringmatch: thread %d cur_word_final %d, want %d", tid, got, wantMatches)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package workloads
+
+import "repro/tmi/workload"
+
+// The generic suite: each definition instantiates the parameterized kernel
+// with the benchmark's published traits — footprint (Figure 8 baselines),
+// synchronization style, use of atomics and inline assembly (§4.5 inventories
+// canneal, dedup and leveldb), custom flag-based synchronization in several
+// Splash2 codes, lock-heavy benchmarks (fluidanimate, water-spatial), and
+// kmeans' heavy true sharing (the 17% detection-overhead outlier of
+// Figure 7).
+
+func generic(s *spec) workload.Workload { return s }
+
+// Blackscholes: embarrassingly parallel option pricing over a large input.
+func Blackscholes() workload.Workload {
+	return generic(&spec{
+		name:  "blackscholes",
+		info:  workload.Info{Threads: 8, FootprintMB: 600, Desc: "option pricing, streaming, no sharing"},
+		iters: 2500, workPerIter: 2200, streamPerIter: 32 << 10, privateStores: 1,
+	})
+}
+
+// Bodytrack: pipelined vision workload with a global work queue.
+func Bodytrack() workload.Workload {
+	return generic(&spec{
+		name:  "bodytrack",
+		info:  workload.Info{Threads: 8, FootprintMB: 430, Desc: "vision pipeline, queue lock"},
+		iters: 2200, workPerIter: 1500, streamPerIter: 16 << 10, globalLockEvery: 12, sharedROLoads: 2,
+	})
+}
+
+// Canneal: simulated annealing with lock-free atomic pointer swaps in
+// inline assembly (6 asm fragments per §4.5).
+func Canneal() workload.Workload {
+	return generic(&spec{
+		name: "canneal",
+		info: workload.Info{Threads: 8, FootprintMB: 940, UsesAtomics: true, UsesAsm: true,
+			Desc: "annealing, atomic swaps via inline asm"},
+		iters: 2000, workPerIter: 900, streamPerIter: 64 << 10, atomicsPerIter: 1, asmEvery: 4, swapEvery: 3,
+	})
+}
+
+// Dedup: deduplication with SSL hashing (7 asm fragments from openssl).
+func Dedup() workload.Workload {
+	return generic(&spec{
+		name: "dedup",
+		info: workload.Info{Threads: 8, FootprintMB: 1600, UsesAsm: true,
+			Desc: "dedup pipeline, openssl asm, true sharing on hash buckets"},
+		iters: 2000, workPerIter: 1100, streamPerIter: 96 << 10, asmEvery: 2, globalLockEvery: 6, atomicsPerIter: 1,
+	})
+}
+
+// Facesim: physics simulation, barrier-phased.
+func Facesim() workload.Workload {
+	return generic(&spec{
+		name:  "facesim",
+		info:  workload.Info{Threads: 8, FootprintMB: 780, Desc: "physics phases with barriers"},
+		iters: 2000, workPerIter: 2000, streamPerIter: 32 << 10, barrierEvery: 100, privateStores: 1,
+	})
+}
+
+// Ferret: similarity search pipeline with shared read-mostly index.
+func Ferret() workload.Workload {
+	return generic(&spec{
+		name:  "ferret",
+		info:  workload.Info{Threads: 8, FootprintMB: 560, Desc: "similarity search, read-shared index"},
+		iters: 2200, workPerIter: 1300, streamPerIter: 8 << 10, sharedROLoads: 2,
+		rwReadEvery: 1, rwWriteEvery: 64, globalLockEvery: 16,
+	})
+}
+
+// Fluidanimate: fine-grained per-cell locks (the lock-indirection memory
+// outlier of Figure 8).
+func Fluidanimate() workload.Workload {
+	return generic(&spec{
+		name:  "fluidanimate",
+		info:  workload.Info{Threads: 8, FootprintMB: 700, Desc: "fluid cells under fine-grained locks"},
+		iters: 2400, workPerIter: 500, streamPerIter: 8 << 10, fineLocks: 96, barrierEvery: 300,
+	})
+}
+
+// Streamcluster: barrier-heavy clustering.
+func Streamcluster() workload.Workload {
+	return generic(&spec{
+		name:  "streamcluster",
+		info:  workload.Info{Threads: 8, FootprintMB: 110, Desc: "clustering, frequent barriers"},
+		iters: 1800, workPerIter: 900, streamPerIter: 16 << 10, barrierEvery: 30, sharedROLoads: 2,
+	})
+}
+
+// Swaptions: pure Monte-Carlo compute.
+func Swaptions() workload.Workload {
+	return generic(&spec{
+		name:  "swaptions",
+		info:  workload.Info{Threads: 8, FootprintMB: 10, Desc: "Monte-Carlo pricing, no sharing"},
+		iters: 2500, workPerIter: 2600, privateStores: 1,
+	})
+}
+
+// Kmeans: clustering with heavily contended shared centroids — the paper's
+// true-sharing outlier (17% detection overhead from the HITM record rate).
+func Kmeans() workload.Workload {
+	return generic(&spec{
+		name:  "kmeans",
+		info:  workload.Info{Threads: 8, FootprintMB: 10, Desc: "clustering, true sharing on centroids"},
+		iters: 3000, workPerIter: 100, streamPerIter: 4 << 10, atomicsPerIter: 2, hotLoads: 8, barrierEvery: 500,
+	})
+}
+
+// Matrix: blocked matrix multiply.
+func Matrix() workload.Workload {
+	return generic(&spec{
+		name:  "matrix",
+		info:  workload.Info{Threads: 8, FootprintMB: 8, Desc: "matrix multiply, private blocks"},
+		iters: 2200, workPerIter: 1800, streamPerIter: 8 << 10, privateStores: 1,
+	})
+}
+
+// PCA: covariance over a streamed matrix.
+func PCA() workload.Workload {
+	return generic(&spec{
+		name:  "pca",
+		info:  workload.Info{Threads: 8, FootprintMB: 10, Desc: "covariance, streaming + private sums"},
+		iters: 2200, workPerIter: 1400, streamPerIter: 16 << 10, privateStores: 2,
+	})
+}
+
+// ReverseIndex: HTML link extraction into shared hash buckets.
+func ReverseIndex() workload.Workload {
+	return generic(&spec{
+		name:  "reverse",
+		info:  workload.Info{Threads: 8, FootprintMB: 1100, Desc: "reverse index, bucket locks"},
+		iters: 2000, workPerIter: 800, streamPerIter: 64 << 10, fineLocks: 32,
+	})
+}
+
+// Wordcount: map-reduce word counting.
+func Wordcount() workload.Workload {
+	return generic(&spec{
+		name:  "wordcount",
+		info:  workload.Info{Threads: 8, FootprintMB: 10, Desc: "word count, mostly private maps"},
+		iters: 2400, workPerIter: 1000, streamPerIter: 16 << 10, privateStores: 2, globalLockEvery: 200,
+	})
+}
+
+// Splash2x half of the suite. Several use custom flag-based synchronization
+// (§4.5), which Sheriff's design cannot run.
+
+// Barnes: N-body with flag-synchronized tree building.
+func Barnes() workload.Workload {
+	return generic(&spec{
+		name:  "barnes",
+		info:  workload.Info{Threads: 8, FootprintMB: 180, UsesCustomSync: true, Desc: "N-body tree, flag sync"},
+		iters: 2200, workPerIter: 1500, streamPerIter: 8 << 10, sharedROLoads: 3, barrierEvery: 250,
+	})
+}
+
+// FFT: all-to-all transpose phases.
+func FFT() workload.Workload {
+	return generic(&spec{
+		name:  "fft",
+		info:  workload.Info{Threads: 8, FootprintMB: 820, Desc: "FFT transpose, streaming-heavy"},
+		iters: 1800, workPerIter: 700, streamPerIter: 128 << 10, barrierEvery: 150,
+	})
+}
+
+// FMM: fast multipole with custom inter-phase flags.
+func FMM() workload.Workload {
+	return generic(&spec{
+		name:  "fmm",
+		info:  workload.Info{Threads: 8, FootprintMB: 130, UsesCustomSync: true, Desc: "multipole, flag sync"},
+		iters: 2200, workPerIter: 1400, streamPerIter: 4 << 10, sharedROLoads: 2, barrierEvery: 200,
+	})
+}
+
+// LuCB: contiguous-block LU (no false sharing by construction).
+func LuCB() workload.Workload {
+	return generic(&spec{
+		name:  "lu-cb",
+		info:  workload.Info{Threads: 8, FootprintMB: 70, Desc: "LU contiguous blocks"},
+		iters: 2200, workPerIter: 1600, streamPerIter: 8 << 10, barrierEvery: 120, privateStores: 1,
+	})
+}
+
+// OceanCP/OceanNCP: grid solvers; the non-contiguous variant's native input
+// needs 27 GB (the Figure 8 giant).
+func OceanCP() workload.Workload {
+	return generic(&spec{
+		name:  "ocean-cp",
+		info:  workload.Info{Threads: 8, FootprintMB: 890, UsesCustomSync: true, Desc: "ocean grid, contiguous"},
+		iters: 1800, workPerIter: 900, streamPerIter: 96 << 10, barrierEvery: 90,
+	})
+}
+
+// OceanNCP is the non-contiguous 27 GB variant.
+func OceanNCP() workload.Workload {
+	return generic(&spec{
+		name:  "ocean-ncp",
+		info:  workload.Info{Threads: 8, FootprintMB: 27_000, UsesCustomSync: true, Desc: "ocean grid, 27GB"},
+		iters: 1500, workPerIter: 900, streamPerIter: 1 << 20, barrierEvery: 80,
+	})
+}
+
+// Radiosity: work stealing with custom task-queue flags.
+func Radiosity() workload.Workload {
+	return generic(&spec{
+		name:  "radiosity",
+		info:  workload.Info{Threads: 8, FootprintMB: 150, UsesCustomSync: true, Desc: "radiosity, task queues"},
+		iters: 2200, workPerIter: 1100, globalLockEvery: 10, sharedROLoads: 2,
+	})
+}
+
+// Radix: radix sort with all-to-all permutation writes.
+func Radix() workload.Workload {
+	return generic(&spec{
+		name:  "radix",
+		info:  workload.Info{Threads: 8, FootprintMB: 1200, Desc: "radix sort, streaming writes"},
+		iters: 1800, workPerIter: 500, streamPerIter: 128 << 10, barrierEvery: 120,
+	})
+}
+
+// Raytrace: read-shared scene, private framebuffer tiles.
+func Raytrace() workload.Workload {
+	return generic(&spec{
+		name:  "raytrace",
+		info:  workload.Info{Threads: 8, FootprintMB: 140, UsesCustomSync: true, Desc: "raytracing, shared scene"},
+		iters: 2400, workPerIter: 1700, sharedROLoads: 4, privateStores: 1,
+	})
+}
+
+// Volrend: volume rendering with custom task flags.
+func Volrend() workload.Workload {
+	return generic(&spec{
+		name:  "volrend",
+		info:  workload.Info{Threads: 8, FootprintMB: 30, UsesCustomSync: true, Desc: "volume rendering"},
+		iters: 2400, workPerIter: 1200, sharedROLoads: 3, privateStores: 1,
+	})
+}
+
+// WaterNSquare / WaterSpatial: molecular dynamics; the spatial variant uses
+// many fine-grained cell locks (Figure 8's other indirection outlier).
+func WaterNSquare() workload.Workload {
+	return generic(&spec{
+		name:  "water-nsquare",
+		info:  workload.Info{Threads: 8, FootprintMB: 30, Desc: "MD n-squared, pairwise forces"},
+		iters: 2400, workPerIter: 1500, globalLockEvery: 40, privateStores: 1,
+	})
+}
+
+// WaterSpatial is the cell-decomposed variant.
+func WaterSpatial() workload.Workload {
+	return generic(&spec{
+		name:  "water-spatial",
+		info:  workload.Info{Threads: 8, FootprintMB: 40, Desc: "MD spatial cells, fine locks"},
+		iters: 2400, workPerIter: 800, fineLocks: 128, barrierEvery: 400,
+	})
+}

@@ -1,0 +1,167 @@
+package workloads_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+	"repro/tmi/workloads"
+)
+
+func TestSuiteHas35Workloads(t *testing.T) {
+	suite := workloads.Suite()
+	if len(suite) != 35 {
+		t.Fatalf("suite has %d workloads, the paper evaluates 35", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, w := range suite {
+		if seen[w.Name()] {
+			t.Errorf("duplicate workload %q", w.Name())
+		}
+		seen[w.Name()] = true
+		info := w.Info()
+		if info.Threads < 1 {
+			t.Errorf("%s: no threads", w.Name())
+		}
+		if info.Desc == "" {
+			t.Errorf("%s: missing description", w.Name())
+		}
+	}
+	// The paper's individually-discussed benchmarks must be present.
+	for _, name := range []string{
+		"histogram", "histogramfs", "lreg", "stringmatch", "lu-ncb",
+		"leveldb", "spinlockpool", "shptr-relaxed", "shptr-lock",
+		"canneal", "dedup", "kmeans", "fluidanimate", "ocean-ncp",
+	} {
+		if !seen[name] {
+			t.Errorf("suite missing %q", name)
+		}
+	}
+}
+
+func TestFSSuiteAllDeclareFalseSharing(t *testing.T) {
+	for _, w := range workloads.FSSuite() {
+		if !w.Info().HasFalseSharing {
+			t.Errorf("%s is in the FS suite but does not declare false sharing", w.Name())
+		}
+	}
+}
+
+func TestManualVariantsExistForFSSuite(t *testing.T) {
+	for _, w := range workloads.FSSuite() {
+		m, err := workloads.Manual(w.Name())
+		if err != nil {
+			t.Errorf("no manual fix for %s: %v", w.Name(), err)
+			continue
+		}
+		if !strings.HasSuffix(m.Name(), "-manual") {
+			t.Errorf("manual variant of %s named %q", w.Name(), m.Name())
+		}
+		if m.Info().HasFalseSharing {
+			t.Errorf("%s: the manual fix must not declare false sharing", m.Name())
+		}
+	}
+	if _, err := workloads.Manual("swaptions"); err == nil {
+		t.Error("non-FS workloads have no manual fix")
+	}
+}
+
+func TestByNameResolvesEveryName(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if w.Name() != name {
+			t.Errorf("ByName(%q) returned %q", name, w.Name())
+		}
+	}
+	if _, err := workloads.ByName("nonexistent"); err == nil {
+		t.Error("unknown names must error")
+	}
+}
+
+func TestFalseSharingVariantsActuallyShare(t *testing.T) {
+	// Ground truth check at the cache level: the buggy variant produces far
+	// more HITM traffic than the manual fix, for every FS benchmark.
+	for _, w := range workloads.FSSuite() {
+		name := w.Name()
+		t.Run(name, func(t *testing.T) {
+			buggy, err := tmi.Run(mustByName(t, name), tmi.Config{System: tmi.Pthreads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, err := workloads.Manual(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed, err := tmi.Run(man, tmi.Config{System: tmi.Pthreads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Workloads with inherent true sharing (leveldb's refcounts,
+			// spinlockpool's lock contention) keep a HITM floor even when
+			// fixed; the injected false sharing must still dominate it.
+			if float64(buggy.HITMEvents) < 1.4*float64(fixed.HITMEvents) {
+				t.Errorf("buggy HITM %d vs fixed %d: injection too weak", buggy.HITMEvents, fixed.HITMEvents)
+			}
+		})
+	}
+}
+
+func TestCleanSuiteMembersHaveLowContention(t *testing.T) {
+	// Workloads without declared sharing should spend almost nothing on
+	// HITM traffic relative to their runtime.
+	for _, name := range []string{"blackscholes", "swaptions", "matrix", "lu-cb"} {
+		rep, err := tmi.Run(mustByName(t, name), tmi.Config{System: tmi.Pthreads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hitmebudget := rep.SimSeconds * 3.4e9 * 0.02 / 150 // <=2% of cycles in HITM
+		if float64(rep.HITMEvents) > hitmebudget {
+			t.Errorf("%s: %d HITM events exceed the 2%% budget (%0.f)", name, rep.HITMEvents, hitmebudget)
+		}
+	}
+}
+
+func TestWordTearingVariants(t *testing.T) {
+	plain := workloads.WordTearing(false)
+	asm := workloads.WordTearing(true)
+	if plain.Name() == asm.Name() {
+		t.Error("variants need distinct names")
+	}
+	if !asm.Info().UsesAsm || plain.Info().UsesAsm {
+		t.Error("UsesAsm flags wrong")
+	}
+}
+
+func TestInfoTraitsMatchPaperInventory(t *testing.T) {
+	// §4.5: canneal and leveldb use inline assembly for atomics; dedup has
+	// openssl assembly; several splash2 codes use custom flag sync.
+	traits := map[string]func(workload.Info) bool{
+		"canneal":   func(i workload.Info) bool { return i.UsesAsm && i.UsesAtomics },
+		"dedup":     func(i workload.Info) bool { return i.UsesAsm },
+		"leveldb":   func(i workload.Info) bool { return i.UsesAsm && i.UsesAtomics },
+		"barnes":    func(i workload.Info) bool { return i.UsesCustomSync },
+		"fmm":       func(i workload.Info) bool { return i.UsesCustomSync },
+		"radiosity": func(i workload.Info) bool { return i.UsesCustomSync },
+		"ocean-ncp": func(i workload.Info) bool { return i.FootprintMB > 20_000 },
+	}
+	for name, check := range traits {
+		w := mustByName(t, name)
+		if !check(w.Info()) {
+			t.Errorf("%s: traits %+v do not match the paper's inventory", name, w.Info())
+		}
+	}
+}
+
+func mustByName(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
