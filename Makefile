@@ -1,0 +1,37 @@
+# Build, test and lint entry points. `make ci` is the gate a PR must pass:
+# tier-1 build+test, the race detector over the fast suite, and lint
+# (gofmt, go vet, and tmilint's static annotation verification of the
+# whole workload catalog).
+
+GO ?= go
+
+.PHONY: all build test race lint tmilint fmt ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fmt fails if any file needs reformatting (and prints which).
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# tmilint verifies the CCC annotation contract for every catalog workload
+# and scores the static false-sharing predictor against a dynamic run.
+tmilint:
+	$(GO) run ./cmd/tmilint
+
+lint: fmt
+	$(GO) vet ./...
+	$(GO) run ./cmd/tmilint
+
+ci: build test lint

@@ -1,0 +1,184 @@
+// Command tmilint is the static CCC-annotation verifier and false-sharing
+// layout predictor: the compile-time companion to tmirun. It abstractly
+// interprets workloads (internal/analysis), verifies the code-centric
+// consistency annotation contract against the Table 2 policy, and predicts
+// falsely-shared cache lines from allocation layouts, scoring the
+// predictions against a dynamic detector run.
+//
+// Usage:
+//
+//	tmilint                               # lint the whole catalog + default predictions
+//	tmilint -workloads misannotated       # lint one workload
+//	tmilint -predict histogramfs,lreg     # predict + compare for a list
+//	tmilint -predict none                 # lint only
+//	tmilint -sites -workloads leveldb     # dump the per-PC site model
+//	tmilint -table2                       # print the Table 2 policy matrix
+//
+// Exit status: 0 when every linted workload is clean, 1 when any finding
+// was reported, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ccc"
+	"repro/tmi"
+	"repro/tmi/workload"
+	"repro/tmi/workloads"
+)
+
+// defaultPredict is the default static-vs-dynamic comparison set: three
+// catalog workloads with known false sharing and cheap dynamic runs.
+const defaultPredict = "histogramfs,lreg,stringmatch"
+
+func main() {
+	var (
+		names   = flag.String("workloads", "", "comma-separated workloads to lint (default: the whole catalog)")
+		predict = flag.String("predict", defaultPredict, "comma-separated workloads to run the layout predictor on, with a dynamic tmi-detect run for comparison; \"none\" disables")
+		env     = flag.String("env", "tmi", "modeled environment: tmi|pthreads")
+		threads = flag.Int("threads", 0, "override thread count")
+		seed    = flag.Int64("seed", 1, "determinism seed")
+		sites   = flag.Bool("sites", false, "dump the per-PC site classification for each linted workload")
+		lines   = flag.Bool("lines", false, "dump every predicted shared line, not just the comparison summary")
+		table2  = flag.Bool("table2", false, "print the Table 2 region-interaction policy matrix and exit")
+	)
+	flag.Parse()
+
+	if *table2 {
+		fmt.Print(ccc.RenderTable2())
+		return
+	}
+
+	opt := analysis.Options{Threads: *threads, Seed: *seed}
+	switch *env {
+	case "tmi":
+		opt.Env = analysis.EnvTMI
+	case "pthreads":
+		opt.Env = analysis.EnvPthreads
+	default:
+		fmt.Fprintf(os.Stderr, "tmilint: unknown -env %q (tmi|pthreads)\n", *env)
+		os.Exit(2)
+	}
+
+	lintSet := workloads.Names()
+	if *names != "" {
+		lintSet = splitList(*names)
+	}
+
+	exit := 0
+	fmt.Printf("tmilint: verifying %d workload(s) (env=%s, seed=%d)\n", len(lintSet), *env, *seed)
+	for _, name := range lintSet {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmilint:", err)
+			os.Exit(2)
+		}
+		m, err := analysis.BuildModel(w, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmilint: %s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		findings := analysis.Verify(m)
+		status := "ok"
+		if len(findings) > 0 {
+			status = fmt.Sprintf("%d finding(s)", len(findings))
+			exit = 1
+		}
+		fmt.Printf("  %-22s %-12s %5d sites, %5d lines, %8d ops\n",
+			name, status, len(m.Sites), len(m.Lines), m.Ops)
+		for _, f := range findings {
+			fmt.Printf("    %s\n", f)
+		}
+		if *sites {
+			dumpSites(m)
+		}
+	}
+
+	if *predict != "none" && *predict != "" {
+		fmt.Printf("\nstatic false-sharing prediction vs dynamic detection (tmi-detect):\n")
+		for _, name := range splitList(*predict) {
+			if err := comparePrediction(name, opt, *lines); err != nil {
+				fmt.Fprintf(os.Stderr, "tmilint: %s: %v\n", name, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func comparePrediction(name string, opt analysis.Options, dumpLines bool) error {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	m, err := analysis.BuildModel(w, opt)
+	if err != nil {
+		return err
+	}
+	// A fresh instance for the dynamic run: workloads carry state.
+	dyn, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	rep, err := tmi.Run(dyn, tmi.Config{System: tmi.TMIDetect, Seed: opt.Seed, Threads: opt.Threads})
+	if err != nil {
+		return err
+	}
+	acc := analysis.CompareFalseSharing(m, rep.Lines, analysis.DefaultMinAccesses)
+	fmt.Printf("  %s\n", acc)
+	if dumpLines {
+		for _, p := range m.PredictLines() {
+			fmt.Printf("    line 0x%x: %s sharing, %d threads (%d writers), %d accesses\n",
+				p.Line, p.Class, p.Threads, p.Writers, p.Accesses)
+		}
+	}
+	return nil
+}
+
+func dumpSites(m *analysis.Model) {
+	pcs := make([]uint64, 0, len(m.Sites))
+	for pc := range m.Sites {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		sm := m.Sites[pc]
+		tag := ""
+		if sm.Info.Runtime {
+			tag = " [runtime]"
+		}
+		orders := orderString(sm)
+		fmt.Printf("    0x%06x %-28s %-6s w=%d%s plain %d/%d atomic %d%s stream %d\n",
+			pc, sm.Info.Name, sm.Info.Kind, sm.Info.Width, tag,
+			sm.PlainLoads, sm.PlainStores, sm.AtomicOps, orders, sm.StreamOps)
+	}
+}
+
+func orderString(sm *analysis.SiteModel) string {
+	if len(sm.Orders) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, o := range []workload.MemOrder{workload.Relaxed, workload.Acquire, workload.Release, workload.SeqCst} {
+		if n := sm.Orders[o]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", o, n))
+		}
+	}
+	return " (" + strings.Join(parts, ",") + ")"
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

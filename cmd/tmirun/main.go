@@ -49,6 +49,7 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "adaptive sampling period (extension)")
 		teardown   = flag.Int("teardown", 0, "un-repair pages idle for N detection intervals (extension; 0=off)")
 		timeline   = flag.Bool("timeline", false, "print the per-interval HITM-rate timeline")
+		sanitize   = flag.Bool("sanitize", false, "assert the CCC annotation contract at runtime (tmilint's dynamic half)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 		System: sys, Threads: *threads, Period: *period, HugePages: *huge,
 		DisableCCC: *noCCC, PTSBEverywhere: *everywhere, Seed: *seed,
 		AdaptivePeriod: *adaptive, TeardownIdleIntervals: *teardown,
+		Sanitize: *sanitize,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmirun:", err)
@@ -105,6 +107,16 @@ func main() {
 		fmt.Printf("ccc flushes     %d\n", rep.CCCFlushes)
 	} else {
 		fmt.Printf("repaired        no\n")
+	}
+	if *sanitize {
+		if rep.SanitizerViolations == 0 {
+			fmt.Printf("sanitizer       clean\n")
+		} else {
+			fmt.Printf("sanitizer       %d violation(s)\n", rep.SanitizerViolations)
+			for _, d := range rep.SanitizerDetails {
+				fmt.Println("  ", d)
+			}
+		}
 	}
 	if rep.Hung {
 		fmt.Printf("HUNG            %s\n", rep.HangReason)
@@ -139,6 +151,9 @@ func main() {
 		}
 	}
 	if !rep.Validated && !rep.Hung {
+		os.Exit(1)
+	}
+	if *sanitize && rep.SanitizerViolations > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,215 @@
+// Package analysis is the static-analysis layer of the reproduction: the
+// compile-time half of TMI that the paper delegates to an LLVM pass (§3.4).
+//
+// It abstractly interprets a workload against the same allocator, address
+// layout and synchronization semantics the simulator uses — but with no
+// timing, caches or page twinning — and builds a static model of the
+// program: for every instruction site, the loads, stores and atomics (with
+// memory orders) executed through it; for every heap and globals cache
+// line, the per-thread byte footprint.
+//
+// Three consumers sit on top of the model:
+//
+//   - Verify checks the code-centric-consistency annotation contract
+//     against the Table 2 policy (internal/ccc): every atomic site must be
+//     region-bracketed, asm regions must balance, orders must classify
+//     uniquely. A missing annotation silently reproduces the Sheriff-style
+//     consistency bugs of Figures 3/11/12, so tmilint gates the catalog on
+//     zero findings.
+//   - PredictLines/CompareFalseSharing is the static false-sharing layout
+//     predictor: it classifies lines exactly as the dynamic PEBS/HITM
+//     detector (internal/detect) would — two or more threads, at least one
+//     writer, disjoint bytes — and reports precision/recall against a
+//     dynamic run.
+//   - The dynamic sanitizer (internal/core, Config.Sanitize) cross-checks
+//     the same contract at simulation time through machine.Hooks.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/disasm"
+	"repro/tmi/workload"
+)
+
+// EnvKind selects the modeled runtime environment. The environment decides
+// allocator placement policy and lock-word indirection, both of which change
+// which lines are falsely shared (lu-ncb's bug exists only under the
+// baseline allocator; spinlockpool's lock line stops being written at all
+// under TMI's indirection).
+type EnvKind int
+
+// Environments.
+const (
+	// EnvTMI models TMI's runtime: cache-line alignment for large
+	// allocations and process-shared lock indirection. Matches the
+	// tmi-detect system, which is what predictions are validated against.
+	EnvTMI EnvKind = iota
+	// EnvPthreads models the baseline: Lockless allocator policy and
+	// in-place lock words.
+	EnvPthreads
+)
+
+func (e EnvKind) String() string {
+	if e == EnvPthreads {
+		return "pthreads"
+	}
+	return "tmi"
+}
+
+// Options configures a model build.
+type Options struct {
+	// Threads overrides the workload's default thread count when > 0.
+	Threads int
+	// Seed drives the per-thread deterministic random sources, with the
+	// same derivation the simulator uses, so access footprints match a
+	// dynamic run with the same seed.
+	Seed int64
+	// Env selects the modeled runtime environment (default EnvTMI).
+	Env EnvKind
+	// MaxOps bounds total interpreted operations across all threads
+	// (default 50M); exceeding it aborts with a finding, so a livelocked
+	// workload cannot hang the analysis.
+	MaxOps int64
+}
+
+func (o Options) withDefaults(info workload.Info) Options {
+	if o.Threads <= 0 {
+		o.Threads = info.Threads
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = 50_000_000
+	}
+	return o
+}
+
+// SiteModel is the static per-PC classification of one instruction site —
+// the analogue of one row of the LLVM pass's output.
+type SiteModel struct {
+	Info disasm.SiteInfo
+	// Unknown marks a PC that does not disassemble to a registered site
+	// (a hand-built workload.Site that bypassed Env.Site).
+	Unknown bool
+
+	// Executed access counts, split by how the program reached the site.
+	PlainLoads  uint64
+	PlainStores uint64
+	AtomicOps   uint64
+	// AtomicInAsm counts atomic operations executed inside an assembly
+	// region (Table 2 case 4/5 context).
+	AtomicInAsm uint64
+
+	// Orders histograms the memory orders of the atomic operations; a site
+	// executed under both relaxed and strong orders cannot be classified
+	// into a single Table 2 region class.
+	Orders map[workload.MemOrder]uint64
+
+	// StreamOps/StreamBytes aggregate bulk streaming through the site.
+	StreamOps   uint64
+	StreamBytes int64
+
+	// Threads counts operations per executing thread.
+	Threads map[int]uint64
+}
+
+// Accesses is the total number of byte-addressed operations executed
+// through the site.
+func (sm *SiteModel) Accesses() uint64 {
+	return sm.PlainLoads + sm.PlainStores + sm.AtomicOps
+}
+
+// Foot is one thread's byte footprint on one cache line.
+type Foot struct {
+	ReadMask  uint64 // bit i set: byte i of the line was read
+	WriteMask uint64 // bit i set: byte i of the line was written
+	Reads     uint64
+	Writes    uint64
+}
+
+// LineModel is the static per-line access model over all threads.
+type LineModel struct {
+	Line      uint64
+	PerThread map[int]*Foot
+}
+
+// Model is the static program model BuildModel produces.
+type Model struct {
+	Workload string
+	Info     workload.Info
+	Threads  int
+	Seed     int64
+	Env      EnvKind
+
+	// Sites maps PC to its static classification; the whole registered
+	// site table is present, executed or not.
+	Sites map[uint64]*SiteModel
+	// Lines maps line-aligned heap/globals addresses to their footprints.
+	Lines map[uint64]*LineModel
+
+	// AsmEnters counts assembly-region entries (explicit EnterAsm plus the
+	// implicit region of AsmAtomicSwap).
+	AsmEnters uint64
+
+	// Findings holds interpretation-time findings (unbalanced regions,
+	// deadlock, op-budget exhaustion, validation failure). Verify folds
+	// them in with the site-table findings.
+	Findings []Finding
+
+	// Hung/Aborted record abnormal interpretation endings.
+	Hung    bool
+	Aborted bool
+
+	// HeapEnd/GlobalsEnd snapshot the allocator bounds after Setup.
+	HeapEnd    uint64
+	GlobalsEnd uint64
+
+	// Notes carries Env.Note values the workload reported.
+	Notes map[string]float64
+	// Ops is the total interpreted operation count.
+	Ops int64
+}
+
+// BuildModel abstractly interprets w and returns its static model. The
+// interpretation is deterministic for fixed Options.
+func BuildModel(w workload.Workload, opt Options) (*Model, error) {
+	info := w.Info()
+	opt = opt.withDefaults(info)
+	in := newInterp(w, info, opt)
+	if err := w.Setup(&ienv{in}); err != nil {
+		return nil, fmt.Errorf("analysis: setup of %s: %w", w.Name(), err)
+	}
+	in.snapshotBounds()
+	in.run()
+	m := in.model
+	m.HeapEnd = in.al.HeapEnd()
+	m.GlobalsEnd = in.al.GlobalsEnd()
+	// Fold the full site table in, so never-executed sites are modeled too.
+	for _, si := range in.prog.Sites() {
+		pc := si.Site.PC()
+		if sm, ok := m.Sites[pc]; ok {
+			sm.Info = si
+		} else {
+			m.Sites[pc] = newSiteModel(si)
+		}
+	}
+	if !in.aborted {
+		if err := w.Validate(&ienv{in}); err != nil {
+			in.finding("validate", "", 0, fmt.Sprintf("validation failed under sequential semantics: %v", err))
+		}
+	}
+	return m, nil
+}
+
+func newSiteModel(si disasm.SiteInfo) *SiteModel {
+	return &SiteModel{
+		Info:    si,
+		Orders:  make(map[workload.MemOrder]uint64),
+		Threads: make(map[int]uint64),
+	}
+}

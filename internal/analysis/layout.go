@@ -1,0 +1,145 @@
+package analysis
+
+// The static false-sharing layout predictor: classifies each modeled cache
+// line with the same decision procedure the dynamic detector applies to
+// PEBS samples (internal/detect.classify) — two or more threads, at least
+// one write, and the verdict decided by whether cross-thread byte ranges
+// overlap — but over exact footprints instead of sampled spans. The
+// comparison against a dynamic run quantifies where sampling and exactness
+// disagree (cold lines the sampler never saw; skid-noise lines the static
+// model never touches).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+)
+
+// DefaultMinAccesses is the default heat floor for CompareFalseSharing.
+// The dynamic detector needs MinRecords (8) samples at its period (default
+// 100) before it classifies a line — roughly 800 accesses — so statically
+// lukewarm lines below this floor are not fair false-alarm candidates.
+const DefaultMinAccesses = 64
+
+// LinePrediction is the static verdict for one cache line.
+type LinePrediction struct {
+	Line    uint64
+	Class   detect.Sharing
+	Threads int // threads that touched the line
+	Writers int // threads that wrote the line
+	// Accesses is the total static access count on the line; the heat
+	// proxy used to align with the dynamic detector's sampling floor.
+	Accesses uint64
+}
+
+// PredictLines classifies every modeled line and returns those with any
+// sharing (true or false), sorted by address.
+func (m *Model) PredictLines() []LinePrediction {
+	var out []LinePrediction
+	for _, lm := range m.Lines {
+		p := classifyLine(lm)
+		if p.Class == detect.SharingNone {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// classifyLine mirrors detect.classify over exact footprints: no sharing
+// without two threads and a write; true sharing when any cross-thread byte
+// overlap involves a writer; false sharing otherwise.
+func classifyLine(lm *LineModel) LinePrediction {
+	p := LinePrediction{Line: lm.Line}
+	tids := make([]int, 0, len(lm.PerThread))
+	for tid, f := range lm.PerThread {
+		tids = append(tids, tid)
+		p.Accesses += f.Reads + f.Writes
+		if f.WriteMask != 0 {
+			p.Writers++
+		}
+	}
+	p.Threads = len(tids)
+	if p.Threads < 2 || p.Writers == 0 {
+		return p
+	}
+	sort.Ints(tids)
+	for i := 0; i < len(tids); i++ {
+		for j := i + 1; j < len(tids); j++ {
+			a, b := lm.PerThread[tids[i]], lm.PerThread[tids[j]]
+			if a.WriteMask&(b.ReadMask|b.WriteMask) != 0 || b.WriteMask&a.ReadMask != 0 {
+				p.Class = detect.SharingTrue
+				return p
+			}
+		}
+	}
+	p.Class = detect.SharingFalse
+	return p
+}
+
+// Accuracy compares the static predictor's false-sharing line set against a
+// dynamic detector run.
+type Accuracy struct {
+	Workload string
+	// StaticFalse/DynamicFalse count falsely-shared lines each side found;
+	// Common is their intersection.
+	StaticFalse  int
+	DynamicFalse int
+	Common       int
+	// Precision = Common/StaticFalse, Recall = Common/DynamicFalse (both 1
+	// when the respective denominator is empty).
+	Precision float64
+	Recall    float64
+	// StaticTrue/DynamicTrue count truly-shared lines, for context.
+	StaticTrue  int
+	DynamicTrue int
+}
+
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%s: static %d false / %d true, dynamic %d false / %d true, common %d, precision %.2f, recall %.2f",
+		a.Workload, a.StaticFalse, a.StaticTrue, a.DynamicFalse, a.DynamicTrue, a.Common, a.Precision, a.Recall)
+}
+
+// CompareFalseSharing scores the static predictions against the dynamic
+// detector's classified lines. minAccesses filters statically cold lines:
+// the dynamic detector cannot classify a line its sampler never collects
+// MinRecords samples on, so lines below the heat floor are excluded from
+// the static set rather than counted as false alarms.
+func CompareFalseSharing(m *Model, dynamic []detect.LineReport, minAccesses uint64) Accuracy {
+	acc := Accuracy{Workload: m.Workload}
+	static := make(map[uint64]bool)
+	for _, p := range m.PredictLines() {
+		switch p.Class {
+		case detect.SharingTrue:
+			acc.StaticTrue++
+		case detect.SharingFalse:
+			if p.Accesses >= minAccesses {
+				acc.StaticFalse++
+				static[p.Line] = true
+			}
+		}
+	}
+	for _, lr := range dynamic {
+		switch lr.Class {
+		case detect.SharingTrue:
+			acc.DynamicTrue++
+		case detect.SharingFalse:
+			acc.DynamicFalse++
+			if static[lr.Line] {
+				acc.Common++
+			}
+		}
+	}
+	acc.Precision = ratio(acc.Common, acc.StaticFalse)
+	acc.Recall = ratio(acc.Common, acc.DynamicFalse)
+	return acc
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

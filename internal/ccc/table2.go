@@ -1,5 +1,10 @@
 package ccc
 
+import (
+	"fmt"
+	"strings"
+)
+
 // This file encodes Table 2 of the paper as data: the semantics of
 // concurrent conflicting accesses between code regions of different
 // consistency classes, and whether the PTSB is permitted for them. The
@@ -62,3 +67,31 @@ func Table2(a, b RegionClass) Interaction {
 
 // Classes lists the region classes in table order.
 func Classes() []RegionClass { return []RegionClass{ClassRegular, ClassAtomic, ClassAsm} }
+
+// RenderTable2 renders the full policy matrix as fixed-width text. The
+// golden test diffs this against the paper's table so that edits to the
+// policy data cannot drift silently; tmilint prints it on request.
+func RenderTable2() string {
+	const cellW = 28
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range Classes() {
+		fmt.Fprintf(&b, " | %-*s", cellW, c.String())
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 10+3*(cellW+3)))
+	b.WriteString("\n")
+	for _, row := range Classes() {
+		fmt.Fprintf(&b, "%-10s", row)
+		for _, col := range Classes() {
+			cell := Table2(row, col)
+			ptsb := "no PTSB"
+			if cell.PTSBPermitted {
+				ptsb = "PTSB ok"
+			}
+			fmt.Fprintf(&b, " | %-*s", cellW, fmt.Sprintf("case %d: %s (%s)", cell.Case, cell.Semantics, ptsb))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

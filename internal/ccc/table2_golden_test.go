@@ -1,0 +1,39 @@
+package ccc
+
+import "testing"
+
+// table2Golden is the paper's Table 2 rendered verbatim: cases 1-5 with
+// their semantics, and the PTSB permitted exactly where conflicting access
+// semantics are already undefined without an asm participant. Any edit to
+// the policy data must consciously update this string.
+const table2Golden = "" +
+	"           | regular                      | atomic                       | x86 asm                     \n" +
+	"-------------------------------------------------------------------------------------------------------\n" +
+	"regular    | case 1: undefined (PTSB ok)  | case 1: undefined (PTSB ok)  | case 3: unknown (no PTSB)   \n" +
+	"atomic     | case 1: undefined (PTSB ok)  | case 2: atomic (no PTSB)     | case 4: unknown (no PTSB)   \n" +
+	"x86 asm    | case 3: unknown (no PTSB)    | case 4: unknown (no PTSB)    | case 5: TSO (no PTSB)       \n"
+
+// TestRenderTable2Golden pins the rendered policy matrix to the paper's
+// table so the data in Table2 cannot drift silently.
+func TestRenderTable2Golden(t *testing.T) {
+	got := RenderTable2()
+	if got != table2Golden {
+		t.Errorf("RenderTable2 drifted from the paper's Table 2:\ngot:\n%s\nwant:\n%s", got, table2Golden)
+	}
+}
+
+// TestRenderTable2PTSBShading spot-checks the one property the repair
+// correctness proof leans on: the PTSB may stay armed only when at least
+// one side is a regular region (cases where the data race is already
+// undefined behavior).
+func TestRenderTable2PTSBShading(t *testing.T) {
+	for _, a := range Classes() {
+		for _, b := range Classes() {
+			cell := Table2(a, b)
+			wantPermitted := cell.Case == 1
+			if cell.PTSBPermitted != wantPermitted {
+				t.Errorf("Table2(%s, %s) = %+v: PTSBPermitted must hold exactly for case 1", a, b, cell)
+			}
+		}
+	}
+}

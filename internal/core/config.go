@@ -112,6 +112,13 @@ type Config struct {
 	// Trace records structured runtime events (sync, regions, faults,
 	// commits, repair) into Report.Tracer.
 	Trace bool
+	// Sanitize cross-checks the CCC annotation contract at simulation time
+	// (tmilint's dynamic half): every access's direction must match its
+	// site's disassembled kind, no plain access may issue from an atomic
+	// instruction site, no atomic access may execute outside a consistency
+	// region, and regions must balance. Violations land in
+	// Report.SanitizerViolations/SanitizerDetails.
+	Sanitize bool
 }
 
 func (c Config) withDefaults() Config {

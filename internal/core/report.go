@@ -77,6 +77,12 @@ type Report struct {
 	// Tracer holds the structured event trace when Config.Trace was set.
 	Tracer *trace.Recorder
 
+	// SanitizerViolations/SanitizerDetails report annotation-contract
+	// violations caught at runtime when Config.Sanitize was set (details
+	// capped; the count is complete).
+	SanitizerViolations uint64
+	SanitizerDetails    []string
+
 	Cache cache.Stats
 }
 

@@ -85,6 +85,7 @@ type runtime struct {
 	mon        *perfev.Monitor
 	det        *detect.Detector
 	maps       *osim.AddressMap
+	san        *sanitizer
 
 	laserEnabled   bool
 	laserRepaired  bool
@@ -224,20 +225,38 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 	}
 	regionEnter := rt.cccCtl.Enter
 	regionExit := rt.cccCtl.Exit
+	postAccess := rt.postAccess
+	if cfg.Sanitize {
+		rt.san = newSanitizer(rt.prog, threads)
+		innerEnter, innerExit := regionEnter, regionExit
+		regionEnter = func(t *machine.Thread, k machine.RegionKind) {
+			rt.san.enter(t, k)
+			innerEnter(t, k)
+		}
+		regionExit = func(t *machine.Thread, k machine.RegionKind) {
+			innerExit(t, k)
+			rt.san.exit(t, k)
+		}
+		postAccess = func(t *machine.Thread, acc *machine.Access, res cache.Result) int64 {
+			rt.san.onAccess(t, acc)
+			return rt.postAccess(t, acc, res)
+		}
+	}
 	if rt.tracer != nil {
+		innerEnter, innerExit := regionEnter, regionExit
 		regionEnter = func(t *machine.Thread, k machine.RegionKind) {
 			rt.tracer.Record(t.Clock(), t.ID, trace.KindRegionEnter, uint64(k))
-			rt.cccCtl.Enter(t, k)
+			innerEnter(t, k)
 		}
 		regionExit = func(t *machine.Thread, k machine.RegionKind) {
 			rt.tracer.Record(t.Clock(), t.ID, trace.KindRegionExit, uint64(k))
-			rt.cccCtl.Exit(t, k)
+			innerExit(t, k)
 		}
 	}
 	rt.mc.SetHooks(machine.Hooks{
 		SpaceFor:    rt.cccCtl.SpaceFor,
 		OnFault:     rt.onFault,
-		PostAccess:  rt.postAccess,
+		PostAccess:  postAccess,
 		RegionEnter: regionEnter,
 		RegionExit:  regionExit,
 		OnFirstTouch: func(t *machine.Thread, tr mem.Translation) int64 {
@@ -592,6 +611,11 @@ func (rt *runtime) execute(w workload.Workload) (*Report, error) {
 		sort.Slice(rep.Lines, func(i, j int) bool { return rep.Lines[i].Line < rep.Lines[j].Line })
 		rep.PredictedManualSpeedup = rt.det.PredictManualSpeedup(rt.mon.Period(), rt.mc.Elapsed(), rt.threads)
 		rep.LineSizePredictions = rt.det.PredictLineSizes()
+	}
+	if rt.san != nil {
+		rt.san.finish()
+		rep.SanitizerViolations = rt.san.violations
+		rep.SanitizerDetails = rt.san.details
 	}
 	rep.Layout = rt.layout()
 	rep.Events = rt.events

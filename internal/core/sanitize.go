@@ -1,0 +1,95 @@
+package core
+
+// The annotation sanitizer (Config.Sanitize): the dynamic half of tmilint's
+// CCC verifier. The static verifier (internal/analysis) proves that every
+// atomic instruction site is region-bracketed in the model; the sanitizer
+// asserts the same contract while the machine actually runs, through the
+// PostAccess and Region hooks: no atomic access may execute outside a
+// consistency region, no plain access may issue from an atomic instruction
+// site, every access's direction must match its site's disassembled kind,
+// and region enter/exit must balance per thread. Runtime-library sites
+// (psync) execute below the annotation layer and are exempt, exactly as in
+// the static verifier.
+
+import (
+	"fmt"
+
+	"repro/internal/ccc"
+	"repro/internal/disasm"
+	"repro/internal/sim/machine"
+)
+
+// maxSanitizerDetails caps the retained violation messages; the count keeps
+// accumulating past the cap.
+const maxSanitizerDetails = 64
+
+type sanitizer struct {
+	prog  *disasm.Program
+	depth []int // consistency-region nesting per thread
+
+	violations uint64
+	details    []string
+}
+
+func newSanitizer(prog *disasm.Program, threads int) *sanitizer {
+	return &sanitizer{prog: prog, depth: make([]int, threads)}
+}
+
+func (s *sanitizer) violate(format string, args ...interface{}) {
+	s.violations++
+	if len(s.details) < maxSanitizerDetails {
+		s.details = append(s.details, fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *sanitizer) enter(t *machine.Thread, k machine.RegionKind) {
+	s.depth[t.ID]++
+}
+
+func (s *sanitizer) exit(t *machine.Thread, k machine.RegionKind) {
+	if s.depth[t.ID] == 0 {
+		s.violate("thread %d: %v region exit without a matching enter", t.ID, k)
+		return
+	}
+	s.depth[t.ID]--
+}
+
+func (s *sanitizer) onAccess(t *machine.Thread, acc *machine.Access) {
+	info, ok := s.prog.Disassemble(acc.PC)
+	if !ok {
+		s.violate("thread %d: access at pc 0x%x does not disassemble to any site", t.ID, acc.PC)
+		return
+	}
+	if info.Runtime {
+		return
+	}
+	if acc.Write && !info.Kind.Writes() {
+		s.violate("thread %d: write through %s site %q (pc 0x%x)", t.ID, info.Kind, info.Name, acc.PC)
+	}
+	if !acc.Write && !info.Kind.Reads() {
+		s.violate("thread %d: read through %s site %q (pc 0x%x)", t.ID, info.Kind, info.Name, acc.PC)
+	}
+	if acc.Atomic {
+		if info.Kind != disasm.KindAtomic {
+			s.violate("thread %d: atomic operation through %s site %q (pc 0x%x): the detector would miss half of the RMW",
+				t.ID, info.Kind, info.Name, acc.PC)
+		}
+		if s.depth[t.ID] == 0 {
+			s.violate("thread %d: atomic access at site %q (pc 0x%x) executed outside any consistency region",
+				t.ID, info.Name, acc.PC)
+		}
+	} else if info.Kind == disasm.KindAtomic {
+		inter := ccc.Table2(ccc.ClassRegular, ccc.ClassAtomic)
+		s.violate("thread %d: plain access through atomic instruction site %q (pc 0x%x) with no region callbacks: the annotation pass missed it, demoting its races to Table 2 case %d (%q)",
+			t.ID, info.Name, acc.PC, inter.Case, inter.Semantics)
+	}
+}
+
+// finish flags regions still open after all threads completed.
+func (s *sanitizer) finish() {
+	for tid, d := range s.depth {
+		if d > 0 {
+			s.violate("thread %d: %d consistency region(s) still open at exit", tid, d)
+		}
+	}
+}

@@ -160,7 +160,7 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 		if hi > cache.LineSize {
 			hi = cache.LineSize
 		}
-		wrote := info.Kind == disasm.KindStore || info.Kind == disasm.KindAtomic
+		wrote := info.Kind.Writes()
 		ls := d.lines[line]
 		if ls == nil {
 			ls = &lineStat{byThread: make(map[int][]span)}

@@ -42,6 +42,13 @@ func (k Kind) String() string {
 	return "?"
 }
 
+// Reads reports whether the instruction kind reads memory. A locked RMW
+// (KindAtomic) both reads and writes its operand.
+func (k Kind) Reads() bool { return k == KindLoad || k == KindAtomic }
+
+// Writes reports whether the instruction kind writes memory.
+func (k Kind) Writes() bool { return k == KindStore || k == KindAtomic }
+
 // CodeBase is where the synthetic text segment starts; each site occupies
 // InstrBytes bytes of it.
 const (
@@ -61,6 +68,12 @@ type SiteInfo struct {
 	Name  string
 	Kind  Kind
 	Width int // access width in bytes
+	// Runtime marks a site that belongs to the runtime library (psync's
+	// lock words and barriers) rather than to application code. The paper's
+	// LLVM pass instruments only the application; runtime-internal atomics
+	// execute below the annotation layer, so the static verifier and the
+	// dynamic sanitizer exempt them from region-enclosure checks.
+	Runtime bool
 }
 
 // Program is the instruction-site table for one workload binary.
@@ -78,19 +91,41 @@ func NewProgram() *Program {
 // Site registers (or looks up) an instruction site by name. Re-registering
 // the same name must use the same kind and width.
 func (p *Program) Site(name string, kind Kind, width int) Site {
+	return p.register(name, kind, width, false)
+}
+
+// RuntimeSite registers a runtime-internal instruction site (see
+// SiteInfo.Runtime). The psync layer registers its lock and barrier
+// instructions through this so annotation checkers can tell library code
+// from application code.
+func (p *Program) RuntimeSite(name string, kind Kind, width int) Site {
+	return p.register(name, kind, width, true)
+}
+
+func (p *Program) register(name string, kind Kind, width int, runtime bool) Site {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s, ok := p.byName[name]; ok {
 		si := p.sites[s]
-		if si.Kind != kind || si.Width != width {
+		if si.Kind != kind || si.Width != width || si.Runtime != runtime {
 			panic(fmt.Sprintf("disasm: site %q re-registered with different signature", name))
 		}
 		return s
 	}
 	s := Site(len(p.sites))
-	p.sites = append(p.sites, SiteInfo{Site: s, Name: name, Kind: kind, Width: width})
+	p.sites = append(p.sites, SiteInfo{Site: s, Name: name, Kind: kind, Width: width, Runtime: runtime})
 	p.byName[name] = s
 	return s
+}
+
+// Sites returns a copy of the site table in registration (PC) order — the
+// "disassembly listing" static analyses walk.
+func (p *Program) Sites() []SiteInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SiteInfo, len(p.sites))
+	copy(out, p.sites)
+	return out
 }
 
 // Disassemble recovers the site information behind a PC, as the detector's

@@ -1,0 +1,119 @@
+package disasm
+
+import "testing"
+
+// TestUnknownPCEdges exercises every way a PC can fall outside the
+// synthetic text segment: below the base, misaligned within it, exactly at
+// the end, far past the end, and the empty-program case.
+func TestUnknownPCEdges(t *testing.T) {
+	empty := NewProgram()
+	if _, ok := empty.Disassemble(CodeBase); ok {
+		t.Error("empty program must not disassemble its own base")
+	}
+
+	p := NewProgram()
+	s := p.Site("edge.only", KindStore, 8)
+	cases := []struct {
+		name string
+		pc   uint64
+	}{
+		{"zero", 0},
+		{"below base", CodeBase - InstrBytes},
+		{"just below base", CodeBase - 1},
+		{"misaligned +1", s.PC() + 1},
+		{"misaligned +3", s.PC() + 3},
+		{"text end", p.TextEnd()},
+		{"far past end", p.TextEnd() + 64*InstrBytes},
+	}
+	for _, c := range cases {
+		if info, ok := p.Disassemble(c.pc); ok {
+			t.Errorf("%s (0x%x): unexpectedly disassembled to %+v", c.name, c.pc, info)
+		}
+	}
+	if info, ok := p.Disassemble(s.PC()); !ok || info.Site != s {
+		t.Errorf("valid PC failed to disassemble: %+v ok=%v", info, ok)
+	}
+}
+
+// TestAtomicKindReadsAndWrites pins the locked-RMW property the sharing
+// classifier and the layout predictor both depend on: KindAtomic counts as
+// both a load and a store, while the plain kinds are one-directional.
+func TestAtomicKindReadsAndWrites(t *testing.T) {
+	cases := []struct {
+		kind          Kind
+		reads, writes bool
+	}{
+		{KindLoad, true, false},
+		{KindStore, false, true},
+		{KindAtomic, true, true},
+		{KindOther, false, false},
+	}
+	for _, c := range cases {
+		if c.kind.Reads() != c.reads || c.kind.Writes() != c.writes {
+			t.Errorf("%s: Reads=%v Writes=%v, want %v/%v",
+				c.kind, c.kind.Reads(), c.kind.Writes(), c.reads, c.writes)
+		}
+	}
+}
+
+// TestOverlappingWidthSites registers sites of different widths that touch
+// overlapping bytes of the same word: the disassembly must recover each
+// site's own width (the detector distinguishes true from false sharing by
+// byte overlap, so a wrong width miscounts the overlap).
+func TestOverlappingWidthSites(t *testing.T) {
+	p := NewProgram()
+	wide := p.Site("ovl.store8", KindStore, 8)
+	narrow := p.Site("ovl.load4", KindLoad, 4)
+	atomic := p.Site("ovl.cas1", KindAtomic, 1)
+	for _, c := range []struct {
+		s     Site
+		kind  Kind
+		width int
+	}{{wide, KindStore, 8}, {narrow, KindLoad, 4}, {atomic, KindAtomic, 1}} {
+		info, ok := p.Disassemble(c.s.PC())
+		if !ok || info.Kind != c.kind || info.Width != c.width {
+			t.Errorf("site %d: got %+v ok=%v, want kind=%s width=%d", c.s, info, ok, c.kind, c.width)
+		}
+	}
+}
+
+// TestRuntimeSiteRegistration checks that RuntimeSite marks the site as
+// runtime-internal, that the flag participates in the signature check, and
+// that idempotent re-registration still works.
+func TestRuntimeSiteRegistration(t *testing.T) {
+	p := NewProgram()
+	rt := p.RuntimeSite("psynclike.cas", KindAtomic, 8)
+	info, ok := p.Disassemble(rt.PC())
+	if !ok || !info.Runtime {
+		t.Errorf("runtime site not marked: %+v ok=%v", info, ok)
+	}
+	if again := p.RuntimeSite("psynclike.cas", KindAtomic, 8); again != rt {
+		t.Error("idempotent runtime re-registration should return the same site")
+	}
+	app := p.Site("app.store", KindStore, 8)
+	if info, _ := p.Disassemble(app.PC()); info.Runtime {
+		t.Error("application site must not be marked runtime")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a runtime site as an application site should panic")
+		}
+	}()
+	p.Site("psynclike.cas", KindAtomic, 8)
+}
+
+// TestSitesReturnsCopy verifies the listing accessor snapshots the table:
+// mutating the returned slice must not corrupt later disassembly.
+func TestSitesReturnsCopy(t *testing.T) {
+	p := NewProgram()
+	s := p.Site("copy.load", KindLoad, 4)
+	listing := p.Sites()
+	if len(listing) != 1 || listing[0].Name != "copy.load" {
+		t.Fatalf("listing %+v", listing)
+	}
+	listing[0].Kind = KindStore
+	listing[0].Name = "tampered"
+	if info, _ := p.Disassemble(s.PC()); info.Kind != KindLoad || info.Name != "copy.load" {
+		t.Errorf("mutating the listing leaked into the program: %+v", info)
+	}
+}

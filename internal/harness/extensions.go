@@ -16,6 +16,7 @@ func init() {
 		{"energy", "Intro claim: false sharing's energy penalty, and repair's recovery", energyExp},
 		{"commit-cost", "§4.4: PTSB commit cost under 4 KiB vs 2 MiB pages", commitCost},
 		{"prediction", "Extension: Cheetah-style speedup prediction vs measured manual fix", predictionExp},
+		{"static-layout", "Extension: tmilint static layout predictor vs dynamic detector", staticLayout},
 	}
 }
 

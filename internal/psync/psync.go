@@ -80,11 +80,14 @@ func NewManager(prog *disasm.Program, space *mem.AddrSpace, base, size uint64, i
 		regionBase: base, regionNext: base, regionEnd: base + size,
 		space: space,
 	}
-	m.sitePtr = prog.Site("psync.lockword.deref", disasm.KindLoad, 8)
-	m.siteCAS = prog.Site("psync.mutex.cas", disasm.KindAtomic, 8)
-	m.siteSpin = prog.Site("psync.mutex.spinload", disasm.KindLoad, 8)
-	m.siteRel = prog.Site("psync.mutex.release", disasm.KindAtomic, 8)
-	m.siteBarArr = prog.Site("psync.barrier.arrive", disasm.KindAtomic, 8)
+	// Runtime sites: these instructions live in the synchronization library,
+	// below the compiler pass that inserts region annotations, so annotation
+	// checkers must not demand region enclosure for them.
+	m.sitePtr = prog.RuntimeSite("psync.lockword.deref", disasm.KindLoad, 8)
+	m.siteCAS = prog.RuntimeSite("psync.mutex.cas", disasm.KindAtomic, 8)
+	m.siteSpin = prog.RuntimeSite("psync.mutex.spinload", disasm.KindLoad, 8)
+	m.siteRel = prog.RuntimeSite("psync.mutex.release", disasm.KindAtomic, 8)
+	m.siteBarArr = prog.RuntimeSite("psync.barrier.arrive", disasm.KindAtomic, 8)
 	return m
 }
 

@@ -40,8 +40,8 @@ const writerSentinel = ^uint64(0)
 // appAddr.
 func (m *Manager) NewRWMutex(name string, appAddr uint64) *RWMutex {
 	rw := &RWMutex{mgr: m, appAddr: appAddr, name: name}
-	rw.siteRd = m.prog.Site("psync.rwlock.rdlock", disasm.KindAtomic, 8)
-	rw.siteWr = m.prog.Site("psync.rwlock.wrlock", disasm.KindAtomic, 8)
+	rw.siteRd = m.prog.RuntimeSite("psync.rwlock.rdlock", disasm.KindAtomic, 8)
+	rw.siteWr = m.prog.RuntimeSite("psync.rwlock.wrlock", disasm.KindAtomic, 8)
 	if m.Indirect {
 		rw.objAddr = m.allocObject()
 		tr, fault := m.space.Translate(appAddr, true)

@@ -105,6 +105,10 @@ type Config struct {
 	TeardownIdleIntervals int
 	// Trace records structured runtime events into Report.Tracer.
 	Trace bool
+	// Sanitize enables the runtime annotation sanitizer: region balance,
+	// access-kind/site-kind agreement, and atomics-inside-regions are
+	// asserted while the simulation runs (see core.Config.Sanitize).
+	Sanitize bool
 }
 
 // DefaultDetectInterval is the detection-thread analysis period in simulated
@@ -138,6 +142,7 @@ func Run(w workload.Workload, cfg Config) (*Report, error) {
 		AdaptivePeriod:        cfg.AdaptivePeriod,
 		TeardownIdleIntervals: cfg.TeardownIdleIntervals,
 		Trace:                 cfg.Trace,
+		Sanitize:              cfg.Sanitize,
 	}
 	if c.DetectIntervalSec <= 0 {
 		c.DetectIntervalSec = DefaultDetectInterval

@@ -25,6 +25,15 @@ const (
 // The detector disassembles the site's PC to recover the access kind and
 // width, exactly as TMI disassembles a real binary. Obtain sites from
 // Env.Site during Setup.
+//
+// The annotation contract: a site's declared kind must match every access
+// performed through it — plain loads through SiteLoad, plain stores through
+// SiteStore, atomic operations through SiteAtomic. The Thread atomics
+// bracket each SiteAtomic access with the region callbacks code-centric
+// consistency requires (the analogue of the paper's LLVM pass); routing a
+// plain Load/Store through a SiteAtomic site therefore models an atomic the
+// pass missed, and tmilint (internal/analysis) flags it as the consistency
+// hazard it is.
 type Site struct {
 	PC    uint64
 	Kind  SiteKind
@@ -43,6 +52,20 @@ const (
 	Release
 	SeqCst
 )
+
+func (o MemOrder) String() string {
+	switch o {
+	case Relaxed:
+		return "relaxed"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
+	case SeqCst:
+		return "seq_cst"
+	}
+	return "?"
+}
 
 // Mutex is an opaque handle to a runtime-managed lock. Under TMI the lock
 // word the application sees is replaced by an indirection to a cache-line

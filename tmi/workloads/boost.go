@@ -16,10 +16,11 @@ type spinlockpool struct {
 	variant Variant
 	iters   int
 
-	pool  []workload.Mutex
-	slots uint64
-	bar   workload.Barrier
-	sSlot workload.Site
+	pool    []workload.Mutex
+	slots   uint64
+	bar     workload.Barrier
+	sSlot   workload.Site
+	sSlotLd workload.Site
 }
 
 // Spinlockpool constructs the benchmark.
@@ -62,6 +63,7 @@ func (s *spinlockpool) Setup(env workload.Env) error {
 	s.slots = env.Alloc(poolLocks*64, 64)
 	s.bar = env.NewBarrier("spinlockpool.bar", n)
 	s.sSlot = env.Site("spinlockpool.slot", workload.SiteStore, 8)
+	s.sSlotLd = env.Site("spinlockpool.slot_load", workload.SiteLoad, 8)
 	return nil
 }
 
@@ -71,7 +73,7 @@ func (s *spinlockpool) Body(t workload.Thread) {
 		k := rng.Intn(poolLocks)
 		t.Lock(s.pool[k])
 		slot := s.slots + uint64(k)*64
-		t.Store(s.sSlot, slot, t.Load(s.sSlot, slot)+1)
+		t.Store(s.sSlot, slot, t.Load(s.sSlotLd, slot)+1)
 		t.Unlock(s.pool[k])
 		t.Work(120)
 	}
@@ -111,6 +113,10 @@ type shptr struct {
 	bar      workload.Barrier
 
 	sRef, sCtr workload.Site
+	// The lock variant updates the refcount with plain accesses (the mutex
+	// orders them), so it registers load/store sites; only the lock-free
+	// variant's accesses are atomic instructions.
+	sRefLd, sRefSt workload.Site
 }
 
 // ShptrRelaxed uses relaxed atomic refcounts.
@@ -170,7 +176,12 @@ func (s *shptr) Setup(env workload.Env) error {
 	}
 	s.counters = env.Alloc(int(s.stride)*n, int(uint64(env.PageSize())))
 	s.bar = env.NewBarrier("shptr.bar", n)
-	s.sRef = env.Site("shptr.refcount", workload.SiteAtomic, 8)
+	if s.useLock {
+		s.sRefLd = env.Site("shptr.refcount_load", workload.SiteLoad, 8)
+		s.sRefSt = env.Site("shptr.refcount_store", workload.SiteStore, 8)
+	} else {
+		s.sRef = env.Site("shptr.refcount", workload.SiteAtomic, 8)
+	}
 	s.sCtr = env.Site("shptr.counter", workload.SiteStore, 8)
 	return nil
 }
@@ -183,7 +194,7 @@ func (s *shptr) Body(t workload.Thread) {
 		if i%refcountEvery == 0 {
 			if s.useLock {
 				t.Lock(s.mu)
-				t.Store(s.sRef, s.refcount, t.Load(s.sRef, s.refcount)+1)
+				t.Store(s.sRefSt, s.refcount, t.Load(s.sRefLd, s.refcount)+1)
 				t.Unlock(s.mu)
 			} else {
 				t.AtomicAdd(s.sRef, s.refcount, 1, workload.Relaxed)

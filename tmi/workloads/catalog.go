@@ -67,7 +67,7 @@ func Manual(name string) (workload.Workload, error) {
 func ByName(name string) (workload.Workload, error) {
 	extras := []workload.Workload{
 		Leveldb(VariantClean), WordTearing(false), WordTearing(true),
-		CannealSwap(), CholeskyFlag(),
+		CannealSwap(), CholeskyFlag(), Misannotated(),
 	}
 	for _, w := range Suite() {
 		if w.Name() == name {

@@ -186,7 +186,7 @@ var _ workload.Workload = (*choleskyFlag)(nil)
 func (c *choleskyFlag) Name() string { return "cholesky-flag" }
 
 func (c *choleskyFlag) Info() workload.Info {
-	return workload.Info{Threads: 2, FootprintMB: 1, UsesCustomSync: false,
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true, UsesCustomSync: false,
 		Desc: "Figure 12: volatile-flag spin that hangs without CCC"}
 }
 
