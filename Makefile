@@ -1,13 +1,14 @@
-# Build, test and lint entry points. `make ci` is the gate a PR must pass:
-# tier-1 build+test, the race detector over the fast suite, and lint
-# (gofmt, go vet, and tmilint's static annotation verification of the
-# whole workload catalog).
+# Build, test and lint entry points. `make check` is the gate a PR must
+# pass: tier-1 build+test, lint (gofmt, go vet, and tmilint's static
+# annotation verification of the whole workload catalog) and mc (tmimc's
+# exhaustive model-checking of the litmus kernels, plus the negative
+# fixture that must diverge).
 
 GO ?= go
 
-.PHONY: all build test race lint tmilint fmt ci
+.PHONY: all build test race lint tmilint mc fmt ci check
 
-all: build
+all: check
 
 build:
 	$(GO) build ./...
@@ -30,8 +31,17 @@ fmt:
 tmilint:
 	$(GO) run ./cmd/tmilint
 
+# mc machine-checks CCC soundness: the clean litmus kernels must be
+# SC-equivalent and race-free under exhaustive DPOR, and the deliberately
+# under-annotated fixture must produce an SC divergence.
+mc:
+	$(GO) run ./cmd/tmimc
+	$(GO) run ./cmd/tmimc -workload litmus-brokenfence -expect-divergence
+
 lint: fmt
 	$(GO) vet ./...
 	$(GO) run ./cmd/tmilint
 
 ci: build test lint
+
+check: ci mc

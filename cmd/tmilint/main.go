@@ -13,6 +13,7 @@
 //	tmilint -predict none                 # lint only
 //	tmilint -sites -workloads leveldb     # dump the per-PC site model
 //	tmilint -table2                       # print the Table 2 policy matrix
+//	tmilint -json                         # machine-readable report (internal/toolio)
 //
 // Exit status: 0 when every linted workload is clean, 1 when any finding
 // was reported, 2 on usage errors.
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/ccc"
+	"repro/internal/toolio"
 	"repro/tmi"
 	"repro/tmi/workload"
 	"repro/tmi/workloads"
@@ -46,6 +48,7 @@ func main() {
 		sites   = flag.Bool("sites", false, "dump the per-PC site classification for each linted workload")
 		lines   = flag.Bool("lines", false, "dump every predicted shared line, not just the comparison summary")
 		table2  = flag.Bool("table2", false, "print the Table 2 region-interaction policy matrix and exit")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable toolio report on stdout (suppresses human output)")
 	)
 	flag.Parse()
 
@@ -70,8 +73,10 @@ func main() {
 		lintSet = splitList(*names)
 	}
 
-	exit := 0
-	fmt.Printf("tmilint: verifying %d workload(s) (env=%s, seed=%d)\n", len(lintSet), *env, *seed)
+	rep := toolio.NewReport("tmilint")
+	if !*jsonOut {
+		fmt.Printf("tmilint: verifying %d workload(s) (env=%s, seed=%d)\n", len(lintSet), *env, *seed)
+	}
 	for _, name := range lintSet {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -81,64 +86,90 @@ func main() {
 		m, err := analysis.BuildModel(w, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tmilint: %s: %v\n", name, err)
-			exit = 1
+			rep.Add(toolio.Finding{Workload: name, Rule: "error", Detail: err.Error()})
 			continue
 		}
 		findings := analysis.Verify(m)
-		status := "ok"
-		if len(findings) > 0 {
-			status = fmt.Sprintf("%d finding(s)", len(findings))
-			exit = 1
-		}
-		fmt.Printf("  %-22s %-12s %5d sites, %5d lines, %8d ops\n",
-			name, status, len(m.Sites), len(m.Lines), m.Ops)
 		for _, f := range findings {
-			fmt.Printf("    %s\n", f)
+			rep.Add(toolio.Finding{Workload: f.Workload, Rule: f.Rule, Site: f.Site, PC: f.PC, Detail: f.Detail})
 		}
-		if *sites {
-			dumpSites(m)
+		rep.AddStat(name+".sites", float64(len(m.Sites)))
+		rep.AddStat(name+".lines", float64(len(m.Lines)))
+		rep.AddStat(name+".ops", float64(m.Ops))
+		if !*jsonOut {
+			status := "ok"
+			if len(findings) > 0 {
+				status = fmt.Sprintf("%d finding(s)", len(findings))
+			}
+			fmt.Printf("  %-22s %-12s %5d sites, %5d lines, %8d ops\n",
+				name, status, len(m.Sites), len(m.Lines), m.Ops)
+			for _, f := range findings {
+				fmt.Printf("    %s\n", f)
+			}
+			if *sites {
+				dumpSites(m)
+			}
 		}
 	}
 
 	if *predict != "none" && *predict != "" {
-		fmt.Printf("\nstatic false-sharing prediction vs dynamic detection (tmi-detect):\n")
+		if !*jsonOut {
+			fmt.Printf("\nstatic false-sharing prediction vs dynamic detection (tmi-detect):\n")
+		}
 		for _, name := range splitList(*predict) {
-			if err := comparePrediction(name, opt, *lines); err != nil {
+			acc, err := comparePrediction(name, opt, *lines && !*jsonOut)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "tmilint: %s: %v\n", name, err)
-				exit = 1
+				rep.Add(toolio.Finding{Workload: name, Rule: "error", Detail: err.Error()})
+				continue
+			}
+			rep.AddStat(name+".predict_static_false", float64(acc.StaticFalse))
+			rep.AddStat(name+".predict_dynamic_false", float64(acc.DynamicFalse))
+			rep.AddStat(name+".predict_common", float64(acc.Common))
+			rep.AddStat(name+".predict_precision", acc.Precision)
+			rep.AddStat(name+".predict_recall", acc.Recall)
+			if !*jsonOut {
+				fmt.Printf("  %s\n", acc)
 			}
 		}
 	}
-	os.Exit(exit)
+	if *jsonOut {
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tmilint:", err)
+			os.Exit(2)
+		}
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
 }
 
-func comparePrediction(name string, opt analysis.Options, dumpLines bool) error {
+func comparePrediction(name string, opt analysis.Options, dumpLines bool) (analysis.Accuracy, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
-		return err
+		return analysis.Accuracy{}, err
 	}
 	m, err := analysis.BuildModel(w, opt)
 	if err != nil {
-		return err
+		return analysis.Accuracy{}, err
 	}
 	// A fresh instance for the dynamic run: workloads carry state.
 	dyn, err := workloads.ByName(name)
 	if err != nil {
-		return err
+		return analysis.Accuracy{}, err
 	}
 	rep, err := tmi.Run(dyn, tmi.Config{System: tmi.TMIDetect, Seed: opt.Seed, Threads: opt.Threads})
 	if err != nil {
-		return err
+		return analysis.Accuracy{}, err
 	}
 	acc := analysis.CompareFalseSharing(m, rep.Lines, analysis.DefaultMinAccesses)
-	fmt.Printf("  %s\n", acc)
 	if dumpLines {
 		for _, p := range m.PredictLines() {
 			fmt.Printf("    line 0x%x: %s sharing, %d threads (%d writers), %d accesses\n",
 				p.Line, p.Class, p.Threads, p.Writers, p.Accesses)
 		}
 	}
-	return nil
+	return acc, nil
 }
 
 func dumpSites(m *analysis.Model) {

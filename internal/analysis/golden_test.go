@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/tmi"
+	"repro/tmi/workloads"
+)
+
+// TestPredictionGolden pins the layout predictor's accuracy on tmilint's
+// default comparison set (seed 1, default threads). Both sides of the
+// comparison are deterministic, so these are exact expectations, not
+// tolerances: any drift in the static predictor, the dynamic detector or
+// the workloads' layouts shows up here as a hard failure and must be
+// re-justified, not absorbed.
+func TestPredictionGolden(t *testing.T) {
+	want := []analysis.Accuracy{
+		{Workload: "histogramfs", StaticFalse: 2, DynamicFalse: 1, Common: 1, Precision: 0.5, Recall: 1},
+		{Workload: "lreg", StaticFalse: 2, DynamicFalse: 2, Common: 2, Precision: 1, Recall: 1},
+		{Workload: "stringmatch", StaticFalse: 3, DynamicFalse: 1, Common: 1, Precision: 1.0 / 3, Recall: 1},
+	}
+	for _, exp := range want {
+		exp := exp
+		t.Run(exp.Workload, func(t *testing.T) {
+			w, err := workloads.ByName(exp.Workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := analysis.BuildModel(w, analysis.Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("BuildModel: %v", err)
+			}
+			dyn, err := workloads.ByName(exp.Workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := tmi.Run(dyn, tmi.Config{System: tmi.TMIDetect, Seed: 1})
+			if err != nil {
+				t.Fatalf("dynamic run: %v", err)
+			}
+			got := analysis.CompareFalseSharing(m, rep.Lines, analysis.DefaultMinAccesses)
+			if got.StaticFalse != exp.StaticFalse || got.DynamicFalse != exp.DynamicFalse ||
+				got.Common != exp.Common ||
+				math.Abs(got.Precision-exp.Precision) > 1e-9 ||
+				math.Abs(got.Recall-exp.Recall) > 1e-9 {
+				t.Errorf("accuracy drifted:\n got  %s\n want %s", got, exp)
+			}
+		})
+	}
+}

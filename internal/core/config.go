@@ -6,7 +6,12 @@
 // evaluation.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim/machine"
+	"repro/tmi/workload"
+)
 
 // Setup selects which system runs the workload.
 type Setup int
@@ -112,6 +117,23 @@ type Config struct {
 	// Trace records structured runtime events (sync, regions, faults,
 	// commits, repair) into Report.Tracer.
 	Trace bool
+	// ForceProtect arms the PTSB over every heap and globals page at
+	// startup (threads converted to processes immediately), without
+	// enabling detection. Only meaningful for TMI setups; the model
+	// checker uses it with TMIAlloc to exercise page twinning under CCC
+	// with no timers in the schedule space.
+	ForceProtect bool
+	// Scheduler, when non-nil, replaces the machine's min-clock policy
+	// with an external strategy consulted at every instruction boundary
+	// (machine.Scheduler). The model checker's control half.
+	Scheduler machine.Scheduler
+	// Observer, when non-nil, taps the run's visible-event stream (see
+	// hooks.go). The model checker's observation half.
+	Observer Observer
+	// PostRun, when non-nil, runs after the workload finishes (whether or
+	// not it validated) with setup-style memory access — how the model
+	// checker fingerprints final states.
+	PostRun func(env workload.Env)
 	// Sanitize cross-checks the CCC annotation contract at simulation time
 	// (tmilint's dynamic half): every access's direction must match its
 	// site's disassembled kind, no plain access may issue from an atomic

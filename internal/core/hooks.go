@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sim/cache"
+	"repro/internal/sim/machine"
+)
+
+// This file fixes the runtime's hook-chain composition. Hooks used to be
+// composed by nested closure wrapping, so the invocation order depended on
+// the textual order the wrapping happened in — adding a new subsystem (the
+// sanitizer, then the model-checker observer) silently reshuffled who saw
+// an event first, and region exit did not unwind in reverse of region
+// enter. Chains are now built from declared layers sorted by a fixed
+// priority, so composition is deterministic regardless of the order layers
+// are registered in:
+//
+//	region enter:  tracer → sanitizer → observer → controller (CCC)
+//	region exit:   controller → observer → sanitizer → tracer (reverse)
+//	post-access:   tracer → sanitizer → observer → controller (costs sum)
+//	value/sync/wake: tracer → sanitizer → observer → controller
+//
+// The tracer is outermost so the trace brackets everything the other
+// layers do; the CCC controller is innermost because it owns the semantics
+// (its Enter performs the PTSB flush the others only observe). The order is
+// pinned by TestHookChainOrderIsDeterministic.
+
+// layerPriority orders hook layers outermost-first.
+type layerPriority int
+
+const (
+	layerTracer layerPriority = iota
+	layerSanitizer
+	layerObserver
+	layerController
+)
+
+// hookLayer is one subsystem's contribution to the machine hook chain. Any
+// field may be nil.
+type hookLayer struct {
+	prio        layerPriority
+	regionEnter func(t *machine.Thread, k machine.RegionKind)
+	regionExit  func(t *machine.Thread, k machine.RegionKind)
+	postAccess  func(t *machine.Thread, acc *machine.Access, res cache.Result) int64
+	onValue     func(t *machine.Thread, acc *machine.Access, val uint64)
+	onSync      func(t *machine.Thread)
+	onWake      func(t, other *machine.Thread)
+}
+
+// composedHooks is the deterministic composition of a layer set.
+type composedHooks struct {
+	regionEnter func(t *machine.Thread, k machine.RegionKind)
+	regionExit  func(t *machine.Thread, k machine.RegionKind)
+	postAccess  func(t *machine.Thread, acc *machine.Access, res cache.Result) int64
+	onValue     func(t *machine.Thread, acc *machine.Access, val uint64)
+	onSync      func(t *machine.Thread)
+	onWake      func(t, other *machine.Thread)
+}
+
+// composeLayers sorts layers by priority (stably, so equal priorities keep
+// registration order) and fuses them: enter-like hooks run outermost-first,
+// regionExit runs innermost-first, and postAccess costs are summed.
+func composeLayers(layers []hookLayer) composedHooks {
+	sorted := append([]hookLayer(nil), layers...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].prio < sorted[j].prio })
+
+	var c composedHooks
+	var enters, exits []func(t *machine.Thread, k machine.RegionKind)
+	var posts []func(t *machine.Thread, acc *machine.Access, res cache.Result) int64
+	var values []func(t *machine.Thread, acc *machine.Access, val uint64)
+	var syncs []func(t *machine.Thread)
+	var wakes []func(t, other *machine.Thread)
+	for _, l := range sorted {
+		if l.regionEnter != nil {
+			enters = append(enters, l.regionEnter)
+		}
+		if l.regionExit != nil {
+			exits = append(exits, l.regionExit)
+		}
+		if l.postAccess != nil {
+			posts = append(posts, l.postAccess)
+		}
+		if l.onValue != nil {
+			values = append(values, l.onValue)
+		}
+		if l.onSync != nil {
+			syncs = append(syncs, l.onSync)
+		}
+		if l.onWake != nil {
+			wakes = append(wakes, l.onWake)
+		}
+	}
+	if len(enters) > 0 {
+		c.regionEnter = func(t *machine.Thread, k machine.RegionKind) {
+			for _, f := range enters {
+				f(t, k)
+			}
+		}
+	}
+	if len(exits) > 0 {
+		c.regionExit = func(t *machine.Thread, k machine.RegionKind) {
+			for i := len(exits) - 1; i >= 0; i-- {
+				exits[i](t, k)
+			}
+		}
+	}
+	if len(posts) > 0 {
+		c.postAccess = func(t *machine.Thread, acc *machine.Access, res cache.Result) int64 {
+			var total int64
+			for _, f := range posts {
+				total += f(t, acc, res)
+			}
+			return total
+		}
+	}
+	if len(values) > 0 {
+		c.onValue = func(t *machine.Thread, acc *machine.Access, val uint64) {
+			for _, f := range values {
+				f(t, acc, val)
+			}
+		}
+	}
+	if len(syncs) > 0 {
+		c.onSync = func(t *machine.Thread) {
+			for _, f := range syncs {
+				f(t)
+			}
+		}
+	}
+	if len(wakes) > 0 {
+		c.onWake = func(t, other *machine.Thread) {
+			for _, f := range wakes {
+				f(t, other)
+			}
+		}
+	}
+	return c
+}
+
+// AccessInfo is one completed memory access as reported to an Observer:
+// plain data, no machine internals, so observers (the model checker) stay
+// decoupled from the simulator.
+type AccessInfo struct {
+	TID     int
+	PC      uint64
+	Addr    uint64
+	Size    int
+	Write   bool
+	Atomic  bool
+	Value   uint64 // datum: loaded value (old value for RMW/CAS) or stored value
+	Runtime bool   // access issued by a runtime-library site (psync internals)
+	Site    string // site name when the PC disassembles, else ""
+}
+
+// Observer receives the run's visible-event stream: every memory access
+// with its datum, CCC region boundaries, psync synchronization points, and
+// scheduler wake edges. This is the model checker's tap: together with
+// Config.Scheduler it gives full observe-and-control over interleavings.
+// All callbacks run on the simulated thread with the machine quiescent.
+type Observer interface {
+	OnAccess(AccessInfo)
+	OnRegion(tid int, k machine.RegionKind, enter bool)
+	OnSync(tid int)
+	OnWake(waker, wakee int)
+}
+
+// buildLayers assembles the runtime's hook layers from its configuration.
+func (rt *runtime) buildLayers() []hookLayer {
+	var layers []hookLayer
+	// Controller layer (always): CCC region semantics, PTSB commit at sync,
+	// and the base cost model.
+	layers = append(layers, hookLayer{
+		prio:        layerController,
+		regionEnter: rt.cccCtl.Enter,
+		regionExit:  rt.cccCtl.Exit,
+		postAccess:  rt.postAccess,
+		onSync:      rt.commitSync,
+	})
+	if rt.san != nil {
+		layers = append(layers, hookLayer{
+			prio:        layerSanitizer,
+			regionEnter: rt.san.enter,
+			regionExit:  rt.san.exit,
+			postAccess: func(t *machine.Thread, acc *machine.Access, res cache.Result) int64 {
+				rt.san.onAccess(t, acc)
+				return 0
+			},
+		})
+	}
+	if rt.cfg.Observer != nil {
+		obs := rt.cfg.Observer
+		layers = append(layers, hookLayer{
+			prio: layerObserver,
+			regionEnter: func(t *machine.Thread, k machine.RegionKind) {
+				obs.OnRegion(t.ID, k, true)
+			},
+			regionExit: func(t *machine.Thread, k machine.RegionKind) {
+				obs.OnRegion(t.ID, k, false)
+			},
+			onValue: func(t *machine.Thread, acc *machine.Access, val uint64) {
+				info := AccessInfo{
+					TID: t.ID, PC: acc.PC, Addr: acc.Addr, Size: acc.Size,
+					Write: acc.Write, Atomic: acc.Atomic, Value: val,
+				}
+				if si, ok := rt.prog.Disassemble(acc.PC); ok {
+					info.Runtime = si.Runtime
+					info.Site = si.Name
+				}
+				obs.OnAccess(info)
+			},
+			onSync: func(t *machine.Thread) { obs.OnSync(t.ID) },
+			onWake: func(t, other *machine.Thread) { obs.OnWake(t.ID, other.ID) },
+		})
+	}
+	if rt.tracer != nil {
+		layers = append(layers, rt.tracerLayer())
+	}
+	return layers
+}

@@ -101,6 +101,7 @@ type runtime struct {
 	hangs  map[int]string
 	events []string
 	tracer *trace.Recorder
+	hooksC composedHooks
 
 	timeline    []IntervalSample
 	lastHITM    uint64
@@ -223,42 +224,21 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 	if cfg.Trace {
 		rt.tracer = trace.NewRecorder(1 << 16)
 	}
-	regionEnter := rt.cccCtl.Enter
-	regionExit := rt.cccCtl.Exit
-	postAccess := rt.postAccess
 	if cfg.Sanitize {
 		rt.san = newSanitizer(rt.prog, threads)
-		innerEnter, innerExit := regionEnter, regionExit
-		regionEnter = func(t *machine.Thread, k machine.RegionKind) {
-			rt.san.enter(t, k)
-			innerEnter(t, k)
-		}
-		regionExit = func(t *machine.Thread, k machine.RegionKind) {
-			innerExit(t, k)
-			rt.san.exit(t, k)
-		}
-		postAccess = func(t *machine.Thread, acc *machine.Access, res cache.Result) int64 {
-			rt.san.onAccess(t, acc)
-			return rt.postAccess(t, acc, res)
-		}
 	}
-	if rt.tracer != nil {
-		innerEnter, innerExit := regionEnter, regionExit
-		regionEnter = func(t *machine.Thread, k machine.RegionKind) {
-			rt.tracer.Record(t.Clock(), t.ID, trace.KindRegionEnter, uint64(k))
-			innerEnter(t, k)
-		}
-		regionExit = func(t *machine.Thread, k machine.RegionKind) {
-			rt.tracer.Record(t.Clock(), t.ID, trace.KindRegionExit, uint64(k))
-			innerExit(t, k)
-		}
-	}
+	// Hook chains compose from declared layers in a fixed priority order
+	// (see hooks.go), so sanitizer, tracer and observer interleave
+	// deterministically no matter which configuration flags are set.
+	rt.hooksC = composeLayers(rt.buildLayers())
 	rt.mc.SetHooks(machine.Hooks{
 		SpaceFor:    rt.cccCtl.SpaceFor,
 		OnFault:     rt.onFault,
-		PostAccess:  postAccess,
-		RegionEnter: regionEnter,
-		RegionExit:  regionExit,
+		PostAccess:  rt.hooksC.postAccess,
+		RegionEnter: rt.hooksC.regionEnter,
+		RegionExit:  rt.hooksC.regionExit,
+		OnValue:     rt.hooksC.onValue,
+		OnWake:      rt.hooksC.onWake,
 		OnFirstTouch: func(t *machine.Thread, tr mem.Translation) int64 {
 			if tr.Page == nil { // bulk-region fault: one-time cost, compressed
 				return backing.FaultCost() / BulkFaultCompression
@@ -266,6 +246,9 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 			return backing.FaultCost()
 		},
 	})
+	if cfg.Scheduler != nil {
+		rt.mc.SetScheduler(cfg.Scheduler)
+	}
 
 	// Workload setup runs before any simulated time passes.
 	env := &runEnv{rt: rt}
@@ -291,6 +274,17 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 		for _, p := range rt.heapPages() {
 			if err := rt.ptsbE.Protect(p, rt.repairE.Spaces()); err != nil {
 				return nil, fmt.Errorf("core: sheriff protect: %w", err)
+			}
+		}
+	}
+	// ForceProtect arms the PTSB over the whole heap from startup while
+	// keeping the TMI environment (CCC on, no monitors under TMIAlloc) —
+	// how the model checker exercises page twinning deterministically.
+	if cfg.ForceProtect && cfg.Setup.IsTMI() {
+		rt.repairE.ConvertAllNow(0)
+		for _, p := range rt.heapPages() {
+			if err := rt.ptsbE.Protect(p, rt.repairE.Spaces()); err != nil {
+				return nil, fmt.Errorf("core: force protect: %w", err)
 			}
 		}
 	}
@@ -349,15 +343,37 @@ func (rt *runtime) layout() []string {
 	return out
 }
 
+// onSync is psync's synchronization-boundary hook; it dispatches through
+// the composed chain (tracer → sanitizer → observer → controller).
 func (rt *runtime) onSync(t *machine.Thread) {
-	if rt.tracer != nil {
-		rt.tracer.Record(t.Clock(), t.ID, trace.KindSync, 0)
+	if rt.hooksC.onSync != nil {
+		rt.hooksC.onSync(t)
 	}
+}
+
+// commitSync is the controller layer's sync handler: the PTSB commit.
+func (rt *runtime) commitSync(t *machine.Thread) {
 	if cost := rt.ptsbE.Commit(t); cost > 0 {
 		t.AddCost(cost)
 		if rt.tracer != nil {
 			rt.tracer.Record(t.Clock(), t.ID, trace.KindCommit, uint64(cost))
 		}
+	}
+}
+
+// tracerLayer is the outermost hook layer: structured event recording.
+func (rt *runtime) tracerLayer() hookLayer {
+	return hookLayer{
+		prio: layerTracer,
+		regionEnter: func(t *machine.Thread, k machine.RegionKind) {
+			rt.tracer.Record(t.Clock(), t.ID, trace.KindRegionEnter, uint64(k))
+		},
+		regionExit: func(t *machine.Thread, k machine.RegionKind) {
+			rt.tracer.Record(t.Clock(), t.ID, trace.KindRegionExit, uint64(k))
+		},
+		onSync: func(t *machine.Thread) {
+			rt.tracer.Record(t.Clock(), t.ID, trace.KindSync, 0)
+		},
 	}
 }
 
@@ -645,6 +661,9 @@ func (rt *runtime) execute(w workload.Workload) (*Report, error) {
 		rep.MemBytes += rt.det.FootprintBytes()
 	}
 
+	if rt.cfg.PostRun != nil {
+		rt.cfg.PostRun(&runEnv{rt: rt})
+	}
 	if len(rt.hangs) > 0 {
 		rep.Hung = true
 		for _, reason := range rt.hangs {

@@ -1,0 +1,214 @@
+// Package mc is a stateless model checker for the simulated machine: it
+// drives the deterministic simulator through all relevant thread
+// interleavings and machine-checks two properties the rest of the repository
+// only asserts:
+//
+//   - SC-equivalence of the PTSB under code-centric consistency: for a
+//     correctly annotated program, the set of observable outcomes with page
+//     twinning armed everywhere equals the set under the unmonitored
+//     sequentially-consistent baseline (the paper's Lemma 3.1, checked
+//     per-kernel by exhaustive exploration instead of proved).
+//   - Data-race freedom, via a vector-clock happens-before detector fed by
+//     the same event stream (CCC region callbacks and psync operations are
+//     the synchronization vocabulary).
+//
+// The exploration is classic dynamic partial-order reduction (Flanagan &
+// Godefroid, POPL'05) by re-execution: each run is one schedule, recorded as
+// the sequence of scheduler decisions; reversible conflicts found in the
+// trace seed backtrack points, and sleep sets prune redundant siblings. A
+// controlled scheduler (machine.Scheduler) replaces the min-clock policy so
+// the interleaving is exactly the decision sequence, and a core.Observer
+// taps every access, region boundary, sync point and wake edge.
+//
+// Conflict granularity is the checker's one PTSB-specific insight: under
+// page twinning, two accesses to the *same page* are dependent even on
+// different cache lines, because the first private write snapshots the whole
+// page (a later plain read of any byte of that page reads the snapshot, not
+// the shared original). Exploring PTSB configurations with cache-line
+// conflicts is therefore unsound — the litmus-brokenfence divergence is only
+// reachable by reversing two same-page, different-line writes. The explorer
+// uses page-granular conflicts whenever the PTSB is armed and line-granular
+// conflicts for the baseline. For the same reason a PTSB commit is treated
+// as a write to every page the thread dirtied since its last sync point.
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/tmi/workload"
+)
+
+// Factory builds a fresh workload instance for one run. Exploration
+// re-executes the program many times and workloads keep per-run state
+// (result registers), so every run needs its own instance.
+type Factory func() (workload.Workload, error)
+
+// Options configures one exploration of one system configuration.
+type Options struct {
+	// Setup selects the system under exploration (core.Pthreads for the SC
+	// reference, core.TMIAlloc with ForceProtect for the PTSB).
+	Setup core.Setup
+	// ForceProtect arms the PTSB over the whole heap from startup (only
+	// meaningful for TMI setups). Also switches conflict detection to page
+	// granularity — see the package comment.
+	ForceProtect bool
+	// Threads overrides the workload's default thread count when > 0.
+	Threads int
+	// Seed fixes the simulator's determinism; it must not vary between runs
+	// of one exploration (replay depends on it). Defaults to 1.
+	Seed int64
+	// MaxRuns bounds the number of executions in exhaustive modes (safety
+	// valve, default 50000). Exceeding it leaves Complete=false.
+	MaxRuns int
+	// MaxEvents bounds scheduler decisions per run (default 20000); a run
+	// exceeding it fails the exploration — the workload is too large for
+	// exhaustive checking and should use Sample instead.
+	MaxEvents int
+	// Race enables the vector-clock race detector on every explored run.
+	Race bool
+	// Schedules is the number of random-walk runs for Sample.
+	Schedules int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 50000
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 20000
+	}
+	if o.Schedules <= 0 {
+		o.Schedules = 64
+	}
+	return o
+}
+
+// OutcomeInfo aggregates the runs that produced one outcome fingerprint.
+type OutcomeInfo struct {
+	Outcome string `json:"outcome"`
+	Count   int    `json:"count"`
+	// Schedule is the full decision sequence (thread IDs) of the first run
+	// that produced this outcome.
+	Schedule []int `json:"schedule,omitempty"`
+	// Validated reports whether that run passed the workload's Validate.
+	Validated     bool   `json:"validated"`
+	ValidationErr string `json:"validation_err,omitempty"`
+}
+
+// RaceReport is one data race: an unordered pair of accesses to the same
+// byte, at least one a write, not both synchronization operations. Races are
+// deduplicated by unordered PC pair across all explored schedules.
+type RaceReport struct {
+	Site1  string `json:"site1"`
+	Site2  string `json:"site2"`
+	PC1    uint64 `json:"pc1"`
+	PC2    uint64 `json:"pc2"`
+	TID1   int    `json:"tid1"`
+	TID2   int    `json:"tid2"`
+	Write1 bool   `json:"write1"`
+	Write2 bool   `json:"write2"`
+	Addr   uint64 `json:"addr"`
+	// Schedule is the decision sequence of the run the race was first
+	// observed in (a witness interleaving).
+	Schedule []int `json:"schedule,omitempty"`
+}
+
+func (r RaceReport) String() string {
+	return fmt.Sprintf("race on 0x%x: T%d %s (%s) vs T%d %s (%s)",
+		r.Addr, r.TID1, rw(r.Write1), r.Site1, r.TID2, rw(r.Write2), r.Site2)
+}
+
+func rw(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}
+
+// ExploreResult is the outcome of one exploration.
+type ExploreResult struct {
+	Workload string `json:"workload"`
+	Setup    string `json:"setup"`
+	Mode     string `json:"mode"` // "dpor", "brute", "random"
+	// Runs counts every execution, including sleep-blocked ones.
+	Runs int `json:"runs"`
+	// SleepBlocked counts runs abandoned because every enabled thread was in
+	// the sleep set (redundant interleavings DPOR pruned mid-flight).
+	SleepBlocked int `json:"sleep_blocked"`
+	// Complete reports that the exploration exhausted the schedule space
+	// (always false for Mode "random").
+	Complete bool `json:"complete"`
+	// MaxDepth is the longest decision sequence seen.
+	MaxDepth int `json:"max_depth"`
+	// Outcomes maps outcome fingerprint to aggregate info.
+	Outcomes map[string]*OutcomeInfo `json:"outcomes"`
+	// Races are the deduplicated data races across all runs.
+	Races []RaceReport `json:"races,omitempty"`
+}
+
+// OutcomeSet returns the sorted outcome fingerprints observed.
+func (r *ExploreResult) OutcomeSet() []string {
+	out := make([]string, 0, len(r.Outcomes))
+	for o := range r.Outcomes {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllValidated reports whether every completed run passed Validate.
+func (r *ExploreResult) AllValidated() bool {
+	for _, info := range r.Outcomes {
+		if !info.Validated {
+			return false
+		}
+	}
+	return true
+}
+
+// Explore exhaustively enumerates the relevant interleavings of the
+// workload under opts using sleep-set DPOR and returns the aggregated
+// outcome set (and races, if enabled).
+func Explore(f Factory, opts Options) (*ExploreResult, error) {
+	e, err := newExplorer(f, opts, modeDPOR)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.exploreTree(); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}
+
+// EnumerateAll explores every interleaving by brute-force DFS, with no
+// reduction. Exponential; use only to cross-validate DPOR on small kernels.
+func EnumerateAll(f Factory, opts Options) (*ExploreResult, error) {
+	e, err := newExplorer(f, opts, modeBrute)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.exploreTree(); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}
+
+// Sample runs opts.Schedules random-walk schedules (uniform choice among
+// runnable threads at every decision) — the bounded fallback for workloads
+// too large to explore exhaustively. The first run is the deterministic
+// default schedule so the common-case outcome is always present.
+func Sample(f Factory, opts Options) (*ExploreResult, error) {
+	e, err := newExplorer(f, opts, modeRandom)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.sample(); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}

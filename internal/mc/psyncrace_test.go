@@ -1,0 +1,227 @@
+package mc_test
+
+// Race-detector coverage for every psync primitive: each fixture comes in a
+// race-free variant (synchronization orders the conflicting accesses — the
+// detector must stay silent) and a seeded-racy variant (one access escapes
+// the discipline — the detector must fire). The fixtures are deliberately
+// tiny, but they run under Sample rather than Explore: mutex acquisition
+// spins before blocking, so exhaustive exploration of lock-heavy code
+// explodes combinatorially. Races here are value-independent, so any
+// schedule — including the default one Sample always runs first — exhibits
+// the missing happens-before edge.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/tmi/workload"
+)
+
+// mutexWL: two threads each increment a shared counter once under a mutex.
+// Racy variant: thread 1 skips the lock.
+type mutexWL struct {
+	racy     bool
+	ctr      uint64
+	mu       workload.Mutex
+	sLd, sSt workload.Site
+}
+
+func (w *mutexWL) Name() string { return "mcfix-mutex" }
+func (w *mutexWL) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, Desc: "mutex-guarded counter"}
+}
+func (w *mutexWL) Setup(env workload.Env) error {
+	w.ctr = env.Alloc(env.PageSize(), env.PageSize())
+	w.mu = env.NewMutex("fix.mu")
+	w.sLd = env.Site("fix.ctr_load", workload.SiteLoad, 8)
+	w.sSt = env.Site("fix.ctr_store", workload.SiteStore, 8)
+	return nil
+}
+func (w *mutexWL) Body(t workload.Thread) {
+	if w.racy && t.ID() == 1 {
+		t.Store(w.sSt, w.ctr, t.Load(w.sLd, w.ctr)+1)
+		return
+	}
+	t.Lock(w.mu)
+	t.Store(w.sSt, w.ctr, t.Load(w.sLd, w.ctr)+1)
+	t.Unlock(w.mu)
+}
+func (w *mutexWL) Validate(env workload.Env) error {
+	if !w.racy {
+		if got := env.Load(w.ctr, 8); got != 2 {
+			return fmt.Errorf("mcfix-mutex: counter = %d, want 2", got)
+		}
+	}
+	return nil
+}
+
+// rwlockWL: thread 0 writes under the write lock, thread 1 reads under the
+// read lock. Racy variant: the reader skips the lock.
+type rwlockWL struct {
+	racy     bool
+	x        uint64
+	rw       workload.RWMutex
+	sLd, sSt workload.Site
+}
+
+func (w *rwlockWL) Name() string { return "mcfix-rwlock" }
+func (w *rwlockWL) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, Desc: "rwlock-guarded read"}
+}
+func (w *rwlockWL) Setup(env workload.Env) error {
+	w.x = env.Alloc(env.PageSize(), env.PageSize())
+	w.rw = env.NewRWMutex("fix.rw")
+	w.sLd = env.Site("fix.x_load", workload.SiteLoad, 8)
+	w.sSt = env.Site("fix.x_store", workload.SiteStore, 8)
+	return nil
+}
+func (w *rwlockWL) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.WLock(w.rw)
+		t.Store(w.sSt, w.x, 1)
+		t.WUnlock(w.rw)
+		return
+	}
+	if w.racy {
+		t.Load(w.sLd, w.x)
+		return
+	}
+	t.RLock(w.rw)
+	t.Load(w.sLd, w.x)
+	t.RUnlock(w.rw)
+}
+func (w *rwlockWL) Validate(env workload.Env) error { return nil }
+
+// barrierWL: thread 0 publishes before the barrier, thread 1 consumes after
+// it. Racy variant: the consumer reads *before* arriving at the barrier, so
+// nothing orders it against the producer's write.
+type barrierWL struct {
+	racy     bool
+	x        uint64
+	bar      workload.Barrier
+	sLd, sSt workload.Site
+}
+
+func (w *barrierWL) Name() string { return "mcfix-barrier" }
+func (w *barrierWL) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, Desc: "barrier-ordered publish"}
+}
+func (w *barrierWL) Setup(env workload.Env) error {
+	w.x = env.Alloc(env.PageSize(), env.PageSize())
+	w.bar = env.NewBarrier("fix.bar", env.Threads())
+	w.sLd = env.Site("fix.x_load", workload.SiteLoad, 8)
+	w.sSt = env.Site("fix.x_store", workload.SiteStore, 8)
+	return nil
+}
+func (w *barrierWL) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sSt, w.x, 1)
+		t.Wait(w.bar)
+		return
+	}
+	if w.racy {
+		t.Load(w.sLd, w.x)
+		t.Wait(w.bar)
+		return
+	}
+	t.Wait(w.bar)
+	t.Load(w.sLd, w.x)
+}
+func (w *barrierWL) Validate(env workload.Env) error { return nil }
+
+// spinpoolWL packs two lock words into one cache line with NewMutexAt (the
+// spinlockpool idiom). Clean variant: each thread takes its own pooled lock
+// and bumps its own counter — the counters falsely share a line, which is a
+// layout problem, not a race, and the detector must stay silent. Racy
+// variant: both threads bump counter 0, each under its *own* lock — distinct
+// locks order nothing.
+type spinpoolWL struct {
+	racy     bool
+	c0, c1   uint64
+	mu       [2]workload.Mutex
+	sLd, sSt workload.Site
+}
+
+func (w *spinpoolWL) Name() string { return "mcfix-spinpool" }
+func (w *spinpoolWL) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, Desc: "packed spinlock pool"}
+}
+func (w *spinpoolWL) Setup(env workload.Env) error {
+	words := env.Alloc(64, 64) // both lock words on one line
+	w.mu[0] = env.NewMutexAt("fix.pool0", words)
+	w.mu[1] = env.NewMutexAt("fix.pool1", words+8)
+	ctrs := env.Alloc(64, 64) // both counters on one (falsely shared) line
+	w.c0, w.c1 = ctrs, ctrs+8
+	w.sLd = env.Site("fix.pool_load", workload.SiteLoad, 8)
+	w.sSt = env.Site("fix.pool_store", workload.SiteStore, 8)
+	return nil
+}
+func (w *spinpoolWL) Body(t workload.Thread) {
+	id := t.ID()
+	ctr := w.c0
+	if id == 1 && !w.racy {
+		ctr = w.c1
+	}
+	t.Lock(w.mu[id])
+	t.Store(w.sSt, ctr, t.Load(w.sLd, ctr)+1)
+	t.Unlock(w.mu[id])
+}
+func (w *spinpoolWL) Validate(env workload.Env) error { return nil }
+
+func sampleRaces(t *testing.T, w func() workload.Workload, opts mc.Options) []mc.RaceReport {
+	t.Helper()
+	opts.Race = true
+	opts.Schedules = 40
+	res, err := mc.Sample(func() (workload.Workload, error) { return w(), nil }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllValidated() {
+		t.Fatalf("fixture failed validation: %+v", res.Outcomes)
+	}
+	return res.Races
+}
+
+func TestPsyncRaceDetection(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(racy bool) workload.Workload
+		site string // substring expected in the racy report's sites
+	}{
+		{"mutex", func(r bool) workload.Workload { return &mutexWL{racy: r} }, "fix.ctr"},
+		{"rwlock", func(r bool) workload.Workload { return &rwlockWL{racy: r} }, "fix.x"},
+		{"barrier", func(r bool) workload.Workload { return &barrierWL{racy: r} }, "fix.x"},
+		{"spinpool", func(r bool) workload.Workload { return &spinpoolWL{racy: r} }, "fix.pool"},
+	}
+	for _, tc := range cases {
+		for _, cfg := range []struct {
+			label string
+			opts  mc.Options
+		}{
+			{"baseline", mc.BaselineOptions()},
+			{"ptsb", mc.PTSBOptions()},
+		} {
+			t.Run(tc.name+"/"+cfg.label, func(t *testing.T) {
+				if races := sampleRaces(t, func() workload.Workload { return tc.make(false) }, cfg.opts); len(races) != 0 {
+					t.Errorf("race-free variant reported races: %v", races)
+				}
+				races := sampleRaces(t, func() workload.Workload { return tc.make(true) }, cfg.opts)
+				if len(races) == 0 {
+					t.Fatal("seeded race not detected")
+				}
+				var hit bool
+				for _, r := range races {
+					if strings.Contains(r.Site1+r.Site2, tc.site) {
+						hit = true
+					}
+				}
+				if !hit {
+					t.Errorf("no race mentions site %q: %v", tc.site, races)
+				}
+				t.Logf("%s/%s: %d race(s), first: %s", tc.name, cfg.label, len(races), races[0])
+			})
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package mc
+
+// Vector-clock happens-before race detection over the observer event
+// stream. The synchronization vocabulary is exactly what the CCC annotation
+// contract declares synchronizing:
+//
+//   - atomic accesses (acquire+release join on a per-address clock);
+//   - runtime-library accesses (psync lock words, barrier words — the
+//     synchronization runtime is below the annotation pass and trusted);
+//   - plain accesses inside an assembly region (annotated as synchronizing
+//     by the EnterAsm/ExitAsm callbacks);
+//   - scheduler wake edges (Unblock: the wakee inherits the waker's clock);
+//   - psync sync boundaries (epoch increments at acquire/release).
+//
+// Two accesses race when they touch a common byte, at least one writes,
+// they are unordered by happens-before, and they are not both
+// synchronization operations. Detection is value-independent, so a race is
+// usually visible in many schedules — including the default one — but
+// lock-release edges can mask races in some interleavings, which is why the
+// detector runs on every explored schedule and reports are deduplicated by
+// unordered PC pair.
+
+import "repro/internal/core"
+
+type accEpoch struct {
+	tid   int
+	clk   uint32
+	pc    uint64
+	site  string
+	sync  bool
+	write bool
+}
+
+type byteState struct {
+	w     *accEpoch
+	reads map[int]*accEpoch
+}
+
+type raceDetector struct {
+	n      int
+	vc     []vclock
+	addrVC map[uint64]vclock
+	bytes  map[uint64]*byteState
+	races  []RaceReport
+	seen   map[[2]uint64]bool
+}
+
+func newRaceDetector(threads int) *raceDetector {
+	d := &raceDetector{
+		n:      threads,
+		vc:     make([]vclock, threads),
+		addrVC: make(map[uint64]vclock),
+		bytes:  make(map[uint64]*byteState),
+		seen:   make(map[[2]uint64]bool),
+	}
+	for i := range d.vc {
+		d.vc[i] = make(vclock, threads)
+		d.vc[i][i] = 1 // distinguish "never synchronized" epochs per thread
+	}
+	return d
+}
+
+// ordered reports whether the recorded epoch happens-before thread t's
+// current time.
+func (d *raceDetector) ordered(e *accEpoch, t int) bool {
+	return e.clk <= d.vc[t][e.tid]
+}
+
+func (d *raceDetector) onAccess(info core.AccessInfo, inAsm bool) {
+	t := info.TID
+	syncish := info.Atomic || info.Runtime || inAsm
+	if syncish {
+		if l := d.addrVC[info.Addr]; l != nil {
+			d.vc[t].join(l) // acquire
+		}
+	}
+	ep := &accEpoch{
+		tid: t, clk: d.vc[t][t], pc: info.PC, site: info.Site,
+		sync: syncish, write: info.Write,
+	}
+	for b := info.Addr; b < info.Addr+uint64(info.Size); b++ {
+		st := d.bytes[b]
+		if st == nil {
+			st = &byteState{reads: make(map[int]*accEpoch)}
+			d.bytes[b] = st
+		}
+		if w := st.w; w != nil && w.tid != t && !(w.sync && syncish) && !d.ordered(w, t) {
+			d.report(w, ep, b)
+		}
+		if info.Write {
+			for _, r := range st.reads {
+				if r.tid != t && !(r.sync && syncish) && !d.ordered(r, t) {
+					d.report(r, ep, b)
+				}
+			}
+			st.w = ep
+		} else {
+			st.reads[t] = ep
+		}
+	}
+	if syncish {
+		// Release: publish the thread's clock on the address, then advance
+		// the local epoch so later plain accesses are distinguishable.
+		cp := make(vclock, d.n)
+		cp.join(d.vc[t])
+		d.addrVC[info.Addr] = cp
+		d.vc[t][t]++
+	}
+}
+
+func (d *raceDetector) onSync(tid int) {
+	d.vc[tid][tid]++
+}
+
+func (d *raceDetector) onWake(waker, wakee int) {
+	d.vc[wakee].join(d.vc[waker])
+	d.vc[waker][waker]++
+}
+
+func (d *raceDetector) report(prev, cur *accEpoch, addr uint64) {
+	key := [2]uint64{prev.pc, cur.pc}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	if d.seen[key] {
+		return
+	}
+	d.seen[key] = true
+	d.races = append(d.races, RaceReport{
+		Site1: prev.site, Site2: cur.site,
+		PC1: prev.pc, PC2: cur.pc,
+		TID1: prev.tid, TID2: cur.tid,
+		Write1: prev.write, Write2: cur.write,
+		Addr: addr,
+	})
+}

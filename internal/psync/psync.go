@@ -224,17 +224,35 @@ func (m *Manager) NewBarrier(name string, parties int) *Barrier {
 // Wait arrives at the barrier and blocks until all parties have arrived.
 func (b *Barrier) Wait(t *machine.Thread) {
 	b.mgr.sync(t)
-	t.AtomicRMW(b.mgr.siteBarArr.PC(), b.objAddr, 8, func(old uint64) uint64 { return old + 1 })
-	b.arrived++
-	if b.arrived == b.parties {
-		b.arrived = 0
+	// Register before arriving: the last arriver scans b.waiting, and an
+	// Unblock delivered before this thread reaches Block is kept as a wake
+	// permit, so register-then-arrive never loses a wakeup.
+	b.waiting = append(b.waiting, t)
+	last := false
+	t.AtomicRMW(b.mgr.siteBarArr.PC(), b.objAddr, 8, func(old uint64) uint64 {
+		// The "am I last" decision must be atomic with the arrival RMW:
+		// only then is the last arriver's RMW the one that synchronizes
+		// with every earlier arrival, so the chain on the barrier word
+		// (plus the wake edges below) orders all pre-barrier effects
+		// before every departure. Counting outside the RMW let another
+		// thread's count overtake this thread's RMW, and a waiter could
+		// depart with no happens-before edge from a straggler's arrival.
+		b.arrived++
+		if b.arrived == b.parties {
+			b.arrived = 0
+			last = true
+		}
+		return old + 1
+	})
+	if last {
 		b.Generations++
 		for _, w := range b.waiting {
-			t.Unblock(w, WakeCost)
+			if w != t {
+				t.Unblock(w, WakeCost)
+			}
 		}
 		b.waiting = b.waiting[:0]
 	} else {
-		b.waiting = append(b.waiting, t)
 		t.Block()
 	}
 	b.mgr.sync(t)

@@ -13,6 +13,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -81,7 +82,32 @@ type Hooks struct {
 	// OnFirstTouch charges the page-fault cost for a first touch of a page
 	// (or a COW copy). If nil, DefaultFaultCost is used.
 	OnFirstTouch func(t *Thread, tr mem.Translation) (cost int64)
+	// OnValue observes the data value of every completed access, after the
+	// data operation: the value loaded (for loads and the old value of
+	// RMW/CAS) or the value stored. Unlike PostAccess it sees the datum, so
+	// a model checker can log per-thread observed values.
+	OnValue func(t *Thread, acc *Access, val uint64)
+	// OnWake observes t unblocking (or depositing a wake permit for) other —
+	// the scheduler-level happens-before edge a race detector needs.
+	OnWake func(t, other *Thread)
 }
+
+// Scheduler is an external scheduling strategy. When installed via
+// SetScheduler it replaces the default min-clock policy entirely: at every
+// scheduling point the machine calls Pick with the runnable threads (sorted
+// by ID, never empty) and runs the returned thread next. Clock-slack
+// batching is disabled so every instruction is a scheduling point — the
+// interleaving is exactly the sequence of Pick results, which is what lets
+// a model checker enumerate schedules. Returning nil abandons the run: the
+// machine aborts with ErrScheduleAbandoned (how DPOR prunes sleep-blocked
+// interleavings).
+type Scheduler interface {
+	Pick(ready []*Thread) *Thread
+}
+
+// ErrScheduleAbandoned reports that the installed Scheduler gave up on the
+// run by returning nil from Pick.
+var ErrScheduleAbandoned = errors.New("machine: schedule abandoned by scheduler")
 
 // DefaultFaultCost is the minor page-fault cost when no OnFirstTouch hook is
 // installed.
@@ -144,6 +170,7 @@ type Machine struct {
 	cacheS  *cache.System
 	threads []*Thread
 	hooks   Hooks
+	sched   Scheduler
 
 	mu      sync.Mutex
 	timers  []*timer
@@ -185,6 +212,10 @@ func New(cfg Config) *Machine {
 
 // SetHooks installs the runtime hooks. Must be called before Run.
 func (m *Machine) SetHooks(h Hooks) { m.hooks = h }
+
+// SetScheduler installs an external scheduling strategy (nil restores the
+// default min-clock policy). Must be called before Run.
+func (m *Machine) SetScheduler(s Scheduler) { m.sched = s }
 
 // Cache returns the coherence system.
 func (m *Machine) Cache() *cache.System { return m.cacheS }
@@ -242,6 +273,19 @@ func (m *Machine) Run(bodies []func(*Thread)) error {
 			t.state = Done
 		}
 	}
+	// Choose the first thread up front: with an external scheduler an
+	// immediate abandon must fail the run before any goroutine starts.
+	var first *Thread
+	if m.sched != nil {
+		if ready := m.readyThreads(); len(ready) > 0 {
+			if first = m.sched.Pick(ready); first == nil {
+				m.failure = ErrScheduleAbandoned
+				return m.failure
+			}
+		}
+	} else {
+		first = m.minReady()
+	}
 	var wg sync.WaitGroup
 	for _, t := range m.threads {
 		if t.body == nil {
@@ -251,27 +295,33 @@ func (m *Machine) Run(bodies []func(*Thread)) error {
 		go func(t *Thread) {
 			defer wg.Done()
 			<-t.runCh
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						if _, ok := r.(abortSentinel); ok {
-							return // controlled unwind after machine abort
+			// A thread woken only so it can unwind (the machine aborted
+			// before it ever ran) must not execute its body.
+			m.mu.Lock()
+			aborted := m.aborted
+			m.mu.Unlock()
+			if !aborted {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(abortSentinel); ok {
+								return // controlled unwind after machine abort
+							}
+							m.mu.Lock()
+							if m.failure == nil {
+								m.failure = fmt.Errorf("machine: thread %d panic: %v", t.ID, r)
+							}
+							m.aborted = true
+							m.mu.Unlock()
 						}
-						m.mu.Lock()
-						if m.failure == nil {
-							m.failure = fmt.Errorf("machine: thread %d panic: %v", t.ID, r)
-						}
-						m.aborted = true
-						m.mu.Unlock()
-					}
+					}()
+					t.body(t)
 				}()
-				t.body(t)
-			}()
+			}
 			m.finish(t)
 		}(t)
 	}
-	// Kick the minimum-clock thread.
-	if first := m.minReady(); first != nil {
+	if first != nil {
 		first.runCh <- struct{}{}
 	} else {
 		close(m.doneCh)
@@ -310,9 +360,24 @@ func (m *Machine) minReady() *Thread {
 	return best
 }
 
+// readyThreads returns the runnable threads in ID order.
+func (m *Machine) readyThreads() []*Thread {
+	var out []*Thread
+	for _, th := range m.threads {
+		if th.state == Ready {
+			out = append(out, th)
+		}
+	}
+	return out
+}
+
 // yield hands the token to the next runnable thread (running due timers
 // first) and, unless t is done, waits until the token comes back.
 func (m *Machine) yield(t *Thread) {
+	if m.sched != nil {
+		m.yieldControlled(t)
+		return
+	}
 	for {
 		m.mu.Lock()
 		next := m.minReady()
@@ -389,6 +454,107 @@ func (m *Machine) yield(t *Thread) {
 	}
 }
 
+// yieldControlled is the scheduling point under an external Scheduler: no
+// clock-slack batching, every yield consults Pick, and a nil Pick abandons
+// the run. Timers and deadlock detection behave as in the default path.
+func (m *Machine) yieldControlled(t *Thread) {
+	for {
+		m.mu.Lock()
+		if m.aborted {
+			m.mu.Unlock()
+			m.shutdown(t)
+			return
+		}
+		min := m.minReady()
+		var due *timer
+		if len(m.timers) > 0 && min != nil && m.timers[0].at <= min.clock {
+			due = m.timers[0]
+			m.timers = m.timers[1:]
+		}
+		if due != nil {
+			m.mu.Unlock()
+			due.fn(due.at)
+			if due.period > 0 {
+				m.mu.Lock()
+				due.at += due.period
+				m.timers = append(m.timers, due)
+				sortTimers(m.timers)
+				m.mu.Unlock()
+			}
+			continue
+		}
+		if min == nil {
+			// Nothing runnable: either everyone is done, or deadlock.
+			blocked := false
+			for _, th := range m.threads {
+				if th.state == Blocked {
+					blocked = true
+				}
+			}
+			if blocked {
+				if m.failure == nil {
+					m.failure = fmt.Errorf("machine: deadlock — all live threads blocked at t=%d", t.clock)
+				}
+				m.aborted = true
+			}
+			m.mu.Unlock()
+			m.shutdown(t)
+			return
+		}
+		ready := m.readyThreads()
+		m.mu.Unlock()
+		next := m.sched.Pick(ready)
+		if next == nil {
+			m.mu.Lock()
+			if m.failure == nil {
+				m.failure = ErrScheduleAbandoned
+			}
+			m.aborted = true
+			m.mu.Unlock()
+			m.shutdown(t)
+			// The caller (step, Block, finish) runs checkAbort next and
+			// unwinds; finish simply returns, ending the goroutine.
+			return
+		}
+		if next == t {
+			return // keep the token
+		}
+		wasDone := t.state == Done
+		next.runCh <- struct{}{}
+		if wasDone {
+			return
+		}
+		<-t.runCh
+		m.checkAbort()
+		return
+	}
+}
+
+// shutdown wakes every parked goroutine so it can unwind (each one runs
+// checkAbort as soon as it holds the token, or skips its body if it never
+// started) and marks the run finished. Safe to call more than once.
+// Shutdown breaks the one-token discipline — every woken goroutine unwinds
+// concurrently — so the state reads and the doneCh close must be serialized
+// under m.mu against other unwinding goroutines.
+func (m *Machine) shutdown(t *Thread) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, th := range m.threads {
+		if th == t || th.body == nil || th.state == Done {
+			continue
+		}
+		select {
+		case th.runCh <- struct{}{}:
+		default:
+		}
+	}
+	select {
+	case <-m.doneCh:
+	default:
+		close(m.doneCh)
+	}
+}
+
 // checkAbort panics out of a thread body when the machine has been aborted
 // (deadlock or external failure); the Run wrapper recovers it.
 func (m *Machine) checkAbort() {
@@ -403,7 +569,12 @@ func (m *Machine) checkAbort() {
 type abortSentinel struct{}
 
 func (m *Machine) finish(t *Thread) {
+	// Under the token discipline this write is single-threaded, but after an
+	// abort the unwinding goroutines run concurrently and shutdown reads
+	// thread states — take the lock so the transition is always visible.
+	m.mu.Lock()
 	t.state = Done
+	m.mu.Unlock()
 	m.yield(t)
 }
 

@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim/mem"
+)
+
+// scriptSched replays a fixed list of thread IDs; when the script runs out
+// it falls back to the lowest-ID runnable thread. A negative ID abandons.
+type scriptSched struct {
+	script []int
+	picks  int
+}
+
+func (s *scriptSched) Pick(ready []*Thread) *Thread {
+	s.picks++
+	if len(s.script) > 0 {
+		id := s.script[0]
+		s.script = s.script[1:]
+		if id < 0 {
+			return nil
+		}
+		for _, t := range ready {
+			if t.ID == id {
+				return t
+			}
+		}
+	}
+	return ready[0]
+}
+
+func schedFixture(t *testing.T, nthreads int) (*Machine, uint64) {
+	t.Helper()
+	memory := mem.NewMemory(mem.PageSize4K)
+	space := mem.NewAddrSpace(memory)
+	file := memory.NewFile("m")
+	space.Map(0x1000, 1, file, 0, false, mem.ProtRW)
+	m := New(Config{Cores: nthreads, Seed: 1, Mem: memory})
+	for _, th := range m.Threads() {
+		th.SetSpace(space)
+	}
+	return m, 0x1000
+}
+
+// TestControlledScheduleOrdersStores proves the Pick sequence fully decides
+// the interleaving: two threads each store their ID, and the scripted order
+// decides who wins the final value.
+func TestControlledScheduleOrdersStores(t *testing.T) {
+	for _, tc := range []struct {
+		script []int
+		want   uint64
+	}{
+		{[]int{0, 1}, 1}, // thread 1 stores last
+		{[]int{1, 0}, 0}, // thread 0 stores last
+	} {
+		m, base := schedFixture(t, 2)
+		m.SetScheduler(&scriptSched{script: tc.script})
+		var got uint64
+		err := m.Run([]func(*Thread){
+			func(th *Thread) { th.Store(0x100, base, 8, 0) },
+			func(th *Thread) { th.Store(0x104, base, 8, 1) },
+		})
+		if err != nil {
+			t.Fatalf("script %v: %v", tc.script, err)
+		}
+		got = uint64(0)
+		if b, err := m.Thread(0).Space().ReadBytes(base, 1); err == nil {
+			got = uint64(b[0])
+		}
+		if got != tc.want {
+			t.Errorf("script %v: final value %d, want %d", tc.script, got, tc.want)
+		}
+	}
+}
+
+// TestOnValueObservesData checks the OnValue hook sees loaded and stored
+// values in token order.
+func TestOnValueObservesData(t *testing.T) {
+	m, base := schedFixture(t, 1)
+	var log []string
+	m.SetHooks(Hooks{OnValue: func(th *Thread, acc *Access, v uint64) {
+		op := "ld"
+		if acc.Write {
+			op = "st"
+		}
+		log = append(log, fmt.Sprintf("%s=%d", op, v))
+	}})
+	err := m.Run([]func(*Thread){func(th *Thread) {
+		th.Store(0x100, base, 8, 7)
+		_ = th.Load(0x104, base, 8)
+		old := th.AtomicRMW(0x108, base, 8, func(o uint64) uint64 { return o + 1 })
+		if old != 7 {
+			t.Errorf("rmw old = %d, want 7", old)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"st=7", "ld=7", "st=7"}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %s, want %s", i, log[i], want[i])
+		}
+	}
+}
+
+// TestSchedulerAbandonAborts checks a nil Pick fails the run with
+// ErrScheduleAbandoned, both at the first pick and mid-run.
+func TestSchedulerAbandonAborts(t *testing.T) {
+	for _, script := range [][]int{{-1}, {0, 0, -1}} {
+		m, base := schedFixture(t, 2)
+		m.SetScheduler(&scriptSched{script: append([]int(nil), script...)})
+		err := m.Run([]func(*Thread){
+			func(th *Thread) {
+				for i := 0; i < 8; i++ {
+					th.Store(0x100, base, 8, uint64(i))
+				}
+			},
+			func(th *Thread) {
+				for i := 0; i < 8; i++ {
+					th.Store(0x104, base+8, 8, uint64(i))
+				}
+			},
+		})
+		if !errors.Is(err, ErrScheduleAbandoned) {
+			t.Errorf("script %v: err = %v, want ErrScheduleAbandoned", script, err)
+		}
+	}
+}
+
+// TestOnWakeReportsUnblock checks the waker→wakee edge reaches OnWake for
+// both a direct unblock and a deposited permit.
+func TestOnWakeReportsUnblock(t *testing.T) {
+	m, base := schedFixture(t, 2)
+	var wakes [][2]int
+	m.SetHooks(Hooks{OnWake: func(waker, wakee *Thread) {
+		wakes = append(wakes, [2]int{waker.ID, wakee.ID})
+	}})
+	err := m.Run([]func(*Thread){
+		func(th *Thread) {
+			th.Block() // parked until thread 1 unblocks it
+			th.Store(0x100, base, 8, 1)
+		},
+		func(th *Thread) {
+			th.Work(500) // let thread 0 reach Block first
+			th.Unblock(th.m.Thread(0), 10)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wakes) != 1 || wakes[0] != [2]int{1, 0} {
+		t.Errorf("wakes = %v, want [[1 0]]", wakes)
+	}
+}

@@ -59,6 +59,7 @@ func (t *Thread) Load(pc, addr uint64, size int) uint64 {
 	t.step(func() int64 {
 		lat, tr := t.access(&acc)
 		v = mem.LoadUint(tr, size)
+		t.onValue(&acc, v)
 		return lat
 	})
 	return v
@@ -70,6 +71,7 @@ func (t *Thread) Store(pc, addr uint64, size int, val uint64) {
 	t.step(func() int64 {
 		lat, tr := t.access(&acc)
 		mem.StoreUint(tr, size, val)
+		t.onValue(&acc, val)
 		return lat
 	})
 }
@@ -84,6 +86,7 @@ func (t *Thread) AtomicRMW(pc, addr uint64, size int, fn func(old uint64) uint64
 		lat, tr := t.access(&acc)
 		old = mem.LoadUint(tr, size)
 		mem.StoreUint(tr, size, fn(old))
+		t.onValue(&acc, old)
 		return lat
 	})
 	return old
@@ -97,6 +100,7 @@ func (t *Thread) AtomicLoad(pc, addr uint64, size int) uint64 {
 	t.step(func() int64 {
 		lat, tr := t.access(&acc)
 		v = mem.LoadUint(tr, size)
+		t.onValue(&acc, v)
 		return lat
 	})
 	return v
@@ -108,6 +112,7 @@ func (t *Thread) AtomicStore(pc, addr uint64, size int, val uint64) {
 	t.step(func() int64 {
 		lat, tr := t.access(&acc)
 		mem.StoreUint(tr, size, val)
+		t.onValue(&acc, val)
 		return lat
 	})
 }
@@ -118,10 +123,12 @@ func (t *Thread) AtomicCAS(pc, addr uint64, size int, old, new uint64) bool {
 	acc := Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
 	t.step(func() int64 {
 		lat, tr := t.access(&acc)
-		if mem.LoadUint(tr, size) == old {
+		cur := mem.LoadUint(tr, size)
+		if cur == old {
 			mem.StoreUint(tr, size, new)
 			ok = true
 		}
+		t.onValue(&acc, cur)
 		return lat
 	})
 	return ok
@@ -143,8 +150,17 @@ func (t *Thread) AtomicPairSwap(pcA, pcB, addrA, addrB uint64, size int) {
 		vb := mem.LoadUint(trB, size)
 		mem.StoreUint(trA, size, vb)
 		mem.StoreUint(trB, size, va)
+		t.onValue(&accA, va)
+		t.onValue(&accB, vb)
 		return latA + latB
 	})
+}
+
+// onValue reports a completed access's datum to the OnValue hook.
+func (t *Thread) onValue(acc *Access, val uint64) {
+	if h := t.m.hooks.OnValue; h != nil {
+		h(t, acc, val)
+	}
 }
 
 // access resolves and executes one memory access: address-space selection,
@@ -259,6 +275,9 @@ func (t *Thread) Block() {
 // If other has not blocked yet, a wake permit is deposited for its next
 // Block, so wakeups are never lost.
 func (t *Thread) Unblock(other *Thread, wakeCost int64) {
+	if h := t.m.hooks.OnWake; h != nil {
+		h(t, other)
+	}
 	w := t.clock + wakeCost
 	if other.state != Blocked {
 		other.permits++

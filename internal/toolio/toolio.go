@@ -1,0 +1,55 @@
+// Package toolio defines the machine-readable report schema shared by the
+// repository's checker CLIs (tmilint, tmimc) under their -json flags. CI
+// consumes one format regardless of which tool produced it: a report is a
+// tool name, a verdict, a flat list of findings and a bag of numeric stats.
+package toolio
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Finding is one diagnostic from any checker. Rule is the stable,
+// tool-scoped identifier CI filters on (tmilint: the verifier rule names;
+// tmimc: "sc-divergence", "data-race", "validation", "incomplete").
+type Finding struct {
+	Tool     string `json:"tool"`
+	Workload string `json:"workload"`
+	Rule     string `json:"rule"`
+	Site     string `json:"site,omitempty"`
+	PC       uint64 `json:"pc,omitempty"`
+	Detail   string `json:"detail"`
+}
+
+// Report is the top-level JSON document a tool emits.
+type Report struct {
+	Tool string `json:"tool"`
+	// OK is true iff Findings is empty — the single bit CI gates on.
+	OK       bool      `json:"ok"`
+	Findings []Finding `json:"findings"`
+	// Stats carries tool-specific counters (runs, outcomes, sites, ...),
+	// keyed "<workload>.<metric>" or plain "<metric>" for globals.
+	Stats map[string]float64 `json:"stats,omitempty"`
+}
+
+// NewReport builds an empty, passing report for one tool.
+func NewReport(tool string) *Report {
+	return &Report{Tool: tool, OK: true, Findings: []Finding{}, Stats: map[string]float64{}}
+}
+
+// Add appends a finding (stamping the tool name) and flips the verdict.
+func (r *Report) Add(f Finding) {
+	f.Tool = r.Tool
+	r.Findings = append(r.Findings, f)
+	r.OK = false
+}
+
+// AddStat records one numeric stat.
+func (r *Report) AddStat(key string, v float64) { r.Stats[key] = v }
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

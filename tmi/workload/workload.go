@@ -230,6 +230,15 @@ type Info struct {
 	Desc string
 }
 
+// Outcomer is an optional Workload extension: a canonical fingerprint of
+// the run's observable result (final registers and memory the program
+// cares about). The model checker uses it to compare outcome sets across
+// schedules and configurations, so the string must be deterministic and
+// must not embed timing.
+type Outcomer interface {
+	Outcome(env Env) string
+}
+
 // Workload is a program that runs on the simulated machine.
 type Workload interface {
 	// Name is the benchmark's name as it appears in the paper's figures.

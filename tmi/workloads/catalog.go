@@ -68,6 +68,8 @@ func ByName(name string) (workload.Workload, error) {
 	extras := []workload.Workload{
 		Leveldb(VariantClean), WordTearing(false), WordTearing(true),
 		CannealSwap(), CholeskyFlag(), Misannotated(),
+		LitmusSB(), LitmusMP(), LitmusLB(), LitmusIRIW(), LitmusCoRR(),
+		LitmusBrokenFence(),
 	}
 	for _, w := range Suite() {
 		if w.Name() == name {
@@ -99,7 +101,12 @@ func Names() []string {
 	for _, w := range Suite() {
 		seen[w.Name()] = true
 	}
-	for _, n := range []string{"leveldb-clean", "wordtear", "wordtear-asm", "canneal-swap", "cholesky-flag"} {
+	for _, n := range []string{
+		"leveldb-clean", "wordtear", "wordtear-asm", "canneal-swap",
+		"cholesky-flag",
+		"litmus-sb", "litmus-mp", "litmus-lb", "litmus-iriw", "litmus-corr",
+		"litmus-brokenfence",
+	} {
 		seen[n] = true
 	}
 	for _, w := range FSSuite() {

@@ -1,0 +1,452 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/tmi/workload"
+)
+
+// This file holds the litmus kernels the model checker (internal/mc,
+// cmd/tmimc) explores exhaustively: the classic shapes from the memory-model
+// literature (SB, MP, LB, IRIW, CoRR), written against the CCC annotation
+// contract so that under sequential consistency — and, if Table 2 holds,
+// under the PTSB with code-centric consistency — the forbidden outcome never
+// appears. Each kernel implements workload.Outcomer so the checker can
+// compare outcome sets across schedules and configurations.
+//
+// The sixth kernel, brokenfence, deliberately breaks the contract: it
+// synchronizes through a *plain* flag, which no CCC region ever flushes.
+// tmilint cannot object — every access matches its site's declared kind —
+// yet under the PTSB the consumer can observe the flag set while still
+// reading a stale private copy of the data page. This is precisely the gap
+// between annotation consistency (PR 1) and SC-equivalence (this PR): only
+// schedule exploration exposes it.
+//
+// Conventions shared by the kernels: each variable lives at offset 0 of its
+// own page so page twinning is exercised per variable; "warm" plain stores
+// at offset 512 create dirty private copies without overlapping any other
+// thread's bytes (no data races in the clean kernels); every thread ends at
+// a barrier, which is a PTSB commit point; loads happen once, never in spin
+// loops, so the schedule space stays finite and small.
+
+// litmusRegs holds per-thread result registers, written by the owning
+// simulated thread only (the machine runs one thread at a time, and the
+// final read happens after Run returns).
+type litmusRegs [4]uint64
+
+const litmusUnread = ^uint64(0)
+
+func reg(v uint64) string {
+	if v == litmusUnread {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// --- SB: store buffering -------------------------------------------------
+
+// litmusSB is Dekker's core: each thread publishes its own flag with a
+// SeqCst store, then reads the other's. SC forbids both threads reading 0.
+// Each thread also warm-dirties the page it will later *read* from, so the
+// atomic loads must be routed to the shared view past a dirty private copy.
+type litmusSB struct {
+	x, y         uint64 // separate pages
+	warm0, warm1 uint64 // warm0 on y's page (t0 writes), warm1 on x's page
+	r            litmusRegs
+	bar          workload.Barrier
+
+	sWarm, sStX, sStY, sLdX, sLdY workload.Site
+}
+
+// LitmusSB constructs the store-buffering litmus test.
+func LitmusSB() workload.Workload { return &litmusSB{} }
+
+var _ workload.Outcomer = (*litmusSB)(nil)
+
+func (w *litmusSB) Name() string { return "litmus-sb" }
+
+func (w *litmusSB) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus SB: SC forbids r0=0,r1=0"}
+}
+
+func (w *litmusSB) Setup(env workload.Env) error {
+	page := env.PageSize()
+	pageX := env.Alloc(page, page)
+	pageY := env.Alloc(page, page)
+	w.x, w.warm1 = pageX, pageX+512
+	w.y, w.warm0 = pageY, pageY+512
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("sb.bar", env.Threads())
+	w.sWarm = env.Site("sb.warm", workload.SiteStore, 8)
+	w.sStX = env.Site("sb.store_x", workload.SiteAtomic, 8)
+	w.sStY = env.Site("sb.store_y", workload.SiteAtomic, 8)
+	w.sLdX = env.Site("sb.load_x", workload.SiteAtomic, 8)
+	w.sLdY = env.Site("sb.load_y", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusSB) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sWarm, w.warm0, 1)
+		t.AtomicStore(w.sStX, w.x, 1, workload.SeqCst)
+		w.r[0] = t.AtomicLoad(w.sLdY, w.y, workload.SeqCst)
+	} else {
+		t.Store(w.sWarm, w.warm1, 2)
+		t.AtomicStore(w.sStY, w.y, 1, workload.SeqCst)
+		w.r[1] = t.AtomicLoad(w.sLdX, w.x, workload.SeqCst)
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusSB) Validate(env workload.Env) error {
+	if w.r[0] == 0 && w.r[1] == 0 {
+		return fmt.Errorf("litmus-sb: r0=0 r1=0 is forbidden under SC")
+	}
+	return nil
+}
+
+func (w *litmusSB) Outcome(env workload.Env) string {
+	return fmt.Sprintf("r0=%s r1=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- MP: message passing -------------------------------------------------
+
+// litmusMP publishes data through a release/acquire flag. The producer
+// dirties the data page (a PTSB twin), so its release-side flush must
+// commit the data before the flag becomes visible. The consumer reads the
+// data only after observing flag==1, which keeps the kernel race-free; SC
+// (and release/acquire) forbid flag==1 with stale data.
+type litmusMP struct {
+	data, flag uint64
+	r          litmusRegs // r[0]=flag seen, r[1]=data seen (litmusUnread if not read)
+	bar        workload.Barrier
+
+	sData, sDataLd, sFlagSt, sFlagLd workload.Site
+}
+
+// LitmusMP constructs the message-passing litmus test.
+func LitmusMP() workload.Workload { return &litmusMP{} }
+
+var _ workload.Outcomer = (*litmusMP)(nil)
+
+func (w *litmusMP) Name() string { return "litmus-mp" }
+
+func (w *litmusMP) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus MP: flag=1 implies data=42"}
+}
+
+func (w *litmusMP) Setup(env workload.Env) error {
+	page := env.PageSize()
+	w.data = env.Alloc(page, page)
+	w.flag = env.Alloc(page, page)
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("mp.bar", env.Threads())
+	w.sData = env.Site("mp.store_data", workload.SiteStore, 8)
+	w.sDataLd = env.Site("mp.load_data", workload.SiteLoad, 8)
+	w.sFlagSt = env.Site("mp.store_flag", workload.SiteAtomic, 8)
+	w.sFlagLd = env.Site("mp.load_flag", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusMP) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sData, w.data, 42)
+		t.AtomicStore(w.sFlagSt, w.flag, 1, workload.Release)
+	} else {
+		w.r[0] = t.AtomicLoad(w.sFlagLd, w.flag, workload.Acquire)
+		if w.r[0] == 1 {
+			w.r[1] = t.Load(w.sDataLd, w.data)
+		}
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusMP) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] != 42 {
+		return fmt.Errorf("litmus-mp: flag=1 but data=%s, want 42", reg(w.r[1]))
+	}
+	return nil
+}
+
+func (w *litmusMP) Outcome(env workload.Env) string {
+	return fmt.Sprintf("flag=%s data=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- LB: load buffering --------------------------------------------------
+
+// litmusLB reads the other thread's variable before publishing its own:
+// SC forbids both loads returning 1 (values out of thin air otherwise).
+type litmusLB struct {
+	x, y uint64
+	r    litmusRegs
+	bar  workload.Barrier
+
+	sStX, sStY, sLdX, sLdY workload.Site
+}
+
+// LitmusLB constructs the load-buffering litmus test.
+func LitmusLB() workload.Workload { return &litmusLB{} }
+
+var _ workload.Outcomer = (*litmusLB)(nil)
+
+func (w *litmusLB) Name() string { return "litmus-lb" }
+
+func (w *litmusLB) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus LB: SC forbids r0=1,r1=1"}
+}
+
+func (w *litmusLB) Setup(env workload.Env) error {
+	page := env.PageSize()
+	w.x = env.Alloc(page, page)
+	w.y = env.Alloc(page, page)
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("lb.bar", env.Threads())
+	w.sStX = env.Site("lb.store_x", workload.SiteAtomic, 8)
+	w.sStY = env.Site("lb.store_y", workload.SiteAtomic, 8)
+	w.sLdX = env.Site("lb.load_x", workload.SiteAtomic, 8)
+	w.sLdY = env.Site("lb.load_y", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusLB) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		w.r[0] = t.AtomicLoad(w.sLdY, w.y, workload.SeqCst)
+		t.AtomicStore(w.sStX, w.x, 1, workload.SeqCst)
+	} else {
+		w.r[1] = t.AtomicLoad(w.sLdX, w.x, workload.SeqCst)
+		t.AtomicStore(w.sStY, w.y, 1, workload.SeqCst)
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusLB) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] == 1 {
+		return fmt.Errorf("litmus-lb: r0=1 r1=1 is forbidden under SC")
+	}
+	return nil
+}
+
+func (w *litmusLB) Outcome(env workload.Env) string {
+	return fmt.Sprintf("r0=%s r1=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- IRIW: independent reads of independent writes -----------------------
+
+// litmusIRIW: two writers publish x and y; two readers read them in
+// opposite orders. SC forbids the readers disagreeing on the write order.
+type litmusIRIW struct {
+	x, y uint64
+	r    litmusRegs // t2: r[0]=x,r[1]=y ; t3: r[2]=y,r[3]=x
+	bar  workload.Barrier
+
+	sStX, sStY, sLdX, sLdY workload.Site
+}
+
+// LitmusIRIW constructs the IRIW litmus test.
+func LitmusIRIW() workload.Workload { return &litmusIRIW{} }
+
+var _ workload.Outcomer = (*litmusIRIW)(nil)
+
+func (w *litmusIRIW) Name() string { return "litmus-iriw" }
+
+func (w *litmusIRIW) Info() workload.Info {
+	return workload.Info{Threads: 4, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus IRIW: readers must agree on the write order"}
+}
+
+func (w *litmusIRIW) Setup(env workload.Env) error {
+	page := env.PageSize()
+	w.x = env.Alloc(page, page)
+	w.y = env.Alloc(page, page)
+	w.r = litmusRegs{litmusUnread, litmusUnread, litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("iriw.bar", env.Threads())
+	w.sStX = env.Site("iriw.store_x", workload.SiteAtomic, 8)
+	w.sStY = env.Site("iriw.store_y", workload.SiteAtomic, 8)
+	w.sLdX = env.Site("iriw.load_x", workload.SiteAtomic, 8)
+	w.sLdY = env.Site("iriw.load_y", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusIRIW) Body(t workload.Thread) {
+	switch t.ID() {
+	case 0:
+		t.AtomicStore(w.sStX, w.x, 1, workload.SeqCst)
+	case 1:
+		t.AtomicStore(w.sStY, w.y, 1, workload.SeqCst)
+	case 2:
+		w.r[0] = t.AtomicLoad(w.sLdX, w.x, workload.SeqCst)
+		w.r[1] = t.AtomicLoad(w.sLdY, w.y, workload.SeqCst)
+	case 3:
+		w.r[2] = t.AtomicLoad(w.sLdY, w.y, workload.SeqCst)
+		w.r[3] = t.AtomicLoad(w.sLdX, w.x, workload.SeqCst)
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusIRIW) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] == 0 && w.r[2] == 1 && w.r[3] == 0 {
+		return fmt.Errorf("litmus-iriw: readers saw x-then-y and y-then-x (forbidden under SC)")
+	}
+	return nil
+}
+
+func (w *litmusIRIW) Outcome(env workload.Env) string {
+	return fmt.Sprintf("r0=%s r1=%s r2=%s r3=%s", reg(w.r[0]), reg(w.r[1]), reg(w.r[2]), reg(w.r[3]))
+}
+
+// --- CoRR: coherent read-read --------------------------------------------
+
+// litmusCoRR: one writer, one reader reading the same variable twice with
+// relaxed atomics. Coherence forbids the second read going backwards. The
+// reader warm-dirties the variable's page first: relaxed atomics must still
+// route to the shared view past the dirty private copy (Table 2 case 2),
+// even though they never flush.
+type litmusCoRR struct {
+	x    uint64
+	warm uint64 // on x's page, reader-written
+	r    litmusRegs
+	bar  workload.Barrier
+
+	sWarm, sSt, sLd workload.Site
+}
+
+// LitmusCoRR constructs the coherence read-read litmus test.
+func LitmusCoRR() workload.Workload { return &litmusCoRR{} }
+
+var _ workload.Outcomer = (*litmusCoRR)(nil)
+
+func (w *litmusCoRR) Name() string { return "litmus-corr" }
+
+func (w *litmusCoRR) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus CoRR: relaxed reads of one variable never go backwards"}
+}
+
+func (w *litmusCoRR) Setup(env workload.Env) error {
+	page := env.PageSize()
+	w.x = env.Alloc(page, page)
+	w.warm = w.x + 512
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("corr.bar", env.Threads())
+	w.sWarm = env.Site("corr.warm", workload.SiteStore, 8)
+	w.sSt = env.Site("corr.store_x", workload.SiteAtomic, 8)
+	w.sLd = env.Site("corr.load_x", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusCoRR) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.AtomicStore(w.sSt, w.x, 1, workload.Relaxed)
+	} else {
+		t.Store(w.sWarm, w.warm, 9)
+		w.r[0] = t.AtomicLoad(w.sLd, w.x, workload.Relaxed)
+		w.r[1] = t.AtomicLoad(w.sLd, w.x, workload.Relaxed)
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusCoRR) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] == 0 {
+		return fmt.Errorf("litmus-corr: reads went backwards (1 then 0), coherence violated")
+	}
+	return nil
+}
+
+func (w *litmusCoRR) Outcome(env workload.Env) string {
+	return fmt.Sprintf("r0=%s r1=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- brokenfence: the under-annotated fixture ----------------------------
+
+// litmusBrokenFence is MP with the synchronization annotation missing: the
+// flag is a *plain* variable, so no CCC region ever flushes the PTSB around
+// it, and the consumer scratch-dirties the data page before looking at the
+// flag. Statically everything is consistent (tmilint finds nothing: plain
+// sites perform plain accesses). Dynamically, under the PTSB, the consumer
+// can read flag==1 from shared memory while its private copy of the data
+// page still holds 0 — an outcome SC forbids. tmimc must catch this with a
+// minimal counterexample schedule; it is also the seeded data race for the
+// race-detector tests (plain flag and data accesses race by construction).
+type litmusBrokenFence struct {
+	data, scratch uint64 // same page: scratch is the consumer's dirtying store
+	flag          uint64 // its own page, plain
+	r             litmusRegs
+	bar           workload.Barrier
+
+	sData, sDataLd, sScratch, sFlagSt, sFlagLd workload.Site
+}
+
+// LitmusBrokenFence constructs the deliberately under-annotated MP fixture.
+func LitmusBrokenFence() workload.Workload { return &litmusBrokenFence{} }
+
+var _ workload.Outcomer = (*litmusBrokenFence)(nil)
+
+func (w *litmusBrokenFence) Name() string { return "litmus-brokenfence" }
+
+func (w *litmusBrokenFence) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesCustomSync: true,
+		Desc: "under-annotated MP: plain flag never flushes the PTSB"}
+}
+
+func (w *litmusBrokenFence) Setup(env workload.Env) error {
+	page := env.PageSize()
+	base := env.Alloc(page, page)
+	w.data, w.scratch = base, base+512
+	w.flag = env.Alloc(page, page)
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("brokenfence.bar", env.Threads())
+	w.sData = env.Site("brokenfence.store_data", workload.SiteStore, 8)
+	w.sDataLd = env.Site("brokenfence.load_data", workload.SiteLoad, 8)
+	w.sScratch = env.Site("brokenfence.scratch", workload.SiteStore, 8)
+	w.sFlagSt = env.Site("brokenfence.store_flag", workload.SiteStore, 8)
+	w.sFlagLd = env.Site("brokenfence.load_flag", workload.SiteLoad, 8)
+	return nil
+}
+
+func (w *litmusBrokenFence) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sData, w.data, 42)
+		t.Store(w.sFlagSt, w.flag, 1) // plain publish: the missing fence
+	} else {
+		// The consumer dirties the data page first (its private copy now
+		// snapshots data as of this instant), then polls the flag once.
+		t.Store(w.sScratch, w.scratch, 7)
+		w.r[0] = t.Load(w.sFlagLd, w.flag)
+		if w.r[0] == 1 {
+			w.r[1] = t.Load(w.sDataLd, w.data)
+		}
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusBrokenFence) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] != 42 {
+		return fmt.Errorf("litmus-brokenfence: flag=1 but data=%s, want 42", reg(w.r[1]))
+	}
+	return nil
+}
+
+func (w *litmusBrokenFence) Outcome(env workload.Env) string {
+	return fmt.Sprintf("flag=%s data=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// LitmusSuite returns the clean litmus kernels (SC-equivalence must hold).
+func LitmusSuite() []workload.Workload {
+	return []workload.Workload{
+		LitmusSB(), LitmusMP(), LitmusLB(), LitmusIRIW(), LitmusCoRR(),
+	}
+}
+
+// LitmusByName resolves a litmus kernel (including the broken fixture) by
+// name, or nil.
+func LitmusByName(name string) workload.Workload {
+	for _, w := range append(LitmusSuite(), LitmusBrokenFence()) {
+		if w.Name() == name {
+			return w
+		}
+	}
+	return nil
+}

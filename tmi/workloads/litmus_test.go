@@ -1,0 +1,46 @@
+package workloads_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+	"repro/tmi/workloads"
+)
+
+// TestLitmusRunsCleanUnderDefaultSchedule smoke-tests every litmus kernel
+// under the default (min-clock) schedule: the kernels must set up, run and
+// validate under the baseline and under TMI with the sanitizer asserting the
+// annotation contract. Schedule exploration lives in internal/mc; this test
+// only pins that the kernels are well-formed workloads.
+func TestLitmusRunsCleanUnderDefaultSchedule(t *testing.T) {
+	names := []string{
+		"litmus-sb", "litmus-mp", "litmus-lb", "litmus-iriw", "litmus-corr",
+		"litmus-brokenfence",
+	}
+	for _, name := range names {
+		for _, sys := range []tmi.System{tmi.Pthreads, tmi.TMIAlloc} {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", name, err)
+			}
+			rep, err := tmi.Run(w, tmi.Config{System: sys, Sanitize: true})
+			if err != nil {
+				t.Fatalf("%s under %v: %v", name, sys, err)
+			}
+			if rep.SanitizerViolations != 0 {
+				t.Errorf("%s under %v: %d sanitizer violations: %v",
+					name, sys, rep.SanitizerViolations, rep.SanitizerDetails)
+			}
+			if out, ok := w.(workload.Outcomer); ok {
+				s := out.Outcome(nil)
+				if s == "" || strings.Contains(s, "%!") {
+					t.Errorf("%s: bad outcome fingerprint %q", name, s)
+				}
+			} else {
+				t.Errorf("%s: does not implement workload.Outcomer", name)
+			}
+		}
+	}
+}
