@@ -1,12 +1,15 @@
 # Build, test and lint entry points. `make check` is the gate a PR must
 # pass: tier-1 build+test, lint (gofmt, go vet, and tmilint's static
-# annotation verification of the whole workload catalog) and mc (tmimc's
-# exhaustive model-checking of the litmus kernels, plus the negative
-# fixture that must diverge).
+# annotation verification of the whole workload catalog), race-harness
+# (the sweep executor is the one place real host-level concurrency lives,
+# so its tests run under the race detector) and mc (tmimc's exhaustive
+# model-checking of the litmus kernels, plus the negative fixture that
+# must diverge). `make bench` persists one BENCH_<date>.json perf point
+# per invocation so the trajectory across PRs stays comparable.
 
 GO ?= go
 
-.PHONY: all build test race lint tmilint mc fmt ci check
+.PHONY: all build test race race-harness bench vet lint tmilint mc fmt ci check
 
 all: check
 
@@ -18,6 +21,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The sweep executor fans simulation cells across GOMAXPROCS workers; this
+# is the only subsystem with host-level concurrency, so it gets a dedicated
+# race-detector lane in the check gate.
+race-harness:
+	$(GO) test -race ./internal/harness/...
+
+# bench regenerates the full evaluation with the parallel sweep executor
+# and appends a benchmark-trajectory point (wall-clock, cell counts,
+# speedup, simulated metrics per experiment) to BENCH_<date>.json.
+bench:
+	$(GO) run ./cmd/tmibench -experiment all -runs 3 -bench-json auto
+
+vet:
+	$(GO) vet ./...
 
 # fmt fails if any file needs reformatting (and prints which).
 fmt:
@@ -38,10 +56,9 @@ mc:
 	$(GO) run ./cmd/tmimc
 	$(GO) run ./cmd/tmimc -workload litmus-brokenfence -expect-divergence
 
-lint: fmt
-	$(GO) vet ./...
+lint: fmt vet
 	$(GO) run ./cmd/tmilint
 
 ci: build test lint
 
-check: ci mc
+check: ci race-harness mc

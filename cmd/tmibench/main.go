@@ -5,24 +5,34 @@
 //	tmibench                         # run everything
 //	tmibench -experiment fig9        # one experiment
 //	tmibench -runs 5 -csv out/       # more repetitions, CSV for plotting
+//	tmibench -parallel 8             # sweep executor worker count
+//	tmibench -bench-json auto        # persist BENCH_<date>.json trajectory
 //	tmibench -list                   # list experiments
+//
+// Every simulation cell is deterministic, so tables and CSVs are
+// byte-identical at any -parallel setting; only wall-clock changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/toolio"
 )
 
 func main() {
 	var (
-		exp  = flag.String("experiment", "all", "experiment id or 'all' (see -list)")
-		runs = flag.Int("runs", 3, "seeded repetitions averaged per configuration")
-		seed = flag.Int64("seed", 1, "base seed")
-		csv  = flag.String("csv", "", "directory for CSV output (optional)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("experiment", "all", "experiment id or 'all' (see -list)")
+		runs     = flag.Int("runs", 3, "seeded repetitions averaged per configuration")
+		seed     = flag.Int64("seed", 1, "base seed")
+		csv      = flag.String("csv", "", "directory for CSV output (optional)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep executor workers (1 = sequential; output is identical either way)")
+		bench    = flag.String("bench-json", "", "write a benchmark-trajectory report to this file ('auto' = BENCH_<date>.json)")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -33,23 +43,64 @@ func main() {
 		return
 	}
 
-	o := &harness.Options{Runs: *runs, Seed: *seed, Out: os.Stdout, CSVDir: *csv}
+	o := &harness.Options{Runs: *runs, Seed: *seed, Out: os.Stdout, CSVDir: *csv, Parallel: *parallel}
+	defer o.Close()
+
+	var traj *toolio.BenchReport
+	if *bench != "" {
+		traj = toolio.NewBenchReport(time.Now().Format("2006-01-02"), o.Workers(), *runs, *seed)
+	}
+
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "tmibench: %s: %v\n", id, err)
+		o.Close()
+		os.Exit(1)
+	}
 	run := func(e harness.Experiment) {
-		if err := e.Run(o); err != nil {
-			fmt.Fprintf(os.Stderr, "tmibench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		if traj == nil {
+			if err := e.Execute(o); err != nil {
+				fail(e.ID, err)
+			}
+			return
 		}
+		row, err := o.RunTimed(e)
+		if err != nil {
+			fail(e.ID, err)
+		}
+		traj.Add(row)
 	}
+
+	var exps []harness.Experiment
 	if *exp == "all" {
-		for _, e := range harness.All() {
-			run(e)
+		exps = harness.All()
+	} else {
+		e, err := harness.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmibench:", err)
+			os.Exit(2)
 		}
-		return
+		exps = []harness.Experiment{e}
 	}
-	e, err := harness.ByID(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tmibench:", err)
-		os.Exit(2)
+	for _, e := range exps {
+		run(e)
 	}
-	run(e)
+
+	if traj != nil {
+		path := *bench
+		if path == "auto" {
+			path = toolio.BenchFileName(traj.Date)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fail("bench-json", err)
+		}
+		if err := traj.Write(f); err != nil {
+			fail("bench-json", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("bench-json", err)
+		}
+		fmt.Fprintf(os.Stderr, "tmibench: wrote %s (%d experiments, %.1fs wall, %.2fx sweep speedup on %d workers)\n",
+			path, len(traj.Experiments), traj.WallSeconds, traj.Stats["speedup"], traj.Workers)
+	}
 }

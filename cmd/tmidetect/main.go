@@ -51,8 +51,15 @@ func main() {
 			if l.Class == detect.SharingFalse && l.EstEventsPerSec >= 100_000 {
 				class += " (repairable)"
 			}
-			fmt.Printf("0x%012x %-20s %4d %16.0f\n", l.Line, class, l.Records, l.EstEventsPerSec)
+			drops := ""
+			if l.DroppedSpans > 0 {
+				drops = fmt.Sprintf("   (%d spans dropped)", l.DroppedSpans)
+			}
+			fmt.Printf("0x%012x %-20s %4d %16.0f%s\n", l.Line, class, l.Records, l.EstEventsPerSec, drops)
 		}
+	}
+	if rep.SpanDrops > 0 {
+		fmt.Printf("\nwarning: %d records overflowed the span tracker; classifications above ran on merged span data\n", rep.SpanDrops)
 	}
 
 	if rep.FalseRecords > 0 {

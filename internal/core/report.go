@@ -24,6 +24,10 @@ type Report struct {
 	FalseLines   int
 	TrueRecords  uint64
 	FalseRecords uint64
+	// SpanDrops counts records whose byte span overflowed the detector's
+	// per-thread span tracker and could not be merged; non-zero means some
+	// line classifications ran on incomplete span data.
+	SpanDrops uint64
 
 	// PredictedManualSpeedup is the Cheetah-style estimate of the speedup a
 	// manual padding fix would deliver, computed from the sampled false-

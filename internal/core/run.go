@@ -621,6 +621,7 @@ func (rt *runtime) execute(w workload.Workload) (*Report, error) {
 		rep.FalseLines = len(rt.det.FalseLines)
 		rep.TrueRecords = rt.det.TrueRecords
 		rep.FalseRecords = rt.det.FalseRecords
+		rep.SpanDrops = rt.det.DroppedSpans
 		for _, lr := range rt.det.Lines {
 			rep.Lines = append(rep.Lines, lr)
 		}

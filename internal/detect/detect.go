@@ -43,22 +43,66 @@ type span struct {
 	Count  int
 }
 
+// maxSpansPerThread caps the distinct spans tracked per (line, thread).
+// Past the cap, new spans are merged into the nearest same-kind span
+// (widening it) rather than discarded: a line with many distinct offsets
+// must keep contributing to classification. Only when no same-kind span
+// exists is the record's span dropped, and that is counted.
+const maxSpansPerThread = 24
+
 type lineStat struct {
 	records      int
 	writeRecords int
-	byThread     map[int][]span
+	// dropped counts records whose span could not be tracked or merged;
+	// surfaced per line (LineReport.DroppedSpans) and cumulatively
+	// (Detector.DroppedSpans) so overflow can never silently skew a
+	// classification.
+	dropped  int
+	byThread map[int][]span
 }
 
 func (ls *lineStat) add(tid, lo, hi int, wrote bool) {
-	for i, s := range ls.byThread[tid] {
+	spans := ls.byThread[tid]
+	for i, s := range spans {
 		if s.Lo == lo && s.Hi == hi && s.Wrote == wrote {
-			ls.byThread[tid][i].Count++
+			spans[i].Count++
 			return
 		}
 	}
-	if len(ls.byThread[tid]) < 24 {
-		ls.byThread[tid] = append(ls.byThread[tid], span{lo, hi, wrote, 1})
+	if len(spans) < maxSpansPerThread {
+		ls.byThread[tid] = append(spans, span{lo, hi, wrote, 1})
+		return
 	}
+	// Overflow: merge into the closest span of the same access kind,
+	// widening its byte interval. Widening can only add overlap weight the
+	// exact spans would also have contributed had there been room.
+	best, bestGap := -1, int(^uint(0)>>1)
+	for i, s := range spans {
+		if s.Wrote != wrote {
+			continue
+		}
+		gap := 0
+		switch {
+		case lo > s.Hi:
+			gap = lo - s.Hi
+		case s.Lo > hi:
+			gap = s.Lo - hi
+		}
+		if gap < bestGap {
+			best, bestGap = i, gap
+		}
+	}
+	if best < 0 {
+		ls.dropped++
+		return
+	}
+	if lo < spans[best].Lo {
+		spans[best].Lo = lo
+	}
+	if hi > spans[best].Hi {
+		spans[best].Hi = hi
+	}
+	spans[best].Count++
 }
 
 // Sharing classifies a hot line.
@@ -88,6 +132,10 @@ type LineReport struct {
 	Records int
 	// EstEventsPerSec is records * period / interval.
 	EstEventsPerSec float64
+	// DroppedSpans counts records whose byte span the aggregator could
+	// neither track nor merge in this line's hottest window; non-zero means
+	// the classification ran on incomplete span data.
+	DroppedSpans int
 }
 
 // Request asks the repair engine to protect a set of pages.
@@ -117,6 +165,9 @@ type Detector struct {
 	// stores under-report (pebs.StoreCaptureRate), which the speedup
 	// prediction corrects for.
 	FalseWriteRecords uint64
+	// DroppedSpans counts, across all windows and lines, records whose byte
+	// span overflowed the per-thread tracker and could not be merged.
+	DroppedSpans uint64
 	// Lines holds, per classified line, the report from its hottest window
 	// (capped; for the tmidetect tool and tests).
 	Lines map[uint64]LineReport
@@ -176,12 +227,13 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 	var req Request
 	pages := make(map[uint64]bool)
 	for line, ls := range d.lines {
+		d.DroppedSpans += uint64(ls.dropped)
 		if ls.records < d.cfg.MinRecords {
 			continue
 		}
 		class := classify(ls)
 		est := float64(ls.records) * float64(d.mon.Period()) / intervalSec
-		rep := LineReport{Line: line, Class: class, Records: ls.records, EstEventsPerSec: est}
+		rep := LineReport{Line: line, Class: class, Records: ls.records, EstEventsPerSec: est, DroppedSpans: ls.dropped}
 		// Archive every sufficiently-sampled line — including single-thread
 		// ones: the Predator-style prediction needs them to see false
 		// sharing that only appears at larger line sizes.

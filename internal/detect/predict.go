@@ -32,6 +32,7 @@ func (d *Detector) archiveLine(line uint64, ls *lineStat) {
 		d.archive[line] = a
 	}
 	a.records += ls.records
+	a.dropped += ls.dropped
 	for tid, spans := range ls.byThread {
 		for _, s := range spans {
 			for i := 0; i < s.Count; i++ {

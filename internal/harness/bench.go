@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/toolio"
+)
+
+// benchMeter accumulates executor telemetry for the benchmark-trajectory
+// report: how many cells ran, how much host wall-clock they consumed in
+// aggregate (busy time), and the headline simulated metrics. Workers report
+// into it concurrently; RunTimed resets it per experiment.
+type benchMeter struct {
+	mu      sync.Mutex
+	cells   int
+	busy    time.Duration
+	simSec  float64
+	records uint64
+	repairs int
+}
+
+func (m *benchMeter) record(j *runJob) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells++
+	m.busy += j.wall
+	if j.rep != nil {
+		m.simSec += j.rep.SimSeconds
+		m.records += j.rep.RecordsSeen
+		if j.rep.Repaired {
+			m.repairs++
+		}
+	}
+}
+
+func (m *benchMeter) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells, m.busy, m.simSec, m.records, m.repairs = 0, 0, 0, 0, 0
+}
+
+func (m *benchMeter) snapshot() benchMeter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return benchMeter{cells: m.cells, busy: m.busy, simSec: m.simSec, records: m.records, repairs: m.repairs}
+}
+
+// RunTimed executes e with wall-clock and executor telemetry and returns
+// the experiment's row for the persisted benchmark trajectory
+// (toolio.BenchReport). The aggregate busy time is what the same cells
+// would have cost run back to back, so busy/wall is the sweep executor's
+// parallel speedup over a sequential run without paying for a second,
+// actually-sequential pass.
+func (o *Options) RunTimed(e Experiment) (toolio.BenchExperiment, error) {
+	if err := o.defaults(); err != nil {
+		return toolio.BenchExperiment{}, err
+	}
+	o.executor() // force pool + meter creation before the clock starts
+	o.meter.reset()
+	start := time.Now()
+	err := e.Run(o)
+	wall := time.Since(start).Seconds()
+	s := o.meter.snapshot()
+	be := toolio.BenchExperiment{
+		ID:          e.ID,
+		WallSeconds: wall,
+		Cells:       s.cells,
+		BusySeconds: s.busy.Seconds(),
+		SimSeconds:  s.simSec,
+		RecordsSeen: s.records,
+		Repairs:     s.repairs,
+	}
+	if wall > 0 {
+		be.Speedup = be.BusySeconds / wall
+	}
+	return be, err
+}

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/tmi"
+	"repro/tmi/workload"
+)
+
+// This file implements the parallel sweep executor. Every experiment is an
+// embarrassingly parallel sweep: a grid of (workload × configuration ×
+// seeded repetition) cells where each cell is one self-contained
+// deterministic tmi.Run. The executor fans those cells across a pool of
+// host worker goroutines and hands results back through per-cell handles,
+// so experiments submit their whole grid first and then render it in
+// canonical order — stdout tables and CSVs are byte-identical to a
+// sequential run regardless of worker count.
+//
+// Determinism argument: a cell's result is a pure function of (workload
+// constructor, Config) — the simulation takes no input from the host clock,
+// host scheduler, or other cells — and rendering consumes results strictly
+// in submission order, blocking on each cell's done channel. Worker
+// interleaving therefore cannot reach the output; it only changes
+// wall-clock time.
+
+// runJob is one scheduled simulation run.
+type runJob struct {
+	w    func() workload.Workload
+	cfg  tmi.Config
+	done chan struct{}
+	rep  *tmi.Report
+	err  error
+	wall time.Duration
+}
+
+// executor is a fixed-size worker pool over an unbounded FIFO job queue.
+type executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*runJob
+	closed  bool
+	workers int
+	meter   *benchMeter
+}
+
+func newExecutor(workers int, meter *benchMeter) *executor {
+	if workers < 1 {
+		workers = 1
+	}
+	x := &executor{workers: workers, meter: meter}
+	x.cond = sync.NewCond(&x.mu)
+	for i := 0; i < workers; i++ {
+		go x.work()
+	}
+	return x
+}
+
+func (x *executor) work() {
+	for {
+		x.mu.Lock()
+		for len(x.queue) == 0 && !x.closed {
+			x.cond.Wait()
+		}
+		if len(x.queue) == 0 {
+			x.mu.Unlock()
+			return
+		}
+		j := x.queue[0]
+		x.queue = x.queue[1:]
+		x.mu.Unlock()
+
+		start := time.Now()
+		j.rep, j.err = tmi.Run(j.w(), j.cfg)
+		j.wall = time.Since(start)
+		if x.meter != nil {
+			x.meter.record(j)
+		}
+		close(j.done)
+	}
+}
+
+func (x *executor) submit(w func() workload.Workload, cfg tmi.Config) *runJob {
+	j := &runJob{w: w, cfg: cfg, done: make(chan struct{})}
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		panic("harness: submit on closed executor")
+	}
+	x.queue = append(x.queue, j)
+	x.mu.Unlock()
+	x.cond.Signal()
+	return j
+}
+
+// close drains the queue and releases the workers once it is empty.
+func (x *executor) close() {
+	x.mu.Lock()
+	x.closed = true
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// executor lazily builds the pool on first use, sized by Options.Parallel.
+func (o *Options) executor() *executor {
+	if o.exec == nil {
+		workers := o.Parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if o.meter == nil {
+			o.meter = &benchMeter{}
+		}
+		o.exec = newExecutor(workers, o.meter)
+	}
+	return o.exec
+}
+
+// Workers reports the worker count the sweep executor runs (or would run)
+// with under the current Options.
+func (o *Options) Workers() int {
+	if o.exec != nil {
+		return o.exec.workers
+	}
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Close releases the executor's worker goroutines. It is safe to call
+// multiple times, and on an Options that never ran anything. Jobs already
+// queued still complete.
+func (o *Options) Close() {
+	if o.exec != nil {
+		o.exec.close()
+		o.exec = nil
+	}
+}
+
+// cell is the handle to one sweep cell: n seeded repetitions of a workload
+// under one configuration, scheduled on the executor at submission time.
+// Consume a cell at most once (stats/mean/one replace SimSeconds with the
+// mean, like the sequential harness always did).
+type cell struct {
+	jobs []*runJob
+}
+
+// submit schedules the standard cell shape: Options.Runs repetitions with
+// consecutive seeds Seed, Seed+1, ...
+func (o *Options) submit(w func() workload.Workload, cfg tmi.Config) *cell {
+	return o.submitRuns(w, cfg, o.Runs)
+}
+
+// submitOne schedules a single run at the base seed (the consistency
+// kernels are single-shot: they report verdicts, not averaged times).
+func (o *Options) submitOne(w func() workload.Workload, cfg tmi.Config) *cell {
+	return o.submitRuns(w, cfg, 1)
+}
+
+func (o *Options) submitRuns(w func() workload.Workload, cfg tmi.Config, n int) *cell {
+	x := o.executor()
+	c := &cell{}
+	for i := 0; i < n; i++ {
+		cfg.Seed = o.Seed + int64(i)
+		c.jobs = append(c.jobs, x.submit(w, cfg))
+	}
+	return c
+}
+
+// stats waits for every repetition and returns the first run's report with
+// SimSeconds replaced by the mean, plus the relative standard deviation of
+// the runtimes.
+func (c *cell) stats() (*tmi.Report, float64, error) {
+	if len(c.jobs) == 0 {
+		return nil, 0, fmt.Errorf("harness: empty cell (Options.Runs must be positive)")
+	}
+	var first *tmi.Report
+	var times []float64
+	for _, j := range c.jobs {
+		<-j.done
+		if j.err != nil {
+			return nil, 0, j.err
+		}
+		if first == nil {
+			first = j.rep
+		}
+		times = append(times, j.rep.SimSeconds)
+	}
+	var sum float64
+	for _, v := range times {
+		sum += v
+	}
+	mean := sum / float64(len(times))
+	var sq float64
+	for _, v := range times {
+		sq += (v - mean) * (v - mean)
+	}
+	sd := 0.0
+	if len(times) > 1 && mean > 0 {
+		sd = math.Sqrt(sq/float64(len(times)-1)) / mean
+	}
+	first.SimSeconds = mean
+	return first, sd, nil
+}
+
+// mean is stats without the spread.
+func (c *cell) mean() (*tmi.Report, error) {
+	rep, _, err := c.stats()
+	return rep, err
+}
+
+// one waits for a single-shot cell and returns its raw report.
+func (c *cell) one() (*tmi.Report, error) {
+	return c.mean()
+}

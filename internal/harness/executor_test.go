@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/tmi"
+	"repro/tmi/workloads"
+)
+
+// renderExperiment runs one experiment with the given worker count and
+// returns its stdout plus every CSV file it wrote, keyed by name.
+func renderExperiment(t *testing.T, id string, parallel, runs int) (string, map[string]string) {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	o := &Options{Runs: runs, Seed: 1, Out: &buf, CSVDir: dir, Parallel: parallel}
+	defer o.Close()
+	if err := e.Execute(o); err != nil {
+		t.Fatal(err)
+	}
+	csvs := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs[ent.Name()] = string(data)
+	}
+	return buf.String(), csvs
+}
+
+// TestParallelByteIdentical is the executor determinism contract: any
+// -parallel value must produce byte-identical tables and CSVs. fig9 covers
+// a multi-workload multi-system sweep with spread statistics; fig4 covers a
+// config sweep over one workload.
+func TestParallelByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig9", "fig4"} {
+		t.Run(id, func(t *testing.T) {
+			seqOut, seqCSV := renderExperiment(t, id, 1, 2)
+			parOut, parCSV := renderExperiment(t, id, 8, 2)
+			if seqOut != parOut {
+				t.Errorf("stdout differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+			}
+			if len(seqCSV) == 0 {
+				t.Fatalf("%s wrote no CSV", id)
+			}
+			for name, want := range seqCSV {
+				if got := parCSV[name]; got != want {
+					t.Errorf("%s differs between -parallel 1 and -parallel 8", name)
+				}
+			}
+		})
+	}
+}
+
+// TestRunsValidation is the regression test for the NaN-mean bug: a
+// non-positive repetition count must be rejected with an error, never
+// silently averaged into a 0/0 NaN.
+func TestRunsValidation(t *testing.T) {
+	o := &Options{Runs: -1}
+	if err := o.defaults(); err == nil {
+		t.Error("defaults() accepted Runs = -1")
+	}
+	o2 := &Options{Runs: 0}
+	if err := o2.defaults(); err != nil || o2.Runs != 3 {
+		t.Errorf("defaults() on Runs = 0: err %v, Runs %d (want nil, 3)", err, o2.Runs)
+	}
+	// Bypassing defaults must still fail loudly inside runStats.
+	o3 := &Options{Out: &bytes.Buffer{}, Seed: 1}
+	defer o3.Close()
+	_, _, err := runStats(o3, fsWorkload("histogram"), tmi.Config{})
+	if err == nil {
+		t.Fatal("runStats with Runs = 0 returned no error")
+	}
+	// And Experiment.Execute must reject before any cell runs.
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Options{Runs: -5, Out: &bytes.Buffer{}}
+	if err := e.Execute(bad); err == nil {
+		t.Error("Execute accepted Runs = -5")
+	}
+}
+
+// TestSpeedupGuardNoInf is the regression test for the raw SimSeconds
+// divisions: a zero-time baseline must render as 0.00x, not +Inf or NaN.
+func TestSpeedupGuardNoInf(t *testing.T) {
+	zero := &tmi.Report{}
+	base := &tmi.Report{SimSeconds: 1}
+	if got := tmi.Speedup(base, zero); got != 0 {
+		t.Errorf("Speedup(base, zero) = %v, want 0", got)
+	}
+	cellStr := fmt.Sprintf("%7.2fx", tmi.Speedup(base, zero))
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(cellStr, bad) {
+			t.Errorf("formatted speedup %q contains %s", cellStr, bad)
+		}
+	}
+}
+
+// TestExecutorRunsAllCells checks the pool completes a grid far larger than
+// the worker count, with per-cell results matching a direct tmi.Run.
+func TestExecutorRunsAllCells(t *testing.T) {
+	o := &Options{Runs: 1, Seed: 1, Out: &bytes.Buffer{}, Parallel: 4}
+	defer o.Close()
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	cells := make([]*cell, n)
+	for i := range cells {
+		cells[i] = o.submit(fsWorkload("histogram"), tmi.Config{System: tmi.Pthreads})
+	}
+	w, err := workloads.ByName("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tmi.Run(w, tmi.Config{System: tmi.Pthreads, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		rep, err := c.mean()
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if rep.SimSeconds != want.SimSeconds {
+			t.Fatalf("cell %d: SimSeconds %v, want %v (nondeterministic parallel run?)", i, rep.SimSeconds, want.SimSeconds)
+		}
+	}
+}
+
+// TestRunTimedBench checks the benchmark-trajectory plumbing end to end:
+// telemetry populated, rows aggregated, document round-trips through JSON.
+func TestRunTimedBench(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Options{Runs: 1, Seed: 1, Out: &bytes.Buffer{}, Parallel: 4}
+	defer o.Close()
+	row, err := o.RunTimed(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ID != "fig4" {
+		t.Errorf("row.ID = %q", row.ID)
+	}
+	// fig4 runs 1 baseline + 6 period configs at Runs=1.
+	if row.Cells != 7 {
+		t.Errorf("row.Cells = %d, want 7", row.Cells)
+	}
+	if row.WallSeconds <= 0 || row.BusySeconds <= 0 || row.Speedup <= 0 {
+		t.Errorf("timings not populated: %+v", row)
+	}
+	if row.SimSeconds <= 0 || row.RecordsSeen == 0 {
+		t.Errorf("simulated metrics not populated: %+v", row)
+	}
+}

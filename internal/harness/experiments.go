@@ -10,6 +10,12 @@ import (
 	"repro/tmi/workloads"
 )
 
+// Every experiment below is written in two phases: a submission phase that
+// hands the whole (workload × configuration) grid to the sweep executor,
+// and a render phase that consumes the cells in canonical order. The render
+// phase is the pre-executor sequential code unchanged, so tables and CSVs
+// are byte-identical at any -parallel setting.
+
 // fsNames is the Figure 9 / Table 3 repair suite.
 var fsNames = []string{
 	"histogram", "histogramfs", "lreg", "stringmatch", "lu-ncb",
@@ -62,35 +68,46 @@ func fig7(o *Options) error {
 	fmt.Fprintf(o.Out, "%-14s %14s %10s %11s\n", "workload", "sheriff-detect", "tmi-alloc", "tmi-detect")
 
 	names, ctors := suiteConstructors()
+	type row struct{ base, sheriff, alloc, det *cell }
+	rows := make([]row, len(names))
+	for i, name := range names {
+		ctor := ctors[name]
+		rows[i] = row{
+			base:    o.submit(ctor, tmi.Config{System: tmi.Pthreads}),
+			sheriff: o.submit(ctor, tmi.Config{System: tmi.SheriffDetect}),
+			alloc:   o.submit(ctor, tmi.Config{System: tmi.TMIAlloc, HugePages: true}),
+			det:     o.submit(ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true}),
+		}
+	}
+
 	var allocSum, detectSum float64
 	var count int
 	maxDetect, maxName := 0.0, ""
 	sheriffWorks := 0
-	for _, name := range names {
-		ctor := ctors[name]
-		base, err := runMean(o, ctor, tmi.Config{System: tmi.Pthreads})
+	for i, name := range names {
+		base, err := rows[i].base.mean()
 		if err != nil {
 			return err
 		}
 		sheriffCol := "     x"
-		if rep, err := runMean(o, ctor, tmi.Config{System: tmi.SheriffDetect}); err == nil {
+		if rep, err := rows[i].sheriff.mean(); err == nil {
 			if rep.Validated {
 				sheriffWorks++
-				sheriffCol = fmt.Sprintf("%6.2f", rep.SimSeconds/base.SimSeconds)
+				sheriffCol = fmt.Sprintf("%6.2f", tmi.Speedup(rep, base))
 			} else {
 				sheriffCol = "incorr"
 			}
 		}
-		al, err := runMean(o, ctor, tmi.Config{System: tmi.TMIAlloc, HugePages: true})
+		al, err := rows[i].alloc.mean()
 		if err != nil {
 			return err
 		}
-		det, err := runMean(o, ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true})
+		det, err := rows[i].det.mean()
 		if err != nil {
 			return err
 		}
-		allocX := al.SimSeconds / base.SimSeconds
-		detX := det.SimSeconds / base.SimSeconds
+		allocX := tmi.Speedup(al, base)
+		detX := tmi.Speedup(det, base)
 		allocSum += allocX
 		detectSum += detX
 		count++
@@ -120,15 +137,24 @@ func fig8(o *Options) error {
 	fmt.Fprintf(o.Out, "%-14s %12s %12s %8s\n", "workload", "pthreads MB", "TMI-full MB", "ratio")
 
 	names, ctors := suiteConstructors()
+	type row struct{ base, full *cell }
+	rows := make([]row, len(names))
+	for i, name := range names {
+		ctor := ctors[name]
+		rows[i] = row{
+			base: o.submit(ctor, tmi.Config{System: tmi.Pthreads}),
+			full: o.submit(ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true}),
+		}
+	}
+
 	var ratioBig float64
 	var nBig int
-	for _, name := range names {
-		ctor := ctors[name]
-		base, err := runMean(o, ctor, tmi.Config{System: tmi.Pthreads})
+	for i, name := range names {
+		base, err := rows[i].base.mean()
 		if err != nil {
 			return err
 		}
-		full, err := runMean(o, ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true})
+		full, err := rows[i].full.mean()
 		if err != nil {
 			return err
 		}
@@ -158,36 +184,48 @@ func fig9(o *Options) error {
 	csvLine(csv, "workload", "manual", "sheriff-protect", "laser", "tmi-protect")
 	fmt.Fprintf(o.Out, "%-14s %8s %16s %8s %12s\n", "workload", "manual", "sheriff-protect", "laser", "tmi-protect")
 
+	type row struct{ base, man, sheriff, las, prot *cell }
+	rows := make([]row, len(fsNames))
+	for i, name := range fsNames {
+		rows[i] = row{
+			base:    o.submit(fsWorkload(name), tmi.Config{System: tmi.Pthreads}),
+			man:     o.submit(manualWorkload(name), tmi.Config{System: tmi.Pthreads}),
+			sheriff: o.submit(fsWorkload(name), tmi.Config{System: tmi.SheriffProtect}),
+			las:     o.submit(fsWorkload(name), tmi.Config{System: tmi.LASER}),
+			prot:    o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIProtect}),
+		}
+	}
+
 	var tmiProd, manProd float64 = 1, 1
 	var n int
-	for _, name := range fsNames {
-		base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+	for i, name := range fsNames {
+		base, err := rows[i].base.mean()
 		if err != nil {
 			return err
 		}
-		man, err := runMean(o, manualWorkload(name), tmi.Config{System: tmi.Pthreads})
+		man, err := rows[i].man.mean()
 		if err != nil {
 			return err
 		}
 		sheriffCol := "       x"
-		if rep, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.SheriffProtect}); err == nil {
+		if rep, err := rows[i].sheriff.mean(); err == nil {
 			if rep.Validated {
-				sheriffCol = fmt.Sprintf("%7.2fx", base.SimSeconds/rep.SimSeconds)
+				sheriffCol = fmt.Sprintf("%7.2fx", tmi.Speedup(base, rep))
 			} else {
 				sheriffCol = "  incorr"
 			}
 		}
-		las, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.LASER})
+		las, err := rows[i].las.mean()
 		if err != nil {
 			return err
 		}
-		prot, sd, err := runStats(o, fsWorkload(name), tmi.Config{System: tmi.TMIProtect})
+		prot, sd, err := rows[i].prot.stats()
 		if err != nil {
 			return err
 		}
-		manX := base.SimSeconds / man.SimSeconds
-		lasX := base.SimSeconds / las.SimSeconds
-		tmiX := base.SimSeconds / prot.SimSeconds
+		manX := tmi.Speedup(base, man)
+		lasX := tmi.Speedup(base, las)
+		tmiX := tmi.Speedup(base, prot)
 		spread := ""
 		if sd > 0 {
 			spread = fmt.Sprintf(" (±%.0f%%)", sd*100)
@@ -218,8 +256,12 @@ func table3(o *Options) error {
 	defer csv.Close()
 	csvLine(csv, "workload", "unrepaired_ms", "t2p_us", "commits_per_s")
 	fmt.Fprintf(o.Out, "%-14s %15s %9s %12s\n", "workload", "unrepaired (ms)", "T2P (us)", "commits/s")
-	for _, name := range fsNames {
-		rep, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIProtect})
+	cells := make([]*cell, len(fsNames))
+	for i, name := range fsNames {
+		cells[i] = o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIProtect})
+	}
+	for i, name := range fsNames {
+		rep, err := cells[i].mean()
 		if err != nil {
 			return err
 		}
@@ -245,14 +287,20 @@ func fig4(o *Options) error {
 	}
 	defer csv.Close()
 	csvLine(csv, "period", "runtime_ms", "records", "est_events")
-	base, err := runMean(o, fsWorkload("leveldb-clean"), tmi.Config{System: tmi.Pthreads})
+	periods := []int{1, 5, 10, 50, 100, 1000}
+	baseCell := o.submit(fsWorkload("leveldb-clean"), tmi.Config{System: tmi.Pthreads})
+	cells := make([]*cell, len(periods))
+	for i, period := range periods {
+		cells[i] = o.submit(fsWorkload("leveldb-clean"), tmi.Config{System: tmi.TMIDetect, HugePages: true, Period: period})
+	}
+	base, err := baseCell.mean()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(o.Out, "%-8s %12s %10s %14s\n", "period", "runtime(ms)", "records", "est. events")
 	fmt.Fprintf(o.Out, "%-8s %12.3f %10s %14s   (pthreads baseline)\n", "-", base.SimSeconds*1e3, "-", "-")
-	for _, period := range []int{1, 5, 10, 50, 100, 1000} {
-		rep, err := runMean(o, fsWorkload("leveldb-clean"), tmi.Config{System: tmi.TMIDetect, HugePages: true, Period: period})
+	for i, period := range periods {
+		rep, err := cells[i].mean()
 		if err != nil {
 			return err
 		}
@@ -294,18 +342,26 @@ func fig10(o *Options) error {
 	csvLine(csv, "workload", "overhead_pct")
 	fmt.Fprintf(o.Out, "%-14s %16s\n", "workload", "4K vs 2M (+%)")
 	names, ctors := suiteConstructors()
-	var sum float64
-	for _, name := range names {
+	type row struct{ small, huge *cell }
+	rows := make([]row, len(names))
+	for i, name := range names {
 		ctor := ctors[name]
-		small, err := runMean(o, ctor, tmi.Config{System: tmi.TMIDetect})
+		rows[i] = row{
+			small: o.submit(ctor, tmi.Config{System: tmi.TMIDetect}),
+			huge:  o.submit(ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true}),
+		}
+	}
+	var sum float64
+	for i, name := range names {
+		small, err := rows[i].small.mean()
 		if err != nil {
 			return err
 		}
-		huge, err := runMean(o, ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true})
+		huge, err := rows[i].huge.mean()
 		if err != nil {
 			return err
 		}
-		pct := (small.SimSeconds/huge.SimSeconds - 1) * 100
+		pct := (tmi.Speedup(small, huge) - 1) * 100
 		sum += pct
 		fmt.Fprintf(o.Out, "%-14s %15.1f%%\n", name, pct)
 		csvLine(csv, name, pct)
@@ -320,55 +376,79 @@ func fig10(o *Options) error {
 func table1(o *Options) error {
 	header(o, "Table 1: requirements for effective false sharing repair")
 
-	// Overhead without contention: tmi-detect and plastic across the
-	// non-FS suite.
+	// Submission phase. Overhead without contention: tmi-detect and plastic
+	// across the non-FS suite.
 	names, ctors := suiteConstructors()
-	var tmiSum, plasticSum float64
-	var n int
+	type ovRow struct{ base, det, pls *cell }
+	var ovRows []ovRow
 	for _, name := range names {
 		ctor := ctors[name]
-		w := ctor()
-		if w.Info().HasFalseSharing {
+		if ctor().Info().HasFalseSharing {
 			continue
 		}
-		base, err := runMean(o, ctor, tmi.Config{System: tmi.Pthreads})
+		ovRows = append(ovRows, ovRow{
+			base: o.submit(ctor, tmi.Config{System: tmi.Pthreads}),
+			det:  o.submit(ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true}),
+			pls:  o.submit(ctor, tmi.Config{System: tmi.Plastic}),
+		})
+	}
+	// Percent-of-manual speedup: each comparison system over the FS suite.
+	type pmRow struct{ base, man, rep *cell }
+	systems := []tmi.System{tmi.TMIProtect, tmi.LASER, tmi.SheriffProtect, tmi.Plastic}
+	pm := make(map[tmi.System][]pmRow)
+	for _, system := range systems {
+		rows := make([]pmRow, len(fsNames))
+		for i, name := range fsNames {
+			rows[i] = pmRow{
+				base: o.submit(fsWorkload(name), tmi.Config{System: tmi.Pthreads}),
+				man:  o.submit(manualWorkload(name), tmi.Config{System: tmi.Pthreads}),
+				rep:  o.submit(fsWorkload(name), tmi.Config{System: system}),
+			}
+		}
+		pm[system] = rows
+	}
+
+	// Render phase.
+	var tmiSum, plasticSum float64
+	var n int
+	for _, r := range ovRows {
+		base, err := r.base.mean()
 		if err != nil {
 			return err
 		}
-		det, err := runMean(o, ctor, tmi.Config{System: tmi.TMIDetect, HugePages: true})
+		det, err := r.det.mean()
 		if err != nil {
 			return err
 		}
-		pls, err := runMean(o, ctor, tmi.Config{System: tmi.Plastic})
+		pls, err := r.pls.mean()
 		if err != nil {
 			return err
 		}
-		tmiSum += det.SimSeconds/base.SimSeconds - 1
-		plasticSum += pls.SimSeconds/base.SimSeconds - 1
+		tmiSum += tmi.Speedup(det, base) - 1
+		plasticSum += tmi.Speedup(pls, base) - 1
 		n++
 	}
 	tmiOverhead := tmiSum / float64(n) * 100
 	plasticOverhead := plasticSum / float64(n) * 100
 
-	// Percent-of-manual speedup: geomean over the FS suite per system.
 	pctOfManual := func(system tmi.System) (float64, error) {
 		var prodSys, prodMan float64 = 1, 1
 		var k int
-		for _, name := range fsNames {
-			base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+		for _, r := range pm[system] {
+			base, err := r.base.mean()
 			if err != nil {
 				return 0, err
 			}
-			man, err := runMean(o, manualWorkload(name), tmi.Config{System: tmi.Pthreads})
+			man, err := r.man.mean()
 			if err != nil {
 				return 0, err
 			}
-			rep, err := runMean(o, fsWorkload(name), tmi.Config{System: system})
+			rep, err := r.rep.mean()
 			if err != nil || !rep.Validated {
 				continue // incompatible or incorrect: no credit
 			}
-			prodSys *= base.SimSeconds / rep.SimSeconds
-			prodMan *= base.SimSeconds / man.SimSeconds
+			prodSys *= tmi.Speedup(base, rep)
+			prodMan *= tmi.Speedup(base, man)
 			k++
 		}
 		if k == 0 {
@@ -421,12 +501,12 @@ func table2(o *Options) error {
 	for _, a := range classes {
 		fmt.Fprintf(o.Out, "%-10s", a)
 		for _, b := range classes {
-			cell := ccc.Table2(a, b)
+			tc := ccc.Table2(a, b)
 			mark := " "
-			if cell.PTSBPermitted {
+			if tc.PTSBPermitted {
 				mark = "+" // shaded in the paper: PTSB permitted
 			}
-			fmt.Fprintf(o.Out, " %-22s", fmt.Sprintf("%d: %s %s", cell.Case, cell.Semantics, mark))
+			fmt.Fprintf(o.Out, " %-22s", fmt.Sprintf("%d: %s %s", tc.Case, tc.Semantics, mark))
 		}
 		fmt.Fprintln(o.Out)
 	}
@@ -438,7 +518,7 @@ func table2(o *Options) error {
 
 func fig3(o *Options) error {
 	header(o, "Figure 3: a PTSB without code-centric consistency breaks AMBSA (word tearing)")
-	for _, c := range []struct {
+	configs := []struct {
 		label string
 		w     func() workload.Workload
 		sys   tmi.System
@@ -446,8 +526,13 @@ func fig3(o *Options) error {
 		{"pthreads (conventional)", func() workload.Workload { return workloads.WordTearing(true) }, tmi.Pthreads},
 		{"sheriff-protect (PTSB, no CCC)", func() workload.Workload { return workloads.WordTearing(true) }, tmi.SheriffProtect},
 		{"tmi-protect (PTSB + CCC)", func() workload.Workload { return workloads.WordTearing(true) }, tmi.TMIProtect},
-	} {
-		rep, err := tmi.Run(c.w(), tmi.Config{System: c.sys, Seed: o.Seed})
+	}
+	cells := make([]*cell, len(configs))
+	for i, c := range configs {
+		cells[i] = o.submitOne(c.w, tmi.Config{System: c.sys})
+	}
+	for i, c := range configs {
+		rep, err := cells[i].one()
 		if err != nil {
 			return err
 		}
@@ -472,15 +557,20 @@ func fig12(o *Options) error {
 }
 
 func consistencyKernel(o *Options, ctor func() workload.Workload) error {
-	for _, c := range []struct {
+	configs := []struct {
 		label string
 		sys   tmi.System
 	}{
 		{"pthreads (conventional)", tmi.Pthreads},
 		{"sheriff-protect (PTSB, no CCC)", tmi.SheriffProtect},
 		{"tmi-protect (PTSB + CCC)", tmi.TMIProtect},
-	} {
-		rep, err := tmi.Run(ctor(), tmi.Config{System: c.sys, Seed: o.Seed})
+	}
+	cells := make([]*cell, len(configs))
+	for i, c := range configs {
+		cells[i] = o.submitOne(ctor, tmi.Config{System: c.sys})
+	}
+	for i, c := range configs {
+		rep, err := cells[i].one()
 		if err != nil {
 			return err
 		}
@@ -500,16 +590,26 @@ func consistencyKernel(o *Options, ctor func() workload.Workload) error {
 func ablationEverywhere(o *Options) error {
 	header(o, "§4.3 ablation: targeted page protection vs PTSB-everywhere")
 	fmt.Fprintf(o.Out, "%-14s %12s %16s %14s\n", "workload", "targeted", "ptsb-everywhere", "paper shape")
-	for _, name := range []string{"histogram", "histogramfs"} {
-		base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+	abNames := []string{"histogram", "histogramfs"}
+	type row struct{ base, targeted, everywhere *cell }
+	rows := make([]row, len(abNames))
+	for i, name := range abNames {
+		rows[i] = row{
+			base:       o.submit(fsWorkload(name), tmi.Config{System: tmi.Pthreads}),
+			targeted:   o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIProtect}),
+			everywhere: o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIProtect, PTSBEverywhere: true}),
+		}
+	}
+	for i, name := range abNames {
+		base, err := rows[i].base.mean()
 		if err != nil {
 			return err
 		}
-		targeted, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIProtect})
+		targeted, err := rows[i].targeted.mean()
 		if err != nil {
 			return err
 		}
-		everywhere, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIProtect, PTSBEverywhere: true})
+		everywhere, err := rows[i].everywhere.mean()
 		if err != nil {
 			return err
 		}
@@ -518,7 +618,7 @@ func ablationEverywhere(o *Options) error {
 			shape = "6.27x vs 3.26x"
 		}
 		fmt.Fprintf(o.Out, "%-14s %11.2fx %15.2fx %20s\n", name,
-			base.SimSeconds/targeted.SimSeconds, base.SimSeconds/everywhere.SimSeconds, shape)
+			tmi.Speedup(base, targeted), tmi.Speedup(base, everywhere), shape)
 	}
 	fmt.Fprintf(o.Out, "\nindiscriminate protection pays twin faults and commits on every written page\n")
 	return nil

@@ -34,16 +34,25 @@ func energyExp(o *Options) error {
 	defer csv.Close()
 	csvLine(csv, "workload", "baseline_uj", "tmi_uj", "manual_uj", "traffic_mb_baseline", "traffic_mb_tmi")
 	fmt.Fprintf(o.Out, "%-14s %12s %12s %12s %10s\n", "workload", "pthreads uJ", "tmi uJ", "manual uJ", "saving")
-	for _, name := range fsNames {
-		base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+	type row struct{ base, prot, man *cell }
+	rows := make([]row, len(fsNames))
+	for i, name := range fsNames {
+		rows[i] = row{
+			base: o.submit(fsWorkload(name), tmi.Config{System: tmi.Pthreads}),
+			prot: o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIProtect}),
+			man:  o.submit(manualWorkload(name), tmi.Config{System: tmi.Pthreads}),
+		}
+	}
+	for i, name := range fsNames {
+		base, err := rows[i].base.mean()
 		if err != nil {
 			return err
 		}
-		prot, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIProtect})
+		prot, err := rows[i].prot.mean()
 		if err != nil {
 			return err
 		}
-		man, err := runMean(o, manualWorkload(name), tmi.Config{System: tmi.Pthreads})
+		man, err := rows[i].man.mean()
 		if err != nil {
 			return err
 		}
@@ -66,24 +75,27 @@ func energyExp(o *Options) error {
 // small pages.
 func commitCost(o *Options) error {
 	header(o, "§4.4: PTSB commit cost, 4 KiB vs 2 MiB pages (shptr-lock, commit-heaviest)")
-	base, err := runMean(o, fsWorkload("shptr-lock"), tmi.Config{System: tmi.Pthreads})
+	baseCell := o.submit(fsWorkload("shptr-lock"), tmi.Config{System: tmi.Pthreads})
+	smallCell := o.submit(fsWorkload("shptr-lock"), tmi.Config{System: tmi.TMIProtect})
+	hugeCell := o.submit(fsWorkload("shptr-lock"), tmi.Config{System: tmi.TMIProtect, HugePages: true})
+	base, err := baseCell.mean()
 	if err != nil {
 		return err
 	}
-	small, err := runMean(o, fsWorkload("shptr-lock"), tmi.Config{System: tmi.TMIProtect})
+	small, err := smallCell.mean()
 	if err != nil {
 		return err
 	}
-	huge, err := runMean(o, fsWorkload("shptr-lock"), tmi.Config{System: tmi.TMIProtect, HugePages: true})
+	huge, err := hugeCell.mean()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(o.Out, "%-22s %12s %10s %14s\n", "config", "runtime(ms)", "speedup", "commits")
 	fmt.Fprintf(o.Out, "%-22s %12.3f %10s %14s\n", "pthreads", base.SimSeconds*1e3, "1.00x", "-")
 	fmt.Fprintf(o.Out, "%-22s %12.3f %9.2fx %14d\n", "tmi-protect 4K", small.SimSeconds*1e3,
-		base.SimSeconds/small.SimSeconds, small.Commits)
+		tmi.Speedup(base, small), small.Commits)
 	fmt.Fprintf(o.Out, "%-22s %12.3f %9.2fx %14d\n", "tmi-protect 2M", huge.SimSeconds*1e3,
-		base.SimSeconds/huge.SimSeconds, huge.Commits)
+		tmi.Speedup(base, huge), huge.Commits)
 	fmt.Fprintf(o.Out, "\nwith a commit at every lock acquire and release, each commit diffs the whole\n")
 	fmt.Fprintf(o.Out, "protected page: 4 KiB keeps that cheap; a 2 MiB page pays 512 slab compares per\n")
 	fmt.Fprintf(o.Out, "commit (paper: 4 KiB commits ~5x cheaper; huge pages still win overall on fault-\n")
@@ -98,21 +110,33 @@ func commitCost(o *Options) error {
 func predictionExp(o *Options) error {
 	header(o, "Extension: predicted (Cheetah-style) vs measured manual-fix speedup")
 	fmt.Fprintf(o.Out, "%-14s %12s %10s %8s\n", "workload", "predicted", "measured", "ratio")
-	for _, name := range fsNames {
-		det, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIDetect, HugePages: true})
+	type row struct{ det, base, man *cell }
+	rows := make([]row, len(fsNames))
+	for i, name := range fsNames {
+		rows[i] = row{
+			det:  o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIDetect, HugePages: true}),
+			base: o.submit(fsWorkload(name), tmi.Config{System: tmi.Pthreads}),
+			man:  o.submit(manualWorkload(name), tmi.Config{System: tmi.Pthreads}),
+		}
+	}
+	for i, name := range fsNames {
+		det, err := rows[i].det.mean()
 		if err != nil {
 			return err
 		}
-		base, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.Pthreads})
+		base, err := rows[i].base.mean()
 		if err != nil {
 			return err
 		}
-		man, err := runMean(o, manualWorkload(name), tmi.Config{System: tmi.Pthreads})
+		man, err := rows[i].man.mean()
 		if err != nil {
 			return err
 		}
-		measured := base.SimSeconds / man.SimSeconds
-		ratio := det.PredictedManualSpeedup / measured
+		measured := tmi.Speedup(base, man)
+		ratio := 0.0
+		if measured > 0 {
+			ratio = det.PredictedManualSpeedup / measured
+		}
 		fmt.Fprintf(o.Out, "%-14s %11.2fx %9.2fx %8.2f\n",
 			name, det.PredictedManualSpeedup, measured, ratio)
 	}

@@ -7,7 +7,6 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,7 +19,9 @@ import (
 // Options configures a harness invocation.
 type Options struct {
 	// Runs is the number of seeded repetitions averaged per configuration
-	// (the paper averages 25; the default here is 3).
+	// (the paper averages 25; the default here is 3). Negative values are
+	// rejected by defaults(): a non-positive repetition count would make
+	// every mean a 0/0 NaN that silently poisons downstream tables.
 	Runs int
 	// Seed is the base seed; run i uses Seed+i.
 	Seed int64
@@ -28,10 +29,20 @@ type Options struct {
 	Out io.Writer
 	// CSVDir, when set, receives one CSV file per experiment.
 	CSVDir string
+	// Parallel is the number of host worker goroutines the sweep executor
+	// fans simulation cells across (default runtime.GOMAXPROCS(0); 1 runs
+	// the sweep sequentially). Output is byte-identical for any value.
+	Parallel int
+
+	exec  *executor
+	meter *benchMeter
 }
 
-func (o *Options) defaults() {
-	if o.Runs <= 0 {
+func (o *Options) defaults() error {
+	if o.Runs < 0 {
+		return fmt.Errorf("harness: Options.Runs must be positive, got %d", o.Runs)
+	}
+	if o.Runs == 0 {
 		o.Runs = 3
 	}
 	if o.Seed == 0 {
@@ -40,6 +51,7 @@ func (o *Options) defaults() {
 	if o.Out == nil {
 		o.Out = os.Stdout
 	}
+	return nil
 }
 
 // Experiment is one regenerable table or figure.
@@ -47,6 +59,16 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(o *Options) error
+}
+
+// Execute validates o (applying defaults) and runs the experiment. Prefer
+// this over calling Run directly: it is the path that rejects invalid
+// repetition counts instead of letting them surface as NaN means.
+func (e Experiment) Execute(o *Options) error {
+	if err := o.defaults(); err != nil {
+		return err
+	}
+	return e.Run(o)
 }
 
 // All returns the experiments in paper order, followed by the extension
@@ -90,36 +112,15 @@ func ByID(id string) (Experiment, error) {
 
 // runStats executes w under cfg Options.Runs times with consecutive seeds
 // and returns the first run's report with SimSeconds replaced by the mean,
-// plus the relative standard deviation of the runtimes.
+// plus the relative standard deviation of the runtimes. It schedules the
+// repetitions on the sweep executor and blocks for the aggregate, so
+// callers that want cross-cell parallelism should submit their whole grid
+// with Options.submit first and consume the cells afterwards.
 func runStats(o *Options, w func() workload.Workload, cfg tmi.Config) (*tmi.Report, float64, error) {
-	var first *tmi.Report
-	var times []float64
-	for i := 0; i < o.Runs; i++ {
-		cfg.Seed = o.Seed + int64(i)
-		rep, err := tmi.Run(w(), cfg)
-		if err != nil {
-			return nil, 0, err
-		}
-		if first == nil {
-			first = rep
-		}
-		times = append(times, rep.SimSeconds)
+	if o.Runs <= 0 {
+		return nil, 0, fmt.Errorf("harness: Options.Runs must be positive, got %d (did defaults run?)", o.Runs)
 	}
-	var sum float64
-	for _, v := range times {
-		sum += v
-	}
-	mean := sum / float64(len(times))
-	var sq float64
-	for _, v := range times {
-		sq += (v - mean) * (v - mean)
-	}
-	sd := 0.0
-	if len(times) > 1 && mean > 0 {
-		sd = math.Sqrt(sq/float64(len(times)-1)) / mean
-	}
-	first.SimSeconds = mean
-	return first, sd, nil
+	return o.submit(w, cfg).stats()
 }
 
 // runMean is runStats without the spread.

@@ -58,8 +58,8 @@ func TestLightExperimentsRun(t *testing.T) {
 			}
 			var buf bytes.Buffer
 			o := &Options{Runs: 1, Seed: 1, Out: &buf}
-			o.defaults()
-			if err := e.Run(o); err != nil {
+			defer o.Close()
+			if err := e.Execute(o); err != nil {
 				t.Fatal(err)
 			}
 			out := buf.String()
@@ -76,12 +76,12 @@ func TestFig9WritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
 	o := &Options{Runs: 1, Seed: 1, Out: &buf, CSVDir: dir}
-	o.defaults()
+	defer o.Close()
 	e, err := ByID("fig9")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(o); err != nil {
+	if err := e.Execute(o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig9.csv"))

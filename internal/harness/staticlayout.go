@@ -24,14 +24,18 @@ func staticLayout(o *Options) error {
 	csvLine(csv, "workload", "static_false", "dynamic_false", "common", "precision", "recall")
 	fmt.Fprintf(o.Out, "%-14s %8s %8s %8s %10s %8s\n",
 		"workload", "static", "dynamic", "common", "precision", "recall")
+	cells := make([]*cell, len(fsNames))
+	for i, name := range fsNames {
+		cells[i] = o.submit(fsWorkload(name), tmi.Config{System: tmi.TMIDetect})
+	}
 	var sumP, sumR float64
 	var n int
-	for _, name := range fsNames {
+	for i, name := range fsNames {
 		m, err := analysis.BuildModel(fsWorkload(name)(), analysis.Options{Seed: o.Seed})
 		if err != nil {
 			return err
 		}
-		rep, err := runMean(o, fsWorkload(name), tmi.Config{System: tmi.TMIDetect})
+		rep, err := cells[i].mean()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,104 @@
+package toolio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// This file defines the persisted benchmark-trajectory schema: tmibench
+// -bench-json writes one BENCH_<date>.json per invocation so every PR
+// appends a comparable perf point. It follows the same conventions as
+// Report (a tool name plus a flat Stats bag CI can diff without knowing the
+// producing tool).
+
+// BenchExperiment is one experiment's row in a benchmark trajectory.
+type BenchExperiment struct {
+	ID string `json:"id"`
+	// WallSeconds is host wall-clock for the whole experiment, submission
+	// through rendering.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells is the number of individual simulation runs executed
+	// (workload × configuration × seeded repetition).
+	Cells int `json:"cells"`
+	// BusySeconds sums every cell's individual wall-clock: what the same
+	// grid would cost run strictly sequentially.
+	BusySeconds float64 `json:"busy_seconds"`
+	// Speedup is BusySeconds / WallSeconds — the sweep executor's measured
+	// parallel speedup over a sequential run of the same cells.
+	Speedup float64 `json:"speedup"`
+	// Key simulated metrics, summed over cells, so a trajectory diff can
+	// tell "the harness got faster" from "the simulation did less work".
+	SimSeconds  float64 `json:"sim_seconds"`
+	RecordsSeen uint64  `json:"records_seen"`
+	Repairs     int     `json:"repairs"`
+}
+
+// BenchReport is the top-level BENCH_<date>.json document.
+type BenchReport struct {
+	Tool       string `json:"tool"`
+	Date       string `json:"date"` // YYYY-MM-DD
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Workers is the sweep executor's worker count (tmibench -parallel).
+	Workers int   `json:"workers"`
+	Runs    int   `json:"runs"`
+	Seed    int64 `json:"seed"`
+	// WallSeconds is the whole invocation, summed over experiments.
+	WallSeconds float64           `json:"wall_seconds"`
+	Experiments []BenchExperiment `json:"experiments"`
+	// Stats carries invocation-wide aggregates under the Report.Stats
+	// naming convention ("<metric>" globals).
+	Stats map[string]float64 `json:"stats,omitempty"`
+}
+
+// NewBenchReport builds an empty trajectory document for one invocation.
+func NewBenchReport(date string, workers, runs int, seed int64) *BenchReport {
+	return &BenchReport{
+		Tool:       "tmibench",
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Runs:       runs,
+		Seed:       seed,
+		Stats:      map[string]float64{},
+	}
+}
+
+// Add appends one experiment's row and folds it into the aggregates.
+func (r *BenchReport) Add(e BenchExperiment) {
+	r.Experiments = append(r.Experiments, e)
+	r.WallSeconds += e.WallSeconds
+	r.Stats["total_cells"] += float64(e.Cells)
+	r.Stats["total_busy_seconds"] += e.BusySeconds
+	if r.WallSeconds > 0 {
+		r.Stats["speedup"] = r.Stats["total_busy_seconds"] / r.WallSeconds
+	}
+}
+
+// Write emits the report as indented JSON.
+func (r *BenchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// BenchFileName names the trajectory file for a YYYY-MM-DD date.
+func BenchFileName(date string) string {
+	return fmt.Sprintf("BENCH_%s.json", date)
+}
+
+// ReadBenchReport parses a trajectory document (for tests and trajectory
+// diff tooling).
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Tool != "tmibench" {
+		return nil, fmt.Errorf("toolio: not a tmibench trajectory (tool %q)", r.Tool)
+	}
+	return &r, nil
+}
