@@ -2,14 +2,17 @@
 # pass: tier-1 build+test, lint (gofmt, go vet, and tmilint's static
 # annotation verification of the whole workload catalog), race-harness
 # (the sweep executor is the one place real host-level concurrency lives,
-# so its tests run under the race detector) and mc (tmimc's exhaustive
+# so its tests run under the race detector), mc (tmimc's exhaustive
 # model-checking of the litmus kernels, plus the negative fixture that
-# must diverge). `make bench` persists one BENCH_<date>.json perf point
-# per invocation so the trajectory across PRs stays comparable.
+# must diverge) and benchgate (fig9's table must stay byte-identical to
+# the committed golden). `make bench` persists one BENCH_<date>[.N].json
+# perf point per invocation so the trajectory across PRs stays
+# comparable; `make microbench` folds access-path microbenchmark stats
+# into the same point.
 
 GO ?= go
 
-.PHONY: all build test race race-harness bench vet lint tmilint mc fmt ci check
+.PHONY: all build test race race-harness bench microbench benchgate vet lint tmilint mc fmt ci check
 
 all: check
 
@@ -33,6 +36,25 @@ race-harness:
 # speedup, simulated metrics per experiment) to BENCH_<date>.json.
 bench:
 	$(GO) run ./cmd/tmibench -experiment all -runs 3 -bench-json auto
+
+# microbench runs the access-path microbenchmarks (single-access latency,
+# HITM transfer, step throughput, PTSB commit scan) and folds micro.* ns/op
+# and allocs/op stats into the day's newest BENCH_<date>[.N].json point.
+microbench:
+	$(GO) test -run '^$$' -bench 'AccessLatencyL1|AccessHITMPath|StepThroughput|Commit.*Page' -benchmem \
+		./internal/sim/machine ./internal/ptsb | $(GO) run ./cmd/tmimicro
+
+# benchgate is the determinism gate: fig9's rendered table must be
+# byte-identical to the committed golden. Any change to scheduling,
+# coherence, sampling or repair ordering shows up here before it can
+# silently shift the paper's numbers.
+benchgate:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/tmibench -experiment fig9 -runs 1 > $$tmp || exit 1; \
+	if ! diff -u testdata/fig9_golden.txt $$tmp; then \
+		echo "benchgate: fig9 output diverged from testdata/fig9_golden.txt"; rm -f $$tmp; exit 1; \
+	fi; \
+	rm -f $$tmp; echo "benchgate: fig9 output matches golden"
 
 vet:
 	$(GO) vet ./...
@@ -61,4 +83,4 @@ lint: fmt vet
 
 ci: build test lint
 
-check: ci race-harness mc
+check: ci race-harness mc benchgate

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -31,10 +32,24 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed")
 		csv      = flag.String("csv", "", "directory for CSV output (optional)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep executor workers (1 = sequential; output is identical either way)")
-		bench    = flag.String("bench-json", "", "write a benchmark-trajectory report to this file ('auto' = BENCH_<date>.json)")
+		bench    = flag.String("bench-json", "", "write a benchmark-trajectory report to this file ('auto' = first unused BENCH_<date>[.N].json)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmibench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tmibench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -88,7 +103,10 @@ func main() {
 	if traj != nil {
 		path := *bench
 		if path == "auto" {
-			path = toolio.BenchFileName(traj.Date)
+			path = toolio.AutoBenchFileName(traj.Date, func(p string) bool {
+				_, err := os.Stat(p)
+				return err == nil
+			})
 		}
 		f, err := os.Create(path)
 		if err != nil {

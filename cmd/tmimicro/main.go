@@ -1,0 +1,119 @@
+// Command tmimicro folds `go test -bench` output into the benchmark
+// trajectory. It reads benchmark result lines from stdin, extracts ns/op
+// (and allocs/op when -benchmem is on), and merges them as micro.* stats
+// into the day's BENCH_<date>[.N].json document so macro sweeps and
+// microbenchmarks land in one comparable point per PR.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/... | tmimicro
+//	... | tmimicro -append BENCH_2026-08-05.2.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/toolio"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkAccessLatencyL1-8  1000000  123.4 ns/op  0 B/op  0 allocs/op
+//
+// Capture groups: name (minus the Benchmark prefix and -procs suffix),
+// ns/op, and optionally allocs/op.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9.]+) allocs/op)?`)
+
+func main() {
+	var (
+		appendTo = flag.String("append", "auto", "trajectory file to merge into ('auto' = newest BENCH_<date>[.N].json, created if absent)")
+		date     = flag.String("date", time.Now().Format("2006-01-02"), "trajectory date (YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tmimicro:", err)
+		os.Exit(1)
+	}
+
+	stats := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw go test output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		stats["micro."+m[1]+"_ns_op"] = ns
+		if m[3] != "" {
+			allocs, err := strconv.ParseFloat(m[3], 64)
+			if err == nil {
+				stats["micro."+m[1]+"_allocs_op"] = allocs
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(stats) == 0 {
+		fail(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	path := *appendTo
+	if path == "auto" {
+		path = toolio.LatestBenchFileName(*date, func(p string) bool {
+			_, err := os.Stat(p)
+			return err == nil
+		})
+	}
+
+	rep, err := loadOrCreate(path, *date)
+	if err != nil {
+		fail(err)
+	}
+	if rep.Stats == nil {
+		rep.Stats = map[string]float64{}
+	}
+	for k, v := range stats {
+		rep.Stats[k] = v
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := rep.Write(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "tmimicro: merged %d micro stats into %s\n", len(stats), path)
+}
+
+// loadOrCreate reads an existing trajectory document, or starts a fresh
+// micro-only one when the day has no point yet.
+func loadOrCreate(path, date string) (*toolio.BenchReport, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return toolio.NewBenchReport(date, runtime.GOMAXPROCS(0), 0, 0), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return toolio.ReadBenchReport(f)
+}

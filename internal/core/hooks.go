@@ -48,91 +48,94 @@ type hookLayer struct {
 	onWake      func(t, other *machine.Thread)
 }
 
-// composedHooks is the deterministic composition of a layer set.
+// composedHooks is the deterministic composition of a layer set: the chains
+// are preresolved call slices built once at configuration time, so event
+// dispatch at run time is a bounds-checked loop over a flat slice — no
+// nested closure hops, no per-event composition work.
 type composedHooks struct {
-	regionEnter func(t *machine.Thread, k machine.RegionKind)
-	regionExit  func(t *machine.Thread, k machine.RegionKind)
-	postAccess  func(t *machine.Thread, acc *machine.Access, res cache.Result) int64
-	onValue     func(t *machine.Thread, acc *machine.Access, val uint64)
-	onSync      func(t *machine.Thread)
-	onWake      func(t, other *machine.Thread)
+	enters []func(t *machine.Thread, k machine.RegionKind)
+	exits  []func(t *machine.Thread, k machine.RegionKind)
+	posts  []func(t *machine.Thread, acc *machine.Access, res cache.Result) int64
+	values []func(t *machine.Thread, acc *machine.Access, val uint64)
+	syncs  []func(t *machine.Thread)
+	wakes  []func(t, other *machine.Thread)
+}
+
+func (c *composedHooks) regionEnter(t *machine.Thread, k machine.RegionKind) {
+	for _, f := range c.enters {
+		f(t, k)
+	}
+}
+
+func (c *composedHooks) regionExit(t *machine.Thread, k machine.RegionKind) {
+	for i := len(c.exits) - 1; i >= 0; i-- {
+		c.exits[i](t, k)
+	}
+}
+
+func (c *composedHooks) postAccess(t *machine.Thread, acc *machine.Access, res cache.Result) int64 {
+	var total int64
+	for _, f := range c.posts {
+		total += f(t, acc, res)
+	}
+	return total
+}
+
+func (c *composedHooks) onValue(t *machine.Thread, acc *machine.Access, val uint64) {
+	for _, f := range c.values {
+		f(t, acc, val)
+	}
+}
+
+func (c *composedHooks) onSync(t *machine.Thread) {
+	for _, f := range c.syncs {
+		f(t)
+	}
+}
+
+func (c *composedHooks) onWake(t, other *machine.Thread) {
+	for _, f := range c.wakes {
+		f(t, other)
+	}
+}
+
+// hook returns fn as a machine hook, or nil when no layer contributed — the
+// machine fast-paths nil hooks, so empty chains cost nothing per event.
+func hook[F any](n int, fn F) F {
+	if n == 0 {
+		var zero F
+		return zero
+	}
+	return fn
 }
 
 // composeLayers sorts layers by priority (stably, so equal priorities keep
-// registration order) and fuses them: enter-like hooks run outermost-first,
-// regionExit runs innermost-first, and postAccess costs are summed.
+// registration order) and flattens each hook kind into its call slice:
+// enter-like hooks run outermost-first, regionExit runs innermost-first,
+// and postAccess costs are summed.
 func composeLayers(layers []hookLayer) composedHooks {
 	sorted := append([]hookLayer(nil), layers...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].prio < sorted[j].prio })
 
 	var c composedHooks
-	var enters, exits []func(t *machine.Thread, k machine.RegionKind)
-	var posts []func(t *machine.Thread, acc *machine.Access, res cache.Result) int64
-	var values []func(t *machine.Thread, acc *machine.Access, val uint64)
-	var syncs []func(t *machine.Thread)
-	var wakes []func(t, other *machine.Thread)
 	for _, l := range sorted {
 		if l.regionEnter != nil {
-			enters = append(enters, l.regionEnter)
+			c.enters = append(c.enters, l.regionEnter)
 		}
 		if l.regionExit != nil {
-			exits = append(exits, l.regionExit)
+			c.exits = append(c.exits, l.regionExit)
 		}
 		if l.postAccess != nil {
-			posts = append(posts, l.postAccess)
+			c.posts = append(c.posts, l.postAccess)
 		}
 		if l.onValue != nil {
-			values = append(values, l.onValue)
+			c.values = append(c.values, l.onValue)
 		}
 		if l.onSync != nil {
-			syncs = append(syncs, l.onSync)
+			c.syncs = append(c.syncs, l.onSync)
 		}
 		if l.onWake != nil {
-			wakes = append(wakes, l.onWake)
-		}
-	}
-	if len(enters) > 0 {
-		c.regionEnter = func(t *machine.Thread, k machine.RegionKind) {
-			for _, f := range enters {
-				f(t, k)
-			}
-		}
-	}
-	if len(exits) > 0 {
-		c.regionExit = func(t *machine.Thread, k machine.RegionKind) {
-			for i := len(exits) - 1; i >= 0; i-- {
-				exits[i](t, k)
-			}
-		}
-	}
-	if len(posts) > 0 {
-		c.postAccess = func(t *machine.Thread, acc *machine.Access, res cache.Result) int64 {
-			var total int64
-			for _, f := range posts {
-				total += f(t, acc, res)
-			}
-			return total
-		}
-	}
-	if len(values) > 0 {
-		c.onValue = func(t *machine.Thread, acc *machine.Access, val uint64) {
-			for _, f := range values {
-				f(t, acc, val)
-			}
-		}
-	}
-	if len(syncs) > 0 {
-		c.onSync = func(t *machine.Thread) {
-			for _, f := range syncs {
-				f(t)
-			}
-		}
-	}
-	if len(wakes) > 0 {
-		c.onWake = func(t, other *machine.Thread) {
-			for _, f := range wakes {
-				f(t, other)
-			}
+			c.wakes = append(c.wakes, l.onWake)
 		}
 	}
 	return c
@@ -158,8 +161,12 @@ type AccessInfo struct {
 // scheduler wake edges. This is the model checker's tap: together with
 // Config.Scheduler it gives full observe-and-control over interleavings.
 // All callbacks run on the simulated thread with the machine quiescent.
+//
+// OnAccess's argument points into a per-thread scratch buffer that is
+// overwritten by the thread's next access: read it during the call, copy
+// the fields you keep, never retain the pointer.
 type Observer interface {
-	OnAccess(AccessInfo)
+	OnAccess(*AccessInfo)
 	OnRegion(tid int, k machine.RegionKind, enter bool)
 	OnSync(tid int)
 	OnWake(waker, wakee int)
@@ -199,7 +206,8 @@ func (rt *runtime) buildLayers() []hookLayer {
 				obs.OnRegion(t.ID, k, false)
 			},
 			onValue: func(t *machine.Thread, acc *machine.Access, val uint64) {
-				info := AccessInfo{
+				info := &rt.accScratch[t.ID]
+				*info = AccessInfo{
 					TID: t.ID, PC: acc.PC, Addr: acc.Addr, Size: acc.Size,
 					Write: acc.Write, Atomic: acc.Atomic, Value: val,
 				}

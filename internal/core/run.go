@@ -102,6 +102,9 @@ type runtime struct {
 	events []string
 	tracer *trace.Recorder
 	hooksC composedHooks
+	// accScratch holds one AccessInfo per thread, reused for every observer
+	// OnAccess dispatch (the observer must not retain the pointer).
+	accScratch []AccessInfo
 
 	timeline    []IntervalSample
 	lastHITM    uint64
@@ -230,15 +233,16 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 	// Hook chains compose from declared layers in a fixed priority order
 	// (see hooks.go), so sanitizer, tracer and observer interleave
 	// deterministically no matter which configuration flags are set.
+	rt.accScratch = make([]AccessInfo, threads)
 	rt.hooksC = composeLayers(rt.buildLayers())
 	rt.mc.SetHooks(machine.Hooks{
 		SpaceFor:    rt.cccCtl.SpaceFor,
 		OnFault:     rt.onFault,
-		PostAccess:  rt.hooksC.postAccess,
-		RegionEnter: rt.hooksC.regionEnter,
-		RegionExit:  rt.hooksC.regionExit,
-		OnValue:     rt.hooksC.onValue,
-		OnWake:      rt.hooksC.onWake,
+		PostAccess:  hook(len(rt.hooksC.posts), rt.hooksC.postAccess),
+		RegionEnter: hook(len(rt.hooksC.enters), rt.hooksC.regionEnter),
+		RegionExit:  hook(len(rt.hooksC.exits), rt.hooksC.regionExit),
+		OnValue:     hook(len(rt.hooksC.values), rt.hooksC.onValue),
+		OnWake:      hook(len(rt.hooksC.wakes), rt.hooksC.onWake),
 		OnFirstTouch: func(t *machine.Thread, tr mem.Translation) int64 {
 			if tr.Page == nil { // bulk-region fault: one-time cost, compressed
 				return backing.FaultCost() / BulkFaultCompression
@@ -262,7 +266,7 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 		rt.det = detect.New(detect.Config{
 			ThresholdPerSec: cfg.ThresholdPerSec,
 			MinRecords:      detect.DefaultConfig().MinRecords,
-		}, rt.mon, rt.prog, rt.maps, pageSize)
+		}, rt.mon, rt.prog, rt.maps, rt.memory.PageTable(), pageSize)
 		interval := int64(cfg.DetectIntervalSec * cache.ClockHz)
 		rt.mc.AddTimer(interval, interval, rt.detectTick)
 	}
@@ -346,9 +350,7 @@ func (rt *runtime) layout() []string {
 // onSync is psync's synchronization-boundary hook; it dispatches through
 // the composed chain (tracer → sanitizer → observer → controller).
 func (rt *runtime) onSync(t *machine.Thread) {
-	if rt.hooksC.onSync != nil {
-		rt.hooksC.onSync(t)
-	}
+	rt.hooksC.onSync(t)
 }
 
 // commitSync is the controller layer's sync handler: the PTSB commit.

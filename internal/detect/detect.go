@@ -6,6 +6,15 @@
 // the sampling period (a period of n with r records is estimated as n*r
 // events), classifies each hot line as true or false sharing, and requests
 // repair for pages whose false-sharing rate crosses the threshold.
+//
+// Per-line window state lives in PageID-indexed stat pages: sample ingest is
+// a radix lookup plus slice indexes, with no hashing and no steady-state
+// allocation. Windows are reset by bumping an epoch counter instead of
+// reallocating; a page's stats are generation-stamped so a remap elsewhere
+// implicitly discards them rather than mixing spans from two different
+// mappings of the same virtual page. Sampled addresses that fall outside
+// every interned page (PEBS skid past a mapping's edge) go through a small
+// fallback map so no record is ever lost to the fast path.
 package detect
 
 import (
@@ -14,6 +23,7 @@ import (
 	"repro/internal/disasm"
 	"repro/internal/perfev"
 	"repro/internal/sim/cache"
+	"repro/internal/sim/intern"
 	"repro/internal/sim/osim"
 )
 
@@ -57,20 +67,50 @@ type lineStat struct {
 	// surfaced per line (LineReport.DroppedSpans) and cumulatively
 	// (Detector.DroppedSpans) so overflow can never silently skew a
 	// classification.
-	dropped  int
-	byThread map[int][]span
+	dropped int
+	// epoch marks the analysis window these counters belong to; a stat
+	// touched in an older window resets lazily instead of being reallocated.
+	epoch uint32
+	// threads holds each thread's spans, indexed by tid; tids lists the
+	// threads present, in first-touch order, so reset and iteration never
+	// scan the full slice.
+	threads [][]span
+	tids    []int
+}
+
+// reset clears the window counters, keeping the span slices' capacity.
+func (ls *lineStat) reset() {
+	ls.records, ls.writeRecords, ls.dropped = 0, 0, 0
+	for _, tid := range ls.tids {
+		ls.threads[tid] = ls.threads[tid][:0]
+	}
+	ls.tids = ls.tids[:0]
+}
+
+// spansOf returns tid's spans (nil if the thread never touched the line).
+func (ls *lineStat) spansOf(tid int) []span {
+	if tid < len(ls.threads) {
+		return ls.threads[tid]
+	}
+	return nil
 }
 
 func (ls *lineStat) add(tid, lo, hi int, wrote bool) {
-	spans := ls.byThread[tid]
+	for len(ls.threads) <= tid {
+		ls.threads = append(ls.threads, nil)
+	}
+	spans := ls.threads[tid]
 	for i, s := range spans {
 		if s.Lo == lo && s.Hi == hi && s.Wrote == wrote {
 			spans[i].Count++
 			return
 		}
 	}
+	if len(spans) == 0 {
+		ls.tids = append(ls.tids, tid)
+	}
 	if len(spans) < maxSpansPerThread {
-		ls.byThread[tid] = append(spans, span{lo, hi, wrote, 1})
+		ls.threads[tid] = append(spans, span{lo, hi, wrote, 1})
 		return
 	}
 	// Overflow: merge into the closest span of the same access kind,
@@ -144,13 +184,41 @@ type Request struct {
 	Lines []LineReport
 }
 
+// linesPerChunk sizes the lazily allocated blocks of a stat page: 64 lines
+// = one 4 KiB page's worth, so small pages allocate exactly one chunk and
+// huge pages allocate only the chunks their hot lines live in.
+const linesPerChunk = 64
+
+type statChunk [linesPerChunk]lineStat
+
+// statPage holds one interned page's per-line window stats, stamped with
+// the page generation they were built against.
+type statPage struct {
+	gen    uint32
+	chunks []*statChunk
+}
+
+// touchedLine records one line with samples in the current window, in
+// first-sample order — the deterministic iteration order for analysis.
+type touchedLine struct {
+	line uint64
+	ls   *lineStat
+}
+
 // Detector is the per-application detection thread's state.
 type Detector struct {
-	cfg   Config
-	mon   *perfev.Monitor
-	prog  *disasm.Program
-	maps  *osim.AddressMap
-	lines map[uint64]*lineStat
+	cfg  Config
+	mon  *perfev.Monitor
+	prog *disasm.Program
+	maps *osim.AddressMap
+	tab  *intern.Table
+
+	// Window state: PageID-indexed stat pages, the touched-line list, and
+	// the epoch that lazily invalidates stats from previous windows.
+	pages    []*statPage
+	fallback map[uint64]*lineStat // samples outside every interned page
+	touched  []touchedLine
+	epoch    uint32
 
 	pageSize uint64
 
@@ -177,11 +245,13 @@ type Detector struct {
 	archive map[uint64]*lineStat
 }
 
-// New creates a detector.
-func New(cfg Config, mon *perfev.Monitor, prog *disasm.Program, maps *osim.AddressMap, pageSize int) *Detector {
+// New creates a detector. tab is the run's page interning table; nil is
+// allowed (all samples then aggregate through the fallback map, e.g. in
+// unit tests without a simulated memory).
+func New(cfg Config, mon *perfev.Monitor, prog *disasm.Program, maps *osim.AddressMap, tab *intern.Table, pageSize int) *Detector {
 	return &Detector{
-		cfg: cfg, mon: mon, prog: prog, maps: maps,
-		lines:      make(map[uint64]*lineStat),
+		cfg: cfg, mon: mon, prog: prog, maps: maps, tab: tab,
+		epoch:      1, // zero-valued lineStats must read as "stale window"
 		pageSize:   uint64(pageSize),
 		TrueLines:  make(map[uint64]bool),
 		FalseLines: make(map[uint64]bool),
@@ -189,9 +259,52 @@ func New(cfg Config, mon *perfev.Monitor, prog *disasm.Program, maps *osim.Addre
 	}
 }
 
+// lineFor returns the window stat for the line-aligned address, resolving
+// through the intern table when possible (two array indexes) and through
+// the fallback map otherwise. The caller is responsible for the epoch
+// check/reset.
+func (d *Detector) lineFor(line uint64) *lineStat {
+	if d.tab != nil {
+		if id := d.tab.Lookup(line); id != intern.None {
+			d.pages = intern.Grow(d.pages, id)
+			sp := d.pages[id]
+			gen := d.tab.Gen(id)
+			if sp == nil {
+				sp = &statPage{gen: gen, chunks: make([]*statChunk, int(d.pageSize)/cache.LineSize/linesPerChunk)}
+				d.pages[id] = sp
+			} else if sp.gen != gen {
+				// The page was remapped since these stats were built: they
+				// describe bytes of a dead mapping. Drop every chunk so the
+				// new mapping's samples start clean.
+				for i := range sp.chunks {
+					sp.chunks[i] = nil
+				}
+				sp.gen = gen
+			}
+			li := int(line&(d.pageSize-1)) / cache.LineSize
+			ck := sp.chunks[li/linesPerChunk]
+			if ck == nil {
+				ck = new(statChunk)
+				sp.chunks[li/linesPerChunk] = ck
+			}
+			return &ck[li%linesPerChunk]
+		}
+	}
+	ls := d.fallback[line]
+	if ls == nil {
+		if d.fallback == nil {
+			d.fallback = make(map[uint64]*lineStat)
+		}
+		ls = &lineStat{}
+		d.fallback[line] = ls
+	}
+	return ls
+}
+
 // Tick drains the perf buffers, analyzes the window of intervalSec seconds,
 // and returns a repair request for pages whose false sharing crosses the
-// threshold (nil if none). The window state is reset between ticks.
+// threshold (nil if none). The window state is reset between ticks (an
+// epoch bump; nothing is reallocated).
 func (d *Detector) Tick(intervalSec float64) *Request {
 	recs := d.mon.DrainAll()
 	for _, r := range recs {
@@ -212,10 +325,11 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 			hi = cache.LineSize
 		}
 		wrote := info.Kind.Writes()
-		ls := d.lines[line]
-		if ls == nil {
-			ls = &lineStat{byThread: make(map[int][]span)}
-			d.lines[line] = ls
+		ls := d.lineFor(line)
+		if ls.epoch != d.epoch {
+			ls.reset()
+			ls.epoch = d.epoch
+			d.touched = append(d.touched, touchedLine{line, ls})
 		}
 		ls.records++
 		if wrote {
@@ -225,8 +339,9 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 	}
 
 	var req Request
-	pages := make(map[uint64]bool)
-	for line, ls := range d.lines {
+	var pages []uint64
+	for _, tl := range d.touched {
+		line, ls := tl.line, tl.ls
 		d.DroppedSpans += uint64(ls.dropped)
 		if ls.records < d.cfg.MinRecords {
 			continue
@@ -252,19 +367,29 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 			d.FalseRecords += uint64(ls.records)
 			d.FalseWriteRecords += uint64(ls.writeRecords)
 			if est >= d.cfg.ThresholdPerSec {
-				pages[line&^(d.pageSize-1)] = true
+				page := line &^ (d.pageSize - 1)
+				dup := false
+				for _, p := range pages {
+					if p == page {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					pages = append(pages, page)
+				}
 				req.Lines = append(req.Lines, rep)
 			}
 		}
 	}
-	// Reset the window.
-	d.lines = make(map[uint64]*lineStat)
+	// Reset the window: everything touched this epoch lazily clears on its
+	// next sample.
+	d.touched = d.touched[:0]
+	d.epoch++
 	if len(pages) == 0 {
 		return nil
 	}
-	for p := range pages {
-		req.Pages = append(req.Pages, p)
-	}
+	req.Pages = pages
 	sort.Slice(req.Pages, func(i, j int) bool { return req.Pages[i] < req.Pages[j] })
 	sort.Slice(req.Lines, func(i, j int) bool { return req.Lines[i].Line < req.Lines[j].Line })
 	return &req
@@ -276,28 +401,25 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 // samples sit in cross-thread overlapping byte ranges (with a write);
 // disjoint cross-thread ranges with at least one writer are false sharing.
 func classify(ls *lineStat) Sharing {
-	tids := make([]int, 0, len(ls.byThread))
-	for tid := range ls.byThread {
-		tids = append(tids, tid)
-	}
-	if len(tids) < 2 {
+	if len(ls.tids) < 2 {
 		return SharingNone
 	}
-	sort.Ints(tids)
 	anyWrite := false
-	for _, spans := range ls.byThread {
-		for _, s := range spans {
+	for _, tid := range ls.tids {
+		for _, s := range ls.threads[tid] {
 			anyWrite = anyWrite || s.Wrote
 		}
 	}
 	if !anyWrite {
 		return SharingNone
 	}
+	// Overlap weight is a sum over unordered thread pairs, so the
+	// first-touch order of ls.tids does not affect the verdict.
 	overlapWeight := 0
-	for i := 0; i < len(tids); i++ {
-		for j := i + 1; j < len(tids); j++ {
-			for _, a := range ls.byThread[tids[i]] {
-				for _, b := range ls.byThread[tids[j]] {
+	for i := 0; i < len(ls.tids); i++ {
+		for j := i + 1; j < len(ls.tids); j++ {
+			for _, a := range ls.threads[ls.tids[i]] {
+				for _, b := range ls.threads[ls.tids[j]] {
 					if a.Lo < b.Hi && b.Lo < a.Hi && (a.Wrote || b.Wrote) {
 						w := a.Count
 						if b.Count < w {

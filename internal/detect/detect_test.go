@@ -35,7 +35,7 @@ func newFixture(t *testing.T, period int, cfg Config) *fixture {
 	var maps osim.AddressMap
 	maps.AddRegion(heapLo, heapHi, osim.RegionHeap, "heap")
 	maps.AddRegion(libLo, libHi, osim.RegionLib, "libc")
-	f.det = New(cfg, f.mon, f.prog, &maps, 4096)
+	f.det = New(cfg, f.mon, f.prog, &maps, nil, 4096)
 	return f
 }
 

@@ -28,13 +28,13 @@ func (d *Detector) archiveLine(line uint64, ls *lineStat) {
 	}
 	a := d.archive[line]
 	if a == nil {
-		a = &lineStat{byThread: make(map[int][]span)}
+		a = &lineStat{}
 		d.archive[line] = a
 	}
 	a.records += ls.records
 	a.dropped += ls.dropped
-	for tid, spans := range ls.byThread {
-		for _, s := range spans {
+	for _, tid := range ls.tids {
+		for _, s := range ls.threads[tid] {
 			for i := 0; i < s.Count; i++ {
 				a.add(tid, s.Lo, s.Hi, s.Wrote)
 			}
@@ -58,8 +58,8 @@ func (d *Detector) PredictAtLineSize(lineSize int) Prediction {
 	// Regroup: absolute byte spans -> hypothetical lines.
 	groups := make(map[uint64]*lineStat)
 	for lineAddr, ls := range d.archive {
-		for tid, spans := range ls.byThread {
-			for _, s := range spans {
+		for _, tid := range ls.tids {
+			for _, s := range ls.threads[tid] {
 				// Drop skid-noise spans (same tolerance as the live
 				// classifier): a span carrying under 5% of the line's
 				// samples is PEBS address imprecision, not an access site.
@@ -71,7 +71,7 @@ func (d *Detector) PredictAtLineSize(lineSize int) Prediction {
 				for addr := lo &^ uint64(lineSize-1); addr < hi; addr += uint64(lineSize) {
 					g := groups[addr]
 					if g == nil {
-						g = &lineStat{byThread: make(map[int][]span)}
+						g = &lineStat{}
 						groups[addr] = g
 					}
 					slo := int(max64(lo, addr) - addr)

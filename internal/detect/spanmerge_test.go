@@ -9,7 +9,7 @@ import "testing"
 // same-kind span, and unmergeable records are counted.
 
 func newLineStat() *lineStat {
-	return &lineStat{byThread: make(map[int][]span)}
+	return &lineStat{}
 }
 
 // fill gives tid the maximum number of distinct single-byte spans.
@@ -28,19 +28,19 @@ func TestOverflowMergesIntoNearestSpan(t *testing.T) {
 	if ls.dropped != 0 {
 		t.Fatalf("same-kind overflow was dropped (dropped = %d)", ls.dropped)
 	}
-	if n := len(ls.byThread[0]); n != maxSpansPerThread {
+	if n := len(ls.spansOf(0)); n != maxSpansPerThread {
 		t.Fatalf("span count grew past the cap: %d", n)
 	}
 	// The nearest span ([23,24), gap 16) must have been widened to cover
 	// the new interval.
 	var widened bool
-	for _, s := range ls.byThread[0] {
+	for _, s := range ls.spansOf(0) {
 		if s.Lo <= 40 && s.Hi >= 48 {
 			widened = true
 		}
 	}
 	if !widened {
-		t.Fatalf("no span widened to cover [40,48): %+v", ls.byThread[0])
+		t.Fatalf("no span widened to cover [40,48): %+v", ls.spansOf(0))
 	}
 }
 

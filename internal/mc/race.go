@@ -66,7 +66,7 @@ func (d *raceDetector) ordered(e *accEpoch, t int) bool {
 	return e.clk <= d.vc[t][e.tid]
 }
 
-func (d *raceDetector) onAccess(info core.AccessInfo, inAsm bool) {
+func (d *raceDetector) onAccess(info *core.AccessInfo, inAsm bool) {
 	t := info.TID
 	syncish := info.Atomic || info.Runtime || inAsm
 	if syncish {

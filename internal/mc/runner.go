@@ -234,7 +234,7 @@ func sortedKeys[V any](m map[int]V) []int {
 
 // --- core.Observer ---
 
-func (r *runner) OnAccess(info core.AccessInfo) {
+func (r *runner) OnAccess(info *core.AccessInfo) {
 	if r.cur != nil {
 		lo := info.Addr >> r.ex.shift
 		hi := (info.Addr + uint64(info.Size) - 1) >> r.ex.shift

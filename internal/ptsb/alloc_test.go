@@ -1,0 +1,141 @@
+package ptsb
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+	"repro/internal/sim/mem"
+)
+
+// Steady-state commits — page already twinned, mapping already granted —
+// must not allocate: twin lookup, protection checks and activity counters
+// are all generation-checked slice indexes. The twin fault itself is
+// allowed to allocate (it snapshots a page); the per-sync path is not.
+func TestCommitSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is meaningless under -race")
+	}
+	f := newFixture(t, 1)
+	th := f.mc.Thread(0)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	// Fault the page in and dirty it once so Commit has work.
+	if handled, _ := f.eng.HandleWriteFault(th, heapBase); !handled {
+		t.Fatal("fault not handled")
+	}
+	write := func(v byte) {
+		tr, fault := th.Space().Translate(heapBase, true)
+		if fault != nil {
+			t.Fatal(fault)
+		}
+		tr.Page.Data[0] = v
+	}
+	write(1)
+	f.eng.Commit(th)
+
+	v := byte(2)
+	allocs := testing.AllocsPerRun(500, func() {
+		write(v)
+		f.eng.Commit(th)
+		v++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Commit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// A twin taken before the page is unmapped must not merge into whatever is
+// mapped at that address afterwards: the generation bump at Unmap makes the
+// twin stale, and Commit drops it.
+func TestStaleTwinDroppedAfterRemap(t *testing.T) {
+	f := newFixture(t, 1)
+	th := f.mc.Thread(0)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	if handled, _ := f.eng.HandleWriteFault(th, heapBase); !handled {
+		t.Fatal("fault not handled")
+	}
+	// Dirty the private copy.
+	tr, fault := th.Space().Translate(heapBase, true)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	tr.Page.Data[0] = 0xaa
+	if f.eng.DirtyPages(th.ID) != 1 {
+		t.Fatalf("DirtyPages = %d, want 1", f.eng.DirtyPages(th.ID))
+	}
+
+	// The page is unmapped and the range remapped to a different file page
+	// in every view (the shared one included) before the thread ever syncs.
+	file2 := f.memory.NewFile("other")
+	for _, sp := range append([]*mem.AddrSpace{f.shared}, f.spaces...) {
+		sp.Unmap(heapBase, 1)
+		sp.Map(heapBase, 1, file2, 0, false, mem.ProtRW)
+	}
+
+	if f.eng.Protected(heapBase) {
+		t.Error("protection must not survive the remap (stale generation)")
+	}
+	if got := f.eng.Commit(th); got != 0 {
+		t.Errorf("stale commit cost = %d, want 0 (twin dropped, nothing merged)", got)
+	}
+	if f.eng.DirtyPages(th.ID) != 0 {
+		t.Errorf("stale twin leaked: DirtyPages = %d", f.eng.DirtyPages(th.ID))
+	}
+	if got := f.sharedLoad(t, heapBase, 1); got != 0 {
+		t.Errorf("stale twin merged 0x%x into the remapped page", got)
+	}
+	// Activity for the old generation must not be visible either.
+	if a := f.eng.Activity(heapBase); a.TwinFaults != 0 || a.BytesMerged != 0 {
+		t.Errorf("stale activity leaked: %+v", a)
+	}
+}
+
+// Re-protecting the same virtual page after a remap starts a fresh repair
+// epoch: new twins, fresh activity, no interference from the old epoch.
+func TestReprotectAfterRemapStartsFresh(t *testing.T) {
+	f := newFixture(t, 1)
+	th := f.mc.Thread(0)
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	if handled, _ := f.eng.HandleWriteFault(th, heapBase); !handled {
+		t.Fatal("fault not handled")
+	}
+
+	file2 := f.memory.NewFile("other")
+	for _, sp := range append([]*mem.AddrSpace{f.shared}, f.spaces...) {
+		sp.Unmap(heapBase, 1)
+		sp.Map(heapBase, 1, file2, 0, false, mem.ProtRW)
+	}
+
+	if err := f.eng.Protect(heapBase, f.spaces); err != nil {
+		t.Fatal(err)
+	}
+	if !f.eng.Protected(heapBase) {
+		t.Fatal("re-protect did not arm")
+	}
+	if f.eng.ProtectedPages() != 1 {
+		t.Errorf("ProtectedPages = %d, want 1", f.eng.ProtectedPages())
+	}
+	if handled, _ := f.eng.HandleWriteFault(th, heapBase); !handled {
+		t.Fatal("fresh-epoch fault not handled")
+	}
+	if a := f.eng.Activity(heapBase); a.TwinFaults != 1 {
+		t.Errorf("fresh-epoch TwinFaults = %d, want 1 (old epoch must not leak)", a.TwinFaults)
+	}
+	// The fresh twin merges against the new mapping.
+	tr, fault := th.Space().Translate(heapBase, true)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	tr.Page.Data[3] = 0x7c
+	if f.eng.Commit(th) == 0 {
+		t.Error("fresh-epoch commit did no work")
+	}
+	if got := f.sharedLoad(t, heapBase+3, 1); got != 0x7c {
+		t.Errorf("fresh-epoch merge wrote 0x%x, want 0x7c", got)
+	}
+}

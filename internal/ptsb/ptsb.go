@@ -17,11 +17,20 @@
 // (AMBSA). The word-tearing example of Figure 3 reproduces on this engine
 // for real; code-centric consistency (package ccc) exists to keep that
 // flaw invisible.
+//
+// All per-page state (protection bits, twins, activity counters) is indexed
+// by the run-wide interned PageID and stamped with the page generation at
+// the time it was recorded: the fault and commit paths are slice indexes
+// with no hashing, and a remap/unmap elsewhere invalidates this engine's
+// state for the page implicitly — a stale-generation twin is dropped at the
+// next commit instead of merging into whatever now lives at that address.
 package ptsb
 
 import (
+	"bytes"
 	"fmt"
 
+	"repro/internal/sim/intern"
 	"repro/internal/sim/machine"
 	"repro/internal/sim/mem"
 )
@@ -56,11 +65,45 @@ type Stats struct {
 	BytesMerged uint64
 }
 
-// threadBuf is one thread's store-buffer state.
+// threadBuf is one thread's store-buffer state: PageID-indexed twin
+// snapshots stamped with the generation observed at fault time, plus the
+// fault order for deterministic commits.
 type threadBuf struct {
-	twins map[uint64]*mem.Page // page-aligned vaddr -> twin snapshot
-	order []uint64             // fault order, for deterministic commits
-	space *mem.AddrSpace       // the thread's space, captured at first fault
+	twins []*mem.Page     // PageID -> twin snapshot (nil = no twin)
+	gens  []uint32        // generation observed when the twin was taken
+	order []intern.PageID // fault order
+	count int             // live twin entries
+	space *mem.AddrSpace  // the thread's space, captured at first fault
+}
+
+// twin returns the thread's twin for id if it exists and is still current.
+func (b *threadBuf) twin(id intern.PageID, gen uint32) *mem.Page {
+	if int(id) >= len(b.twins) || b.twins[id] == nil || b.gens[id] != gen {
+		return nil
+	}
+	return b.twins[id]
+}
+
+// put stores a twin for id at gen and reports whether the slot was empty
+// (false means a stale-generation twin was replaced in place, so id is
+// already on the order list).
+func (b *threadBuf) put(id intern.PageID, gen uint32, twin *mem.Page) bool {
+	b.twins = intern.Grow(b.twins, id)
+	b.gens = intern.Grow(b.gens, id)
+	fresh := b.twins[id] == nil
+	if fresh {
+		b.count++
+	}
+	b.twins[id] = twin
+	b.gens[id] = gen
+	return fresh
+}
+
+func (b *threadBuf) drop(id intern.PageID) {
+	if int(id) < len(b.twins) && b.twins[id] != nil {
+		b.twins[id] = nil
+		b.count--
+	}
 }
 
 // PageActivity tracks how much repair a protected page is actually doing,
@@ -71,15 +114,31 @@ type PageActivity struct {
 	BytesMerged uint64
 }
 
+// protRec marks one page's protection state; valid only while its
+// generation matches the intern table's.
+type protRec struct {
+	armed bool
+	gen   uint32
+}
+
+// activityRec is one page's activity record, generation-stamped like every
+// other per-page cache in the engine.
+type activityRec struct {
+	init bool
+	gen  uint32
+	act  PageActivity
+}
+
 // Engine is the PTSB for one application.
 type Engine struct {
-	memory *mem.Memory
-	shared *mem.AddrSpace // the always-shared view used for merging
-	// protected marks page-aligned virtual addresses with the PTSB armed.
-	protected map[uint64]bool
-	bufs      map[int]*threadBuf
-	pageSize  int
-	activity  map[uint64]*PageActivity
+	memory   *mem.Memory
+	shared   *mem.AddrSpace // the always-shared view used for merging
+	tab      *intern.Table
+	pageSize int
+
+	protected []protRec     // PageID -> armed?
+	activity  []activityRec // PageID -> repair activity
+	bufs      []*threadBuf  // tid -> store buffer
 
 	Stats Stats
 }
@@ -88,12 +147,10 @@ type Engine struct {
 // view.
 func NewEngine(memory *mem.Memory, shared *mem.AddrSpace) *Engine {
 	return &Engine{
-		memory:    memory,
-		shared:    shared,
-		protected: make(map[uint64]bool),
-		bufs:      make(map[int]*threadBuf),
-		pageSize:  memory.PageSize(),
-		activity:  make(map[uint64]*PageActivity),
+		memory:   memory,
+		shared:   shared,
+		tab:      memory.PageTable(),
+		pageSize: memory.PageSize(),
 	}
 }
 
@@ -104,12 +161,20 @@ func (e *Engine) pageBase(addr uint64) uint64 {
 	return addr &^ (uint64(e.pageSize) - 1)
 }
 
+// isProtected reports whether id is armed at its current generation.
+func (e *Engine) isProtected(id intern.PageID) bool {
+	return int(id) < len(e.protected) &&
+		e.protected[id].armed &&
+		e.protected[id].gen == e.tab.Gen(id)
+}
+
 // Protect arms the PTSB on the page containing addr in each of the given
 // address spaces: the page becomes private and read-only so the next write
 // traps. The always-shared view is left untouched.
 func (e *Engine) Protect(addr uint64, spaces []*mem.AddrSpace) error {
 	base := e.pageBase(addr)
-	if e.protected[base] {
+	id := e.tab.Intern(base)
+	if e.isProtected(id) {
 		return nil
 	}
 	for _, sp := range spaces {
@@ -117,20 +182,35 @@ func (e *Engine) Protect(addr uint64, spaces []*mem.AddrSpace) error {
 			return fmt.Errorf("ptsb: protect 0x%x: %w", base, err)
 		}
 	}
-	e.protected[base] = true
+	e.protected = intern.Grow(e.protected, id)
+	e.protected[id] = protRec{armed: true, gen: e.tab.Gen(id)}
 	return nil
 }
 
 // Protected reports whether the page containing addr is PTSB-armed.
-func (e *Engine) Protected(addr uint64) bool { return e.protected[e.pageBase(addr)] }
+func (e *Engine) Protected(addr uint64) bool {
+	id := e.tab.Lookup(e.pageBase(addr))
+	return id != intern.None && e.isProtected(id)
+}
 
 // ProtectedPages returns the number of armed pages.
-func (e *Engine) ProtectedPages() int { return len(e.protected) }
+func (e *Engine) ProtectedPages() int {
+	n := 0
+	for id := range e.protected {
+		if e.isProtected(intern.PageID(id)) {
+			n++
+		}
+	}
+	return n
+}
 
 func (e *Engine) buf(tid int) *threadBuf {
+	for len(e.bufs) <= tid {
+		e.bufs = append(e.bufs, nil)
+	}
 	b := e.bufs[tid]
 	if b == nil {
-		b = &threadBuf{twins: make(map[uint64]*mem.Page)}
+		b = &threadBuf{}
 		e.bufs[tid] = b
 	}
 	return b
@@ -141,11 +221,13 @@ func (e *Engine) buf(tid int) *threadBuf {
 // It returns false if the fault is not on a PTSB page (not ours).
 func (e *Engine) HandleWriteFault(t *machine.Thread, addr uint64) (bool, int64) {
 	base := e.pageBase(addr)
-	if !e.protected[base] {
+	id := e.tab.Lookup(base)
+	if id == intern.None || !e.isProtected(id) {
 		return false, 0
 	}
+	gen := e.tab.Gen(id)
 	b := e.buf(t.ID)
-	if _, dup := b.twins[base]; dup {
+	if b.twin(id, gen) != nil {
 		// Already writable for this thread; the fault must be from another
 		// cause.
 		return false, 0
@@ -157,10 +239,11 @@ func (e *Engine) HandleWriteFault(t *machine.Thread, addr uint64) (bool, int64) 
 	}
 	twin := e.memory.NewAnonPage()
 	copy(twin.Data, str.Page.Data)
-	b.twins[base] = twin
-	b.order = append(b.order, base)
+	if e.buf(t.ID).put(id, gen, twin) {
+		b.order = append(b.order, id)
+	}
 	b.space = t.Space()
-	e.pageActivity(base).TwinFaults++
+	e.act(id, gen).TwinFaults++
 	// Grant write: the space's next write performs the COW copy itself.
 	if err := t.Space().Protect(base, 1, true, mem.ProtRW); err != nil {
 		panic(fmt.Sprintf("ptsb: grant write: %v", err))
@@ -172,8 +255,8 @@ func (e *Engine) HandleWriteFault(t *machine.Thread, addr uint64) (bool, int64) 
 
 // DirtyPages reports how many pages thread tid currently holds privately.
 func (e *Engine) DirtyPages(tid int) int {
-	if b := e.bufs[tid]; b != nil {
-		return len(b.twins)
+	if tid < len(e.bufs) && e.bufs[tid] != nil {
+		return e.bufs[tid].count
 	}
 	return 0
 }
@@ -185,40 +268,60 @@ func (e *Engine) DirtyPages(tid int) int {
 // private copy and its twin are reloaded from the merged shared page and
 // the mapping stays writable-private, so steady-state commit cost is a diff
 // plus a page copy rather than a protection fault per critical section.
+//
+// A twin whose page generation moved since the fault (the page was unmapped
+// or remapped) is dropped without merging: the bytes under that virtual
+// address no longer belong to the mapping the twin was taken against.
 func (e *Engine) Commit(t *machine.Thread) int64 {
-	b := e.bufs[t.ID]
-	if b == nil || len(b.twins) == 0 {
+	var b *threadBuf
+	if t.ID < len(e.bufs) {
+		b = e.bufs[t.ID]
+	}
+	if b == nil || len(b.order) == 0 {
 		return 0
 	}
 	var cost int64
-	for _, base := range b.order {
-		twin := b.twins[base]
-		if twin == nil {
+	kept := b.order[:0]
+	for _, id := range b.order {
+		if int(id) >= len(b.twins) || b.twins[id] == nil {
 			continue
 		}
-		cost += e.commitPage(t, base, twin)
+		gen := e.tab.Gen(id)
+		if b.gens[id] != gen {
+			b.drop(id) // stale: remapped since the fault
+			continue
+		}
+		cost += e.commitPage(t, id, gen, b.twins[id])
+		kept = append(kept, id)
 	}
+	b.order = kept
 	e.Stats.Commits++
 	return cost
 }
 
-// pageActivity returns (creating if needed) the per-page activity record.
-func (e *Engine) pageActivity(base uint64) *PageActivity {
-	a := e.activity[base]
-	if a == nil {
-		a = &PageActivity{}
-		e.activity[base] = a
+// act returns the activity record for id at gen, resetting any record left
+// over from a previous generation of the page.
+func (e *Engine) act(id intern.PageID, gen uint32) *PageActivity {
+	e.activity = intern.Grow(e.activity, id)
+	a := &e.activity[id]
+	if !a.init || a.gen != gen {
+		*a = activityRec{init: true, gen: gen}
 	}
-	return a
+	return &a.act
 }
 
 // Activity returns a copy of the per-page activity counters for the page
 // containing addr.
 func (e *Engine) Activity(addr uint64) PageActivity {
-	if a := e.activity[e.pageBase(addr)]; a != nil {
-		return *a
+	id := e.tab.Lookup(e.pageBase(addr))
+	if id == intern.None || int(id) >= len(e.activity) {
+		return PageActivity{}
 	}
-	return PageActivity{}
+	a := e.activity[id]
+	if !a.init || a.gen != e.tab.Gen(id) {
+		return PageActivity{}
+	}
+	return a.act
 }
 
 // Unprotect tears repair down on the page containing addr: every thread's
@@ -230,12 +333,17 @@ func (e *Engine) Activity(addr uint64) PageActivity {
 // directions.
 func (e *Engine) Unprotect(addr uint64, spaces []*mem.AddrSpace) error {
 	base := e.pageBase(addr)
-	if !e.protected[base] {
+	id := e.tab.Lookup(base)
+	if id == intern.None || !e.isProtected(id) {
 		return nil
 	}
-	// Flush every thread's pending state for this page.
+	gen := e.tab.Gen(id)
+	// Flush every thread's pending state for this page, in tid order.
 	for _, b := range e.bufs {
-		twin := b.twins[base]
+		if b == nil {
+			continue
+		}
+		twin := b.twin(id, gen)
 		if twin == nil {
 			continue
 		}
@@ -245,9 +353,9 @@ func (e *Engine) Unprotect(addr uint64, spaces []*mem.AddrSpace) error {
 			}
 			b.space.DropCopy(base)
 		}
-		delete(b.twins, base)
+		b.drop(id)
 		for i, p := range b.order {
-			if p == base {
+			if p == id {
 				b.order = append(b.order[:i], b.order[i+1:]...)
 				break
 			}
@@ -258,8 +366,10 @@ func (e *Engine) Unprotect(addr uint64, spaces []*mem.AddrSpace) error {
 			return fmt.Errorf("ptsb: unprotect 0x%x: %w", base, err)
 		}
 	}
-	delete(e.protected, base)
-	delete(e.activity, base)
+	e.protected[id] = protRec{}
+	if int(id) < len(e.activity) {
+		e.activity[id] = activityRec{}
+	}
 	return nil
 }
 
@@ -280,18 +390,22 @@ func (e *Engine) mergePageInto(base uint64, twin *mem.Page, priv []byte) {
 // Release drops every private copy thread t holds and re-protects the
 // pages (used when a thread exits or repair is torn down).
 func (e *Engine) Release(t *machine.Thread) {
-	b := e.bufs[t.ID]
+	var b *threadBuf
+	if t.ID < len(e.bufs) {
+		b = e.bufs[t.ID]
+	}
 	if b == nil {
 		return
 	}
-	for _, base := range b.order {
-		t.Space().DropCopy(base)
-		delete(b.twins, base)
+	for _, id := range b.order {
+		t.Space().DropCopy(e.tab.Addr(id))
+		b.drop(id)
 	}
 	b.order = b.order[:0]
 }
 
-func (e *Engine) commitPage(t *machine.Thread, base uint64, twin *mem.Page) int64 {
+func (e *Engine) commitPage(t *machine.Thread, id intern.PageID, gen uint32, twin *mem.Page) int64 {
+	base := e.tab.Addr(id)
 	cost := int64(CostCommitPage)
 	mp := t.Space().MappingAt(base)
 	str, fault := e.shared.Translate(base, true)
@@ -304,6 +418,7 @@ func (e *Engine) commitPage(t *machine.Thread, base uint64, twin *mem.Page) int6
 		// Granted writable but never written: just refresh nothing.
 		return cost
 	}
+	act := e.act(id, gen)
 	priv := mp.Copied.Data
 	dirtySlabs := 0
 	// Huge-page fast path: skip identical 4 KiB slabs wholesale (§4.4);
@@ -329,7 +444,7 @@ func (e *Engine) commitPage(t *machine.Thread, base uint64, twin *mem.Page) int6
 					sharedData[c+i] = pc[i]
 					cost += CostMergePerByte
 					e.Stats.BytesMerged++
-					e.pageActivity(base).BytesMerged++
+					act.BytesMerged++
 				}
 			}
 		}
@@ -343,14 +458,9 @@ func (e *Engine) commitPage(t *machine.Thread, base uint64, twin *mem.Page) int6
 	return cost
 }
 
+// bytesEqual dispatches to the runtime's vectorized memequal; the chunk
+// scan compares every slab of every committed page, so this is the hottest
+// loop in the PTSB.
 func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(a, b)
 }

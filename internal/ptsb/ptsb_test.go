@@ -21,7 +21,7 @@ type fixture struct {
 
 // newFixture builds two threads in separate "processes" sharing a file, with
 // the engine's fault handling wired into the machine.
-func newFixture(t *testing.T, threads int) *fixture {
+func newFixture(t testing.TB, threads int) *fixture {
 	t.Helper()
 	m := mem.NewMemory(mem.PageSize4K)
 	file := m.NewFile("heap")
@@ -46,7 +46,7 @@ func newFixture(t *testing.T, threads int) *fixture {
 	return f
 }
 
-func (f *fixture) sharedLoad(t *testing.T, addr uint64, size int) uint64 {
+func (f *fixture) sharedLoad(t testing.TB, addr uint64, size int) uint64 {
 	t.Helper()
 	tr, fault := f.shared.Translate(addr, false)
 	if fault != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in, so
+// allocation-guard tests can skip themselves: -race instruments allocations
+// and makes testing.AllocsPerRun meaningless.
+package raceflag
+
+// Enabled is true when the build includes the race detector.
+const Enabled = true

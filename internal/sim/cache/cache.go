@@ -9,6 +9,12 @@
 // and reports HITM ("hit modified") events — a request hitting a line that a
 // remote core holds in Modified state — which are exactly the events Intel
 // PEBS exposes and TMI's detector consumes.
+//
+// Physical page IDs are allocated densely from 1 (mem.Memory.nextPhys), so
+// physical line addresses are dense too: the line directory is a block-paged
+// slice indexed by line number, not a map. Every access is two array indexes
+// and zero allocations in steady state; a block of 64 directory entries is
+// allocated once, the first time any line in it is touched.
 package cache
 
 import "fmt"
@@ -38,20 +44,39 @@ func (s State) String() string {
 	return "?"
 }
 
+// blockLines is the number of directory entries per allocated block: 64
+// lines = one 4 KiB page's worth, the natural unit of physical-address
+// density here.
+const blockLines = 64
+
 // line is the directory entry for one physical cache line.
 type line struct {
 	sharers uint64 // bitmask of cores holding a valid copy
+	hitm    uint32 // HITM events observed on this line (detector ground truth)
 	owner   int8   // core holding the line E or M, -1 if none
 	dirty   bool   // owner holds the line Modified
 }
 
+// lineBlock holds the directory entries for blockLines consecutive lines.
+type lineBlock [blockLines]line
+
+func newLineBlock() *lineBlock {
+	b := new(lineBlock)
+	for i := range b {
+		b[i].owner = -1
+	}
+	return b
+}
+
 // coreCache tracks one core's resident lines for capacity modeling: a FIFO
 // of fills (the eviction policy real simulators commonly approximate LRU
-// with) plus the resident set.
+// with) plus the resident set, as block-paged fill-sequence slices (seq 0 =
+// not resident).
 type coreCache struct {
 	fifo     []fifoEntry
 	head     int
-	resident map[uint64]uint64 // line -> fill sequence
+	resident []*[blockLines]uint64 // line-block -> fill sequences
+	count    int                   // resident lines
 	seq      uint64
 }
 
@@ -60,26 +85,50 @@ type fifoEntry struct {
 	seq uint64
 }
 
+func (c *coreCache) slot(la uint64) *uint64 {
+	li := la / LineSize
+	bi := li / blockLines
+	for uint64(len(c.resident)) <= bi {
+		c.resident = append(c.resident, nil)
+	}
+	b := c.resident[bi]
+	if b == nil {
+		b = new([blockLines]uint64)
+		c.resident[bi] = b
+	}
+	return &b[li%blockLines]
+}
+
 func (c *coreCache) noteFill(la uint64, capacity int) (evict uint64, ok bool) {
-	if _, here := c.resident[la]; here {
+	slot := c.slot(la)
+	if *slot != 0 {
 		return 0, false
 	}
 	c.seq++
-	c.resident[la] = c.seq
+	*slot = c.seq
+	c.count++
 	c.fifo = append(c.fifo, fifoEntry{la, c.seq})
-	for len(c.resident) > capacity && c.head < len(c.fifo) {
+	for c.count > capacity && c.head < len(c.fifo) {
 		victim := c.fifo[c.head]
 		c.head++
 		// Skip entries invalidated or refilled since this fill.
-		if s, here := c.resident[victim.la]; here && s == victim.seq {
-			delete(c.resident, victim.la)
+		vs := c.slot(victim.la)
+		if *vs == victim.seq {
+			*vs = 0
+			c.count--
 			return victim.la, true
 		}
 	}
 	return 0, false
 }
 
-func (c *coreCache) drop(la uint64) { delete(c.resident, la) }
+func (c *coreCache) drop(la uint64) {
+	s := c.slot(la)
+	if *s != 0 {
+		*s = 0
+		c.count--
+	}
+}
 
 // HITMEvent is emitted when an access by Core hits a line held Modified by
 // Source. It is the raw hardware event behind PEBS sampling.
@@ -131,11 +180,9 @@ func (s Stats) EnergyMicroJ() float64 {
 // System is the coherence fabric for a fixed set of cores.
 type System struct {
 	numCores int
-	lines    map[uint64]*line
+	blocks   []*lineBlock // line directory, block-paged by line number
 	stats    Stats
 	onHITM   func(HITMEvent)
-	// perLine tracks HITM counts per line for detector ground-truth tests.
-	perLine map[uint64]uint64
 	// capacity is the per-core private cache size in lines; 0 = unlimited
 	// (the default: contention modeling does not depend on it).
 	capacity int
@@ -148,11 +195,7 @@ func New(numCores int) *System {
 	if numCores < 1 || numCores > 64 {
 		panic(fmt.Sprintf("cache: unsupported core count %d", numCores))
 	}
-	return &System{
-		numCores: numCores,
-		lines:    make(map[uint64]*line),
-		perLine:  make(map[uint64]uint64),
-	}
+	return &System{numCores: numCores}
 }
 
 // SetCapacity bounds each core's private cache to n lines (FIFO eviction);
@@ -166,8 +209,35 @@ func (s *System) SetCapacity(n int) {
 	s.capacity = n
 	s.cores = make([]*coreCache, s.numCores)
 	for i := range s.cores {
-		s.cores[i] = &coreCache{resident: make(map[uint64]uint64)}
+		s.cores[i] = &coreCache{}
 	}
+}
+
+// getLine returns the directory entry for the line at physical line address
+// la, allocating its block on first touch.
+func (s *System) getLine(la uint64) *line {
+	li := la / LineSize
+	bi := li / blockLines
+	for uint64(len(s.blocks)) <= bi {
+		s.blocks = append(s.blocks, nil)
+	}
+	b := s.blocks[bi]
+	if b == nil {
+		b = newLineBlock()
+		s.blocks[bi] = b
+	}
+	return &b[li%blockLines]
+}
+
+// peekLine returns the directory entry for la without allocating, or nil if
+// its block was never touched.
+func (s *System) peekLine(la uint64) *line {
+	li := la / LineSize
+	bi := li / blockLines
+	if bi >= uint64(len(s.blocks)) || s.blocks[bi] == nil {
+		return nil
+	}
+	return &s.blocks[bi][li%blockLines]
 }
 
 // noteFill records that core now holds la and performs a capacity eviction
@@ -181,7 +251,7 @@ func (s *System) noteFill(core int, la uint64) {
 	if !ok || victim == la {
 		return
 	}
-	ln := s.lines[victim]
+	ln := s.peekLine(victim)
 	if ln == nil || ln.sharers&(1<<uint(core)) == 0 {
 		return
 	}
@@ -214,13 +284,18 @@ func (s *System) NumCores() int { return s.numCores }
 func (s *System) Stats() Stats { return s.stats }
 
 // HITMForLine reports the HITM count observed on the line containing phys.
-func (s *System) HITMForLine(phys uint64) uint64 { return s.perLine[phys&^(LineSize-1)] }
+func (s *System) HITMForLine(phys uint64) uint64 {
+	if ln := s.peekLine(phys &^ (LineSize - 1)); ln != nil {
+		return uint64(ln.hitm)
+	}
+	return 0
+}
 
 // StateOf reports core's MESI state for the line containing phys
 // (test/debug use).
 func (s *System) StateOf(core int, phys uint64) State {
-	ln, ok := s.lines[phys&^(LineSize-1)]
-	if !ok || ln.sharers&(1<<uint(core)) == 0 {
+	ln := s.peekLine(phys &^ (LineSize - 1))
+	if ln == nil || ln.sharers&(1<<uint(core)) == 0 {
 		return Invalid
 	}
 	if int(ln.owner) == core {
@@ -266,11 +341,7 @@ func (s *System) Access(core int, phys uint64, size int, write, atomic bool) Res
 func (s *System) accessLine(core int, la uint64, write bool) Result {
 	s.stats.Accesses++
 	bit := uint64(1) << uint(core)
-	ln, ok := s.lines[la]
-	if !ok {
-		ln = &line{owner: -1}
-		s.lines[la] = ln
-	}
+	ln := s.getLine(la)
 	holds := ln.sharers&bit != 0
 	remoteDirty := ln.dirty && int(ln.owner) != core
 
@@ -284,7 +355,7 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 			// line back and both end up Shared.
 			s.stats.HITM++
 			s.stats.Writebacks++
-			s.perLine[la]++
+			ln.hitm++
 			src := int(ln.owner)
 			ln.dirty = false
 			ln.owner = -1
@@ -323,7 +394,7 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 		s.stats.HITM++
 		s.stats.Writebacks++
 		s.stats.Invalidations++
-		s.perLine[la]++
+		ln.hitm++
 		src := int(ln.owner)
 		s.noteInvalidate(src, la)
 		ln.sharers = bit
@@ -362,17 +433,24 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 // line and returns an error describing the first violation. Used by property
 // tests.
 func (s *System) CheckSWMR() error {
-	for la, ln := range s.lines {
-		if ln.dirty {
-			if ln.owner < 0 {
-				return fmt.Errorf("cache: line 0x%x dirty without owner", la)
-			}
-			if ln.sharers != 1<<uint(ln.owner) {
-				return fmt.Errorf("cache: line 0x%x modified by core %d but sharer mask %b", la, ln.owner, ln.sharers)
-			}
+	for bi, b := range s.blocks {
+		if b == nil {
+			continue
 		}
-		if ln.owner >= 0 && ln.sharers&(1<<uint(ln.owner)) == 0 {
-			return fmt.Errorf("cache: line 0x%x owner %d not a sharer", la, ln.owner)
+		for i := range b {
+			ln := &b[i]
+			la := (uint64(bi)*blockLines + uint64(i)) * LineSize
+			if ln.dirty {
+				if ln.owner < 0 {
+					return fmt.Errorf("cache: line 0x%x dirty without owner", la)
+				}
+				if ln.sharers != 1<<uint(ln.owner) {
+					return fmt.Errorf("cache: line 0x%x modified by core %d but sharer mask %b", la, ln.owner, ln.sharers)
+				}
+			}
+			if ln.owner >= 0 && ln.sharers&(1<<uint(ln.owner)) == 0 {
+				return fmt.Errorf("cache: line 0x%x owner %d not a sharer", la, ln.owner)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,145 @@
+// Package intern assigns dense integer identities to the sparse 64-bit
+// virtual page addresses the simulator is keyed on everywhere else.
+//
+// The per-access pipeline (machine → mem translation → cache coherence →
+// ptsb protection → detect aggregation) used to walk a map[uint64] at every
+// layer for every simulated access. Interning moves all of that hashing to
+// the cold path: a page is assigned a small dense PageID exactly once, when
+// it is mapped, and every hot structure downstream becomes a PageID-indexed
+// slice. Lookup on the access path is two array indexes through a two-level
+// radix table — no hashing, no allocation.
+//
+// Pages also carry a generation counter. Consumers that cache per-page state
+// under a PageID (the PTSB's twins and protection bits, the detector's line
+// stats) snapshot the generation when they store and compare when they read:
+// remapping or unmapping a page bumps the generation, which invalidates all
+// downstream state for that PageID in O(1) without enumerating the
+// consumers. This is the epoch-reset mechanism that lets hot state live in
+// flat slices while keeping remap semantics exact.
+package intern
+
+import "fmt"
+
+// PageID is a dense identity for one virtual page base address. IDs are
+// assigned contiguously from 0 in interning order and never reused, so they
+// index slices directly.
+type PageID int32
+
+// None marks "not interned" (the page has never been mapped).
+const None PageID = -1
+
+// leafBits sizes a radix leaf: one leaf covers 1<<leafBits consecutive
+// virtual pages. 2^14 pages per leaf keeps a leaf at 64 KiB (4-byte entries)
+// while the handful of simulated regions (globals, heap, TMI state, libc,
+// stacks) touch only a few leaves each.
+const leafBits = 14
+
+// Table interns virtual page base addresses. It is owned by one simulated
+// run (one mem.Memory) and shared by every address space of that run: all
+// spaces agree on the virtual layout, so a single addr→PageID mapping serves
+// them all. Table is not safe for concurrent use; like the rest of the
+// simulator it relies on the machine's one-token execution discipline.
+type Table struct {
+	shift uint // log2(page size)
+	root  [][]PageID
+	addrs []uint64 // PageID -> page base address
+	gens  []uint32 // PageID -> generation (bumped on remap/unmap)
+}
+
+// NewTable returns an empty table for the given page size (a power of two).
+func NewTable(pageSize int) *Table {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("intern: page size %d is not a power of two", pageSize))
+	}
+	shift := uint(0)
+	for 1<<shift != pageSize {
+		shift++
+	}
+	return &Table{shift: shift}
+}
+
+// PageSize reports the page size the table was built for.
+func (t *Table) PageSize() int { return 1 << t.shift }
+
+// Len reports how many pages have been interned. Valid PageIDs are
+// [0, Len()).
+func (t *Table) Len() int { return len(t.addrs) }
+
+// Intern returns addr's PageID, assigning the next dense ID on first sight.
+// addr may be any byte address within the page. Intern is the cold path:
+// it runs at map/allocation time, never per access.
+func (t *Table) Intern(addr uint64) PageID {
+	vpn := addr >> t.shift
+	ri := vpn >> leafBits
+	for uint64(len(t.root)) <= ri {
+		t.root = append(t.root, nil)
+	}
+	leaf := t.root[ri]
+	if leaf == nil {
+		leaf = make([]PageID, 1<<leafBits)
+		for i := range leaf {
+			leaf[i] = None
+		}
+		t.root[ri] = leaf
+	}
+	li := vpn & (1<<leafBits - 1)
+	if id := leaf[li]; id != None {
+		return id
+	}
+	id := PageID(len(t.addrs))
+	leaf[li] = id
+	t.addrs = append(t.addrs, vpn<<t.shift)
+	t.gens = append(t.gens, 0)
+	return id
+}
+
+// Lookup returns addr's PageID, or None if the page was never interned.
+// This is the hot path: two array indexes, no allocation.
+func (t *Table) Lookup(addr uint64) PageID {
+	vpn := addr >> t.shift
+	ri := vpn >> leafBits
+	if ri >= uint64(len(t.root)) {
+		return None
+	}
+	leaf := t.root[ri]
+	if leaf == nil {
+		return None
+	}
+	return leaf[vpn&(1<<leafBits-1)]
+}
+
+// Addr returns the page base address of id.
+func (t *Table) Addr(id PageID) uint64 { return t.addrs[id] }
+
+// Gen returns id's current generation. State cached under (id, gen) is
+// valid only while Gen(id) still equals gen.
+func (t *Table) Gen(id PageID) uint32 { return t.gens[id] }
+
+// Invalidate bumps id's generation, logically clearing every consumer's
+// cached per-page state for id (twins, protection bits, detector spans) in
+// O(1). Called on unmap/remap.
+func (t *Table) Invalidate(id PageID) { t.gens[id]++ }
+
+// LineIndex returns the dense index of the cache line containing addr
+// within the whole table: PageID * linesPerPage + line-in-page. It is only
+// meaningful for line sizes dividing the page size.
+func (t *Table) LineIndex(id PageID, addr uint64, lineSize int) int {
+	off := int(addr & (uint64(1)<<t.shift - 1))
+	return int(id)*(1<<t.shift/lineSize) + off/lineSize
+}
+
+// Grow extends a PageID-indexed slice so id is addressable, filling new
+// entries with the zero value. The doubling keeps amortized growth cost on
+// the cold (interning) path.
+func Grow[T any](s []T, id PageID) []T {
+	if int(id) < len(s) {
+		return s
+	}
+	n := len(s)*2 + 1
+	if n <= int(id) {
+		n = int(id) + 1
+	}
+	ns := make([]T, n)
+	copy(ns, s)
+	return ns
+}

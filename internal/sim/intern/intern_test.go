@@ -1,0 +1,91 @@
+package intern
+
+import "testing"
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	tab := NewTable(4096)
+	a := tab.Intern(0x1000_0000)
+	b := tab.Intern(0x1000_1000)
+	c := tab.Intern(0x7ff0_0000_0000) // far region: separate radix leaf
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("ids not dense: %d %d %d", a, b, c)
+	}
+	if got := tab.Intern(0x1000_0abc); got != a {
+		t.Errorf("re-intern within page = %d, want %d", got, a)
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tab.Len())
+	}
+	if tab.Addr(b) != 0x1000_1000 {
+		t.Errorf("Addr(b) = %#x", tab.Addr(b))
+	}
+}
+
+func TestLookupMissesReturnNone(t *testing.T) {
+	tab := NewTable(4096)
+	tab.Intern(0x1000_0000)
+	if got := tab.Lookup(0x1000_1000); got != None {
+		t.Errorf("unmapped neighbour = %d, want None", got)
+	}
+	if got := tab.Lookup(0x7fff_ffff_f000); got != None {
+		t.Errorf("address beyond every leaf = %d, want None", got)
+	}
+	if got := tab.Lookup(0x1000_0fff); got != 0 {
+		t.Errorf("byte within interned page = %d, want 0", got)
+	}
+}
+
+func TestInvalidateBumpsGeneration(t *testing.T) {
+	tab := NewTable(4096)
+	id := tab.Intern(0x2000_0000)
+	g := tab.Gen(id)
+	tab.Invalidate(id)
+	if tab.Gen(id) != g+1 {
+		t.Errorf("Gen after Invalidate = %d, want %d", tab.Gen(id), g+1)
+	}
+	// The identity survives invalidation; only cached state dies.
+	if tab.Lookup(0x2000_0000) != id {
+		t.Error("Invalidate must not remove the interning")
+	}
+}
+
+func TestLineIndex(t *testing.T) {
+	tab := NewTable(4096)
+	id0 := tab.Intern(0x1000_0000)
+	id1 := tab.Intern(0x1000_1000)
+	if got := tab.LineIndex(id0, 0x1000_0000, 64); got != 0 {
+		t.Errorf("first line of first page = %d", got)
+	}
+	if got := tab.LineIndex(id0, 0x1000_0fc0, 64); got != 63 {
+		t.Errorf("last line of first page = %d", got)
+	}
+	if got := tab.LineIndex(id1, 0x1000_1040, 64); got != 65 {
+		t.Errorf("second line of second page = %d", got)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	var s []int
+	s = Grow(s, 0)
+	if len(s) < 1 {
+		t.Fatal("Grow(0) too short")
+	}
+	s[0] = 7
+	s = Grow(s, PageID(100))
+	if len(s) < 101 || s[0] != 7 {
+		t.Fatalf("Grow lost data: len=%d s0=%d", len(s), s[0])
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tab := NewTable(4096)
+	for i := 0; i < 64; i++ {
+		tab.Intern(0x1000_0000 + uint64(i)*4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.Lookup(0x1000_0000+uint64(i&63)*4096) == None {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -13,11 +13,13 @@
 package machine
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
+	"iter"
 	"math/rand"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim/cache"
 	"repro/internal/sim/mem"
@@ -147,8 +149,16 @@ type Thread struct {
 	space *mem.AddrSpace
 	clock int64
 	state ThreadState
-	runCh chan struct{}
 	rng   *rand.Rand
+
+	// resume/stop/yieldTok are the coroutine handles (iter.Pull) the driver
+	// loop switches threads with. Coroutine switches transfer control
+	// directly between goroutines without a scheduler round trip, which is
+	// an order of magnitude cheaper than the channel park/unpark pair the
+	// token handoff used to cost.
+	resume   func() (struct{}, bool)
+	stop     func()
+	yieldTok func(struct{}) bool
 
 	// User carries runtime-private per-thread state (CCC region nesting,
 	// PTSB dirty sets). The machine never inspects it.
@@ -160,6 +170,12 @@ type Thread struct {
 	// arrives before the target's Block deposits a permit instead.
 	permits     int
 	pendingWake int64
+
+	// scratch/scratchB are the per-thread Access buffers the instruction
+	// methods reuse, so steady-state ops allocate nothing. Hooks receive a
+	// pointer into them and must not retain it past the hook call.
+	scratch  Access
+	scratchB Access
 
 	body func(*Thread)
 }
@@ -173,11 +189,10 @@ type Machine struct {
 	sched   Scheduler
 
 	mu      sync.Mutex
-	timers  []*timer
+	timers  timerHeap
 	started bool
-	doneCh  chan struct{}
 	failure error
-	aborted bool
+	aborted atomic.Bool
 
 	nextTimerID int
 }
@@ -189,6 +204,30 @@ type timer struct {
 	fn     func(now int64)
 }
 
+// timerHeap is a min-heap of timers ordered by (at, id): earliest deadline
+// first, insertion order among ties. The id tiebreak is what makes
+// same-deadline firing order deterministic — the old sort-on-insert list
+// ordered ties arbitrarily.
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
 // New constructs a machine with cfg.Cores threads ready to run.
 func New(cfg Config) *Machine {
 	if cfg.Cores < 1 {
@@ -197,14 +236,13 @@ func New(cfg Config) *Machine {
 	if cfg.Cache == nil {
 		cfg.Cache = cache.New(cfg.Cores)
 	}
-	m := &Machine{cfg: cfg, cacheS: cfg.Cache, doneCh: make(chan struct{})}
+	m := &Machine{cfg: cfg, cacheS: cfg.Cache}
 	for i := 0; i < cfg.Cores; i++ {
 		m.threads = append(m.threads, &Thread{
-			ID:    i,
-			Core:  i,
-			m:     m,
-			runCh: make(chan struct{}, 1),
-			rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(i) + 1)),
+			ID:   i,
+			Core: i,
+			m:    m,
+			rng:  rand.New(rand.NewSource(cfg.Seed*7919 + int64(i) + 1)),
 		})
 	}
 	return m
@@ -233,8 +271,7 @@ func (m *Machine) AddTimer(at, period int64, fn func(now int64)) int {
 	defer m.mu.Unlock()
 	m.nextTimerID++
 	t := &timer{id: m.nextTimerID, at: at, period: period, fn: fn}
-	m.timers = append(m.timers, t)
-	sortTimers(m.timers)
+	heap.Push(&m.timers, t)
 	return t.id
 }
 
@@ -244,19 +281,22 @@ func (m *Machine) RemoveTimer(id int) {
 	defer m.mu.Unlock()
 	for i, t := range m.timers {
 		if t.id == id {
-			m.timers = append(m.timers[:i], m.timers[i+1:]...)
+			heap.Remove(&m.timers, i)
 			return
 		}
 	}
 }
 
-func sortTimers(ts []*timer) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].at < ts[j].at })
-}
-
 // Run executes bodies, one per thread (len(bodies) must not exceed the core
 // count; extra cores stay idle). It blocks until all threads finish and
 // returns the first failure (panic in a body, deadlock) if any.
+//
+// Run is the scheduler's driver loop: every thread body runs as a coroutine
+// (iter.Pull), and the driver — the Run caller's goroutine — repeatedly
+// picks the next runnable thread, fires due timers, and switches to it.
+// Exactly one goroutine executes at any moment (the driver or the resumed
+// thread), so the whole simulation is sequential; coroutine switches
+// transfer control directly, never through the Go scheduler.
 func (m *Machine) Run(bodies []func(*Thread)) error {
 	if len(bodies) > len(m.threads) {
 		return fmt.Errorf("machine: %d bodies for %d cores", len(bodies), len(m.threads))
@@ -265,70 +305,160 @@ func (m *Machine) Run(bodies []func(*Thread)) error {
 		return fmt.Errorf("machine: Run called twice")
 	}
 	m.started = true
+	var live []*Thread
 	for i, t := range m.threads {
 		if i < len(bodies) {
 			t.body = bodies[i]
 			t.state = Ready
+			live = append(live, t)
 		} else {
 			t.state = Done
 		}
 	}
-	// Choose the first thread up front: with an external scheduler an
-	// immediate abandon must fail the run before any goroutine starts.
-	var first *Thread
-	if m.sched != nil {
-		if ready := m.readyThreads(); len(ready) > 0 {
-			if first = m.sched.Pick(ready); first == nil {
-				m.failure = ErrScheduleAbandoned
-				return m.failure
-			}
-		}
-	} else {
-		first = m.minReady()
-	}
-	var wg sync.WaitGroup
-	for _, t := range m.threads {
-		if t.body == nil {
-			continue
-		}
-		wg.Add(1)
-		go func(t *Thread) {
-			defer wg.Done()
-			<-t.runCh
-			// A thread woken only so it can unwind (the machine aborted
-			// before it ever ran) must not execute its body.
-			m.mu.Lock()
-			aborted := m.aborted
-			m.mu.Unlock()
-			if !aborted {
+	for _, t := range live {
+		t := t
+		t.resume, t.stop = iter.Pull(func(yieldTok func(struct{}) bool) {
+			t.yieldTok = yieldTok
+			// A coroutine started only so it can unwind (the machine
+			// aborted before this thread ever ran) must not execute its
+			// body.
+			if !m.aborted.Load() {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
 							if _, ok := r.(abortSentinel); ok {
 								return // controlled unwind after machine abort
 							}
-							m.mu.Lock()
 							if m.failure == nil {
 								m.failure = fmt.Errorf("machine: thread %d panic: %v", t.ID, r)
 							}
-							m.aborted = true
-							m.mu.Unlock()
+							m.aborted.Store(true)
 						}
 					}()
 					t.body(t)
 				}()
 			}
-			m.finish(t)
-		}(t)
+			t.state = Done
+		})
 	}
-	if first != nil {
-		first.runCh <- struct{}{}
-	} else {
-		close(m.doneCh)
-	}
-	<-m.doneCh
-	wg.Wait()
+	// Guarantee coroutine cleanup on every exit path: stop() unwinds a
+	// thread parked at a yield (its yieldTok returns false and it panics out
+	// via abortSentinel) and is a no-op on finished threads.
+	defer func() {
+		for _, t := range live {
+			t.stop()
+		}
+	}()
+
+	// The driver loop. A panic here can only come from a timer callback
+	// (body and hook panics are recovered inside the coroutine); record it
+	// as the run's failure like any other crash.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if m.failure == nil {
+					m.failure = fmt.Errorf("machine: panic: %v", r)
+				}
+				m.aborted.Store(true)
+			}
+		}()
+		var prev *Thread
+		for !m.aborted.Load() {
+			next := m.scheduleNext(prev)
+			if next == nil {
+				break
+			}
+			prev = next
+			next.resume()
+		}
+	}()
 	return m.failure
+}
+
+// scheduleNext is the driver's scheduling point: it fires timers due before
+// the next thread would run, detects deadlock, and picks the thread to
+// resume — the min-clock thread, except that the previous holder keeps the
+// token while within schedSlack cycles of the true minimum (or whatever the
+// external Scheduler picks, with no slack batching). Returning nil ends the
+// run.
+func (m *Machine) scheduleNext(prev *Thread) *Thread {
+	for {
+		next := m.minReady()
+		// Fire timers due before the next thread would run. Timers advance
+		// only with thread progress: once no thread is runnable, remaining
+		// timers never fire.
+		if len(m.timers) > 0 && next != nil && m.timers[0].at <= next.clock {
+			due := heap.Pop(&m.timers).(*timer)
+			due.fn(due.at)
+			if due.period > 0 {
+				due.at += due.period
+				heap.Push(&m.timers, due)
+			}
+			continue // re-evaluate: the timer may have changed thread states
+		}
+		if next == nil {
+			// Nothing runnable: either everyone is done, or deadlock.
+			for _, th := range m.threads {
+				if th.state == Blocked {
+					if m.failure == nil {
+						at := int64(0)
+						if prev != nil {
+							at = prev.clock
+						}
+						m.failure = fmt.Errorf("machine: deadlock — all live threads blocked at t=%d", at)
+					}
+					m.aborted.Store(true)
+					break
+				}
+			}
+			return nil
+		}
+		if m.sched != nil {
+			picked := m.sched.Pick(m.readyThreads())
+			if picked == nil {
+				if m.failure == nil {
+					m.failure = ErrScheduleAbandoned
+				}
+				m.aborted.Store(true)
+				return nil
+			}
+			return picked
+		}
+		// Slack: the previous holder keeps the token while within schedSlack
+		// cycles of the true minimum. schedSlack is below every coherence
+		// latency, so only local L1 hits batch — cross-core event ordering
+		// is unaffected — while switches drop by an order of magnitude.
+		if prev != nil && prev != next && prev.state == Ready && prev.clock <= next.clock+schedSlack {
+			return prev
+		}
+		return next
+	}
+}
+
+// yield is a thread-side scheduling point: hand the token back to the
+// driver unless the thread may keep running.
+//
+// The fast path: under the one-token discipline only the token holder
+// executes here, and every prior mutation of thread states, clocks and the
+// timer heap happened either on this goroutine or before a coroutine switch
+// (which is a happens-before edge). The thread keeps the token while it is
+// still minimal (within schedSlack) and no timer is due — no driver round
+// trip at all. With an external Scheduler there is no fast path: every
+// yield is a scheduling point.
+func (m *Machine) yield(t *Thread) {
+	if m.sched == nil && !m.aborted.Load() && t.state == Ready {
+		next := m.minReady()
+		if next != nil &&
+			(len(m.timers) == 0 || m.timers[0].at > next.clock) &&
+			(next == t || t.clock <= next.clock+schedSlack) {
+			return // keep the token: still minimal (within slack), no timer due
+		}
+	}
+	if !t.yieldTok(struct{}{}) {
+		// The driver stopped this coroutine: unwind to the Run wrapper.
+		panic(abortSentinel{})
+	}
+	m.checkAbort()
 }
 
 // Elapsed reports the simulated run time: the maximum thread clock.
@@ -371,212 +501,16 @@ func (m *Machine) readyThreads() []*Thread {
 	return out
 }
 
-// yield hands the token to the next runnable thread (running due timers
-// first) and, unless t is done, waits until the token comes back.
-func (m *Machine) yield(t *Thread) {
-	if m.sched != nil {
-		m.yieldControlled(t)
-		return
-	}
-	for {
-		m.mu.Lock()
-		next := m.minReady()
-		// Fire timers due before the next thread would run. Timers advance
-		// only with thread progress: once no thread is runnable, remaining
-		// timers never fire.
-		var due *timer
-		if len(m.timers) > 0 && next != nil && m.timers[0].at <= next.clock {
-			due = m.timers[0]
-			m.timers = m.timers[1:]
-		}
-		if due != nil {
-			m.mu.Unlock()
-			due.fn(due.at)
-			if due.period > 0 {
-				m.mu.Lock()
-				due.at += due.period
-				m.timers = append(m.timers, due)
-				sortTimers(m.timers)
-				m.mu.Unlock()
-			}
-			continue // re-evaluate: the timer may have changed thread states
-		}
-		if next == nil {
-			// Nothing runnable: either everyone is done, or deadlock.
-			var blocked []*Thread
-			for _, th := range m.threads {
-				if th.state == Blocked {
-					blocked = append(blocked, th)
-				}
-			}
-			if len(blocked) > 0 {
-				if m.failure == nil {
-					m.failure = fmt.Errorf("machine: deadlock — all live threads blocked at t=%d", t.clock)
-				}
-				m.aborted = true
-			}
-			m.mu.Unlock()
-			// Wake every parked goroutine so it can unwind via abort panic.
-			for _, th := range blocked {
-				select {
-				case th.runCh <- struct{}{}:
-				default:
-				}
-			}
-			select {
-			case <-m.doneCh:
-			default:
-				close(m.doneCh)
-			}
-			return
-		}
-		m.mu.Unlock()
-		if next == t {
-			return // keep the token
-		}
-		// Slack: keep the token while within schedSlack cycles of the true
-		// minimum. schedSlack is below every coherence latency, so only
-		// local L1 hits batch — cross-core event ordering is unaffected —
-		// while token handoffs drop by an order of magnitude.
-		if t.state == Ready && t.clock <= next.clock+schedSlack {
-			return
-		}
-		// Read own state before handing over: the moment the token is sent,
-		// the new holder may Unblock this thread concurrently.
-		wasDone := t.state == Done
-		next.runCh <- struct{}{}
-		if wasDone {
-			return
-		}
-		<-t.runCh
-		m.checkAbort()
-		return
-	}
-}
-
-// yieldControlled is the scheduling point under an external Scheduler: no
-// clock-slack batching, every yield consults Pick, and a nil Pick abandons
-// the run. Timers and deadlock detection behave as in the default path.
-func (m *Machine) yieldControlled(t *Thread) {
-	for {
-		m.mu.Lock()
-		if m.aborted {
-			m.mu.Unlock()
-			m.shutdown(t)
-			return
-		}
-		min := m.minReady()
-		var due *timer
-		if len(m.timers) > 0 && min != nil && m.timers[0].at <= min.clock {
-			due = m.timers[0]
-			m.timers = m.timers[1:]
-		}
-		if due != nil {
-			m.mu.Unlock()
-			due.fn(due.at)
-			if due.period > 0 {
-				m.mu.Lock()
-				due.at += due.period
-				m.timers = append(m.timers, due)
-				sortTimers(m.timers)
-				m.mu.Unlock()
-			}
-			continue
-		}
-		if min == nil {
-			// Nothing runnable: either everyone is done, or deadlock.
-			blocked := false
-			for _, th := range m.threads {
-				if th.state == Blocked {
-					blocked = true
-				}
-			}
-			if blocked {
-				if m.failure == nil {
-					m.failure = fmt.Errorf("machine: deadlock — all live threads blocked at t=%d", t.clock)
-				}
-				m.aborted = true
-			}
-			m.mu.Unlock()
-			m.shutdown(t)
-			return
-		}
-		ready := m.readyThreads()
-		m.mu.Unlock()
-		next := m.sched.Pick(ready)
-		if next == nil {
-			m.mu.Lock()
-			if m.failure == nil {
-				m.failure = ErrScheduleAbandoned
-			}
-			m.aborted = true
-			m.mu.Unlock()
-			m.shutdown(t)
-			// The caller (step, Block, finish) runs checkAbort next and
-			// unwinds; finish simply returns, ending the goroutine.
-			return
-		}
-		if next == t {
-			return // keep the token
-		}
-		wasDone := t.state == Done
-		next.runCh <- struct{}{}
-		if wasDone {
-			return
-		}
-		<-t.runCh
-		m.checkAbort()
-		return
-	}
-}
-
-// shutdown wakes every parked goroutine so it can unwind (each one runs
-// checkAbort as soon as it holds the token, or skips its body if it never
-// started) and marks the run finished. Safe to call more than once.
-// Shutdown breaks the one-token discipline — every woken goroutine unwinds
-// concurrently — so the state reads and the doneCh close must be serialized
-// under m.mu against other unwinding goroutines.
-func (m *Machine) shutdown(t *Thread) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, th := range m.threads {
-		if th == t || th.body == nil || th.state == Done {
-			continue
-		}
-		select {
-		case th.runCh <- struct{}{}:
-		default:
-		}
-	}
-	select {
-	case <-m.doneCh:
-	default:
-		close(m.doneCh)
-	}
-}
-
 // checkAbort panics out of a thread body when the machine has been aborted
-// (deadlock or external failure); the Run wrapper recovers it.
+// (deadlock or external failure); the Run wrapper recovers it. Lock-free:
+// it runs after every instruction.
 func (m *Machine) checkAbort() {
-	m.mu.Lock()
-	a := m.aborted
-	m.mu.Unlock()
-	if a {
+	if m.aborted.Load() {
 		panic(abortSentinel{})
 	}
 }
 
 type abortSentinel struct{}
-
-func (m *Machine) finish(t *Thread) {
-	// Under the token discipline this write is single-threaded, but after an
-	// abort the unwinding goroutines run concurrently and shutdown reads
-	// thread states — take the lock so the transition is always visible.
-	m.mu.Lock()
-	t.state = Done
-	m.mu.Unlock()
-	m.yield(t)
-}
 
 // Fail aborts the run with err the next time the failing thread yields.
 func (m *Machine) Fail(err error) {

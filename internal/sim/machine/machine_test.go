@@ -135,10 +135,8 @@ func TestBlockUnblock(t *testing.T) {
 		func(th *Thread) {
 			th.Work(10_000)
 			peer := th.Machine().Thread(1)
-			th.step(func() int64 {
-				th.Unblock(peer, 100)
-				return 10
-			})
+			th.Unblock(peer, 100)
+			th.endStep(10)
 		},
 		func(th *Thread) {
 			th.Block()

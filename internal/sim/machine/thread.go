@@ -28,10 +28,13 @@ func (t *Thread) Rand() *rand.Rand { return t.rng }
 // Machine returns the owning machine.
 func (t *Thread) Machine() *Machine { return t.m }
 
-// step runs f while holding the execution token, charges its returned
-// latency, and hands over the token if the thread is no longer minimal.
-func (t *Thread) step(f func() int64) {
-	t.clock += f()
+// endStep charges an instruction's latency and hands over the token if the
+// thread is no longer minimal. The instruction methods below inline their
+// work and finish through here instead of wrapping it in a closure: the old
+// step(func() int64) pattern cost one closure allocation per instruction,
+// which dominated the steady-state profile.
+func (t *Thread) endStep(lat int64) {
+	t.clock += lat
 	t.Stats.Instructions++
 	t.m.yield(t)
 	t.m.checkAbort()
@@ -43,94 +46,85 @@ func (t *Thread) Work(cycles int64) {
 	if cycles < 0 {
 		panic("machine: negative work")
 	}
-	t.step(func() int64 { return cycles })
+	t.endStep(cycles)
 }
 
 // Fence models a memory fence.
 func (t *Thread) Fence() {
-	t.step(func() int64 { return 20 })
+	t.endStep(20)
 }
 
 // Load performs a load of size bytes at addr and returns the value
 // (little-endian, size in {1,2,4,8}).
 func (t *Thread) Load(pc, addr uint64, size int) uint64 {
-	var v uint64
-	acc := Access{PC: pc, Addr: addr, Size: size}
-	t.step(func() int64 {
-		lat, tr := t.access(&acc)
-		v = mem.LoadUint(tr, size)
-		t.onValue(&acc, v)
-		return lat
-	})
+	acc := &t.scratch
+	*acc = Access{PC: pc, Addr: addr, Size: size}
+	lat, tr := t.access(acc)
+	v := mem.LoadUint(tr, size)
+	t.onValue(acc, v)
+	t.endStep(lat)
 	return v
 }
 
 // Store performs a store of size bytes at addr.
 func (t *Thread) Store(pc, addr uint64, size int, val uint64) {
-	acc := Access{PC: pc, Addr: addr, Size: size, Write: true}
-	t.step(func() int64 {
-		lat, tr := t.access(&acc)
-		mem.StoreUint(tr, size, val)
-		t.onValue(&acc, val)
-		return lat
-	})
+	acc := &t.scratch
+	*acc = Access{PC: pc, Addr: addr, Size: size, Write: true}
+	lat, tr := t.access(acc)
+	mem.StoreUint(tr, size, val)
+	t.onValue(acc, val)
+	t.endStep(lat)
 }
 
 // AtomicRMW performs an atomic read-modify-write at addr: fn maps the old
 // value to the new value; the old value is returned. The access carries the
 // Atomic flag so the runtime can route it per code-centric consistency.
 func (t *Thread) AtomicRMW(pc, addr uint64, size int, fn func(old uint64) uint64) uint64 {
-	var old uint64
-	acc := Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
-	t.step(func() int64 {
-		lat, tr := t.access(&acc)
-		old = mem.LoadUint(tr, size)
-		mem.StoreUint(tr, size, fn(old))
-		t.onValue(&acc, old)
-		return lat
-	})
+	acc := &t.scratch
+	*acc = Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
+	lat, tr := t.access(acc)
+	old := mem.LoadUint(tr, size)
+	mem.StoreUint(tr, size, fn(old))
+	t.onValue(acc, old)
+	t.endStep(lat)
 	return old
 }
 
 // AtomicLoad performs an atomic load (coherence-wise a plain load, but
 // carrying the Atomic flag so the runtime routes it to shared memory).
 func (t *Thread) AtomicLoad(pc, addr uint64, size int) uint64 {
-	var v uint64
-	acc := Access{PC: pc, Addr: addr, Size: size, Atomic: true}
-	t.step(func() int64 {
-		lat, tr := t.access(&acc)
-		v = mem.LoadUint(tr, size)
-		t.onValue(&acc, v)
-		return lat
-	})
+	acc := &t.scratch
+	*acc = Access{PC: pc, Addr: addr, Size: size, Atomic: true}
+	lat, tr := t.access(acc)
+	v := mem.LoadUint(tr, size)
+	t.onValue(acc, v)
+	t.endStep(lat)
 	return v
 }
 
 // AtomicStore performs an atomic store.
 func (t *Thread) AtomicStore(pc, addr uint64, size int, val uint64) {
-	acc := Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
-	t.step(func() int64 {
-		lat, tr := t.access(&acc)
-		mem.StoreUint(tr, size, val)
-		t.onValue(&acc, val)
-		return lat
-	})
+	acc := &t.scratch
+	*acc = Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
+	lat, tr := t.access(acc)
+	mem.StoreUint(tr, size, val)
+	t.onValue(acc, val)
+	t.endStep(lat)
 }
 
 // AtomicCAS performs a compare-and-swap, returning whether it succeeded.
 func (t *Thread) AtomicCAS(pc, addr uint64, size int, old, new uint64) bool {
+	acc := &t.scratch
+	*acc = Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
+	lat, tr := t.access(acc)
+	cur := mem.LoadUint(tr, size)
 	ok := false
-	acc := Access{PC: pc, Addr: addr, Size: size, Write: true, Atomic: true}
-	t.step(func() int64 {
-		lat, tr := t.access(&acc)
-		cur := mem.LoadUint(tr, size)
-		if cur == old {
-			mem.StoreUint(tr, size, new)
-			ok = true
-		}
-		t.onValue(&acc, cur)
-		return lat
-	})
+	if cur == old {
+		mem.StoreUint(tr, size, new)
+		ok = true
+	}
+	t.onValue(acc, cur)
+	t.endStep(lat)
 	return ok
 }
 
@@ -141,19 +135,19 @@ func (t *Thread) AtomicCAS(pc, addr uint64, size int, old, new uint64) bool {
 // operates on stale private copies, which is exactly the corruption of the
 // paper's Figure 11.
 func (t *Thread) AtomicPairSwap(pcA, pcB, addrA, addrB uint64, size int) {
-	accA := Access{PC: pcA, Addr: addrA, Size: size, Write: true, Atomic: true}
-	accB := Access{PC: pcB, Addr: addrB, Size: size, Write: true, Atomic: true}
-	t.step(func() int64 {
-		latA, trA := t.access(&accA)
-		latB, trB := t.access(&accB)
-		va := mem.LoadUint(trA, size)
-		vb := mem.LoadUint(trB, size)
-		mem.StoreUint(trA, size, vb)
-		mem.StoreUint(trB, size, va)
-		t.onValue(&accA, va)
-		t.onValue(&accB, vb)
-		return latA + latB
-	})
+	accA := &t.scratch
+	accB := &t.scratchB
+	*accA = Access{PC: pcA, Addr: addrA, Size: size, Write: true, Atomic: true}
+	*accB = Access{PC: pcB, Addr: addrB, Size: size, Write: true, Atomic: true}
+	latA, trA := t.access(accA)
+	latB, trB := t.access(accB)
+	va := mem.LoadUint(trA, size)
+	vb := mem.LoadUint(trB, size)
+	mem.StoreUint(trA, size, vb)
+	mem.StoreUint(trB, size, va)
+	t.onValue(accA, va)
+	t.onValue(accB, vb)
+	t.endStep(latA + latB)
 }
 
 // onValue reports a completed access's datum to the OnValue hook.
@@ -217,22 +211,20 @@ func (t *Thread) Stream(pc, base uint64, nbytes int64, write bool) {
 	if nbytes <= 0 {
 		return
 	}
-	t.step(func() int64 {
-		lines := (nbytes + cache.LineSize - 1) / cache.LineSize
-		lat := lines * cache.LatStream
-		if r := t.space.BulkAt(base); r != nil {
-			if faults := r.TouchRange(base, uint64(nbytes), uint64(t.space.PageSize())); faults > 0 {
-				var per int64 = DefaultFaultCost
-				if h := t.m.hooks.OnFirstTouch; h != nil {
-					per = h(t, mem.Translation{FirstTouch: true})
-				}
-				lat += faults * per
-				t.Stats.FirstTouches += uint64(faults)
+	lines := (nbytes + cache.LineSize - 1) / cache.LineSize
+	lat := lines * cache.LatStream
+	if r := t.space.BulkAt(base); r != nil {
+		if faults := r.TouchRange(base, uint64(nbytes), uint64(t.space.PageSize())); faults > 0 {
+			var per int64 = DefaultFaultCost
+			if h := t.m.hooks.OnFirstTouch; h != nil {
+				per = h(t, mem.Translation{FirstTouch: true})
 			}
+			lat += faults * per
+			t.Stats.FirstTouches += uint64(faults)
 		}
-		t.Stats.MemOps += uint64(lines)
-		return lat
-	})
+	}
+	t.Stats.MemOps += uint64(lines)
+	t.endStep(lat)
 }
 
 // EnterRegion and ExitRegion mark code-centric consistency boundaries

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+)
+
+// A periodic timer plus a pile of one-shots — several sharing deadlines with
+// each other and with the periodic firings — must fire in strict
+// (timestamp, id) order. The old sort-on-insert list ordered equal
+// timestamps arbitrarily (sort.Slice is unstable); the heap's id tiebreak
+// pins ties to registration order.
+func TestTimerHeapFiresInTimestampThenIDOrder(t *testing.T) {
+	mc, _ := newMachine(t, 1)
+
+	type firing struct {
+		at int64
+		id int
+	}
+	var fired []firing
+	var expect []firing
+
+	// Periodic detect-tick analog: fires at 500, 1500, 2500, 3500.
+	pid := new(int)
+	*pid = mc.AddTimer(500, 1000, func(now int64) { fired = append(fired, firing{now, *pid}) })
+	for _, at := range []int64{500, 1500, 2500, 3500} {
+		expect = append(expect, firing{at, *pid})
+	}
+	// One-shots registered in scrambled deadline order, with ties at 1500
+	// (also colliding with the periodic firing) and at 2200.
+	for _, at := range []int64{2200, 1500, 3100, 1500, 700, 2200, 1500, 100} {
+		id := new(int)
+		*id = mc.AddTimer(at, 0, func(now int64) { fired = append(fired, firing{now, *id}) })
+		expect = append(expect, firing{at, *id})
+	}
+	sort.Slice(expect, func(i, j int) bool {
+		if expect[i].at != expect[j].at {
+			return expect[i].at < expect[j].at
+		}
+		return expect[i].id < expect[j].id
+	})
+
+	err := mc.Run([]func(*Thread){func(th *Thread) {
+		for th.Clock() < 4000 {
+			th.Work(50)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fired) != len(expect) {
+		t.Fatalf("fired %d timers, want %d: %v", len(fired), len(expect), fired)
+	}
+	for i := range expect {
+		if fired[i] != expect[i] {
+			t.Fatalf("firing %d = %+v, want %+v\nfull order: %v", i, fired[i], expect[i], fired)
+		}
+	}
+}
+
+// RemoveTimer must delete from the middle of the heap without disturbing
+// the order of the remaining timers.
+func TestRemoveTimerKeepsHeapOrder(t *testing.T) {
+	mc, _ := newMachine(t, 1)
+	var fired []int
+	rec := func(tag int) func(int64) { return func(int64) { fired = append(fired, tag) } }
+	mc.AddTimer(300, 0, rec(3))
+	victim := mc.AddTimer(100, 0, rec(1))
+	mc.AddTimer(200, 0, rec(2))
+	mc.AddTimer(400, 0, rec(4))
+	mc.RemoveTimer(victim)
+	err := mc.Run([]func(*Thread){func(th *Thread) {
+		for th.Clock() < 1000 {
+			th.Work(50)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ package mem
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/sim/intern"
 )
 
 // Page sizes supported by the simulated MMU.
@@ -43,6 +45,10 @@ type Memory struct {
 	pageCount int    // materialized pages
 	reserved  uint64 // nominal bytes reserved (incl. never-touched bulk data)
 	files     []*File
+	// pageTable interns virtual page addresses for the whole run. All
+	// address spaces over this Memory share it, so PageIDs are comparable
+	// across processes (the PTSB and detector rely on that).
+	pageTable *intern.Table
 }
 
 // NewMemory returns a Memory whose files use the given page size
@@ -51,11 +57,14 @@ func NewMemory(pageSize int) *Memory {
 	if pageSize != PageSize4K && pageSize != PageSize2M {
 		panic(fmt.Sprintf("mem: unsupported page size %d", pageSize))
 	}
-	return &Memory{pageSize: pageSize, nextPhys: 1}
+	return &Memory{pageSize: pageSize, nextPhys: 1, pageTable: intern.NewTable(pageSize)}
 }
 
 // PageSize reports the page size this memory was configured with.
 func (m *Memory) PageSize() int { return m.pageSize }
+
+// PageTable returns the run-wide virtual-page interning table.
+func (m *Memory) PageTable() *intern.Table { return m.pageTable }
 
 // NewFile creates a shared-memory file (the analog of shm_open). Pages are
 // materialized lazily on first touch.

@@ -1,0 +1,170 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim/intern"
+)
+
+// Remapping a page must hand out a fresh Mapping: no stale COW copy, no
+// stale touched bit, no stale cached file page.
+func TestRemapResetsMappingState(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	f1 := m.NewFile("one")
+	f2 := m.NewFile("two")
+	as := NewAddrSpace(m)
+
+	as.Map(0x1000, 1, f1, 0, true, ProtRW)
+	if _, fault := as.Translate(0x1000, true); fault != nil {
+		t.Fatalf("write fault: %v", fault)
+	}
+	mp := as.MappingAt(0x1000)
+	if mp.Copied == nil || !mp.Touched {
+		t.Fatal("private write should have created a COW copy and touched the page")
+	}
+
+	as.Map(0x1000, 1, f2, 0, false, ProtRead)
+	mp = as.MappingAt(0x1000)
+	if mp.Copied != nil || mp.Touched || mp.File != f2 {
+		t.Fatalf("remap leaked state: %+v", mp)
+	}
+	tr, fault := as.Translate(0x1000, false)
+	if fault != nil {
+		t.Fatalf("read fault after remap: %v", fault)
+	}
+	if !tr.FirstTouch {
+		t.Error("remapped page should fault in fresh (FirstTouch)")
+	}
+	if tr.Page != f2.Page(0) {
+		t.Error("remapped page should resolve to the new file's page")
+	}
+}
+
+// Map must NOT bump the page generation: the allocator re-Maps the whole
+// heap range on growth, and existing pages' cached downstream state (twins,
+// detector spans) must survive that.
+func TestMapPreservesGeneration(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	f := m.NewFile("heap")
+	as := NewAddrSpace(m)
+
+	as.Map(0x1000, 2, f, 0, false, ProtRW)
+	id := m.PageTable().Lookup(0x1000)
+	if id == intern.None {
+		t.Fatal("mapped page not interned")
+	}
+	g := m.PageTable().Gen(id)
+	// Heap growth: re-map a superset of the same range onto the same file.
+	as.Map(0x1000, 4, f, 0, false, ProtRW)
+	if m.PageTable().Gen(id) != g {
+		t.Errorf("Map bumped generation %d -> %d; heap growth would wipe live state", g, m.PageTable().Gen(id))
+	}
+}
+
+func TestUnmapInvalidatesAndFaults(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	f := m.NewFile("f")
+	as := NewAddrSpace(m)
+
+	as.Map(0x2000, 3, f, 0, false, ProtRW)
+	id1 := m.PageTable().Lookup(0x3000)
+	g1 := m.PageTable().Gen(id1)
+
+	as.Unmap(0x3000, 1) // middle page only
+	if _, fault := as.Translate(0x3000, false); fault == nil || fault.Kind != FaultUnmapped {
+		t.Fatalf("unmapped page should fault, got %v", fault)
+	}
+	// Generation bumps exactly for the unmapped page, invalidating any
+	// PageID-keyed state cached elsewhere (ptsb twins, detector spans).
+	if m.PageTable().Gen(id1) != g1+1 {
+		t.Errorf("Unmap gen = %d, want %d", m.PageTable().Gen(id1), g1+1)
+	}
+	id0 := m.PageTable().Lookup(0x2000)
+	if m.PageTable().Gen(id0) != 0 {
+		t.Error("Unmap bumped a neighbouring page's generation")
+	}
+	// Neighbours still translate.
+	if _, fault := as.Translate(0x2000, true); fault != nil {
+		t.Errorf("neighbour faulted after partial unmap: %v", fault)
+	}
+	if _, fault := as.Translate(0x4000, true); fault != nil {
+		t.Errorf("neighbour faulted after partial unmap: %v", fault)
+	}
+}
+
+// Unmap of never-mapped pages is a no-op, and PageIDs survive unmap (the
+// identity is permanent; only the generation moves).
+func TestUnmapEdgeCases(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	f := m.NewFile("f")
+	as := NewAddrSpace(m)
+
+	as.Unmap(0x9000, 4) // nothing mapped: must not panic
+
+	as.Map(0x9000, 1, f, 0, false, ProtRW)
+	id := m.PageTable().Lookup(0x9000)
+	as.Unmap(0x9000, 1)
+	as.Unmap(0x9000, 1) // double unmap: slot already empty, no extra bump
+	if got := m.PageTable().Gen(id); got != 1 {
+		t.Errorf("double Unmap generation = %d, want 1", got)
+	}
+	if m.PageTable().Lookup(0x9000) != id {
+		t.Error("PageID must survive unmap")
+	}
+
+	// Remap after unmap reuses the same PageID at the new generation.
+	as.Map(0x9000, 1, f, 5, false, ProtRead)
+	if m.PageTable().Lookup(0x9000) != id {
+		t.Error("remap after unmap must reuse the interned PageID")
+	}
+	tr, fault := as.Translate(0x9000, false)
+	if fault != nil {
+		t.Fatalf("fault after remap: %v", fault)
+	}
+	if tr.Page != f.Page(5) {
+		t.Error("remap resolves to stale file page")
+	}
+}
+
+// Unmap in one address space must not disturb another space's mapping of
+// the same virtual page — slots are per-space even though the intern table
+// is shared. (The generation bump is global by design: remap invalidation
+// is conservative.)
+func TestUnmapIsPerSpace(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	f := m.NewFile("f")
+	a := NewAddrSpace(m)
+	b := NewAddrSpace(m)
+
+	a.Map(0x5000, 1, f, 0, false, ProtRW)
+	b.Map(0x5000, 1, f, 0, false, ProtRW)
+	a.Unmap(0x5000, 1)
+
+	if _, fault := a.Translate(0x5000, false); fault == nil {
+		t.Error("space a should fault after its unmap")
+	}
+	if _, fault := b.Translate(0x5000, false); fault != nil {
+		t.Errorf("space b lost its mapping: %v", fault)
+	}
+}
+
+// The cached backing page must never go stale: a remap onto a different
+// file page replaces the Mapping (and with it the cache).
+func TestCachedBackingFollowsRemap(t *testing.T) {
+	m := NewMemory(PageSize4K)
+	f := m.NewFile("f")
+	as := NewAddrSpace(m)
+
+	as.Map(0, 1, f, 0, false, ProtRW)
+	tr, _ := as.Translate(0, true)
+	StoreUint(tr, 8, 0xdead)
+
+	as.Map(0, 1, f, 1, false, ProtRW)
+	tr2, _ := as.Translate(0, false)
+	if tr2.Page == tr.Page {
+		t.Fatal("translation still resolves to the pre-remap backing page")
+	}
+	if got := LoadUint(tr2, 8); got != 0 {
+		t.Errorf("fresh file page reads %#x, want 0", got)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"repro/internal/sim/intern"
 )
 
 // Prot is a page protection: a combination of read and write permission.
@@ -65,7 +67,8 @@ func (k FaultKind) String() string {
 	return "unknown"
 }
 
-// Mapping is one virtual page's mapping within an address space.
+// Mapping is one virtual page's mapping within an address space. A zero
+// Mapping (File == nil) marks an unmapped slot.
 type Mapping struct {
 	File     *File
 	FilePage int
@@ -76,6 +79,21 @@ type Mapping struct {
 	// Touched records whether this space has faulted the page in at all
 	// (used to charge first-touch fault costs).
 	Touched bool
+	// backing caches the resolved File.Page(FilePage) so the access fast
+	// path never re-enters the file's page map (and its lock). Resolved on
+	// first translation; a remap writes a fresh Mapping, clearing it.
+	backing *Page
+}
+
+// filePage returns the mapping's backing file page, resolving and caching it
+// on first use.
+func (mp *Mapping) filePage() *Page {
+	p := mp.backing
+	if p == nil {
+		p = mp.File.Page(mp.FilePage)
+		mp.backing = p
+	}
+	return p
 }
 
 // BulkRegion models a large data range (e.g. a multi-GB input array) at
@@ -117,17 +135,22 @@ func (r *BulkRegion) TouchRange(addr, n, pageSize uint64) (newPages int64) {
 	return newPages
 }
 
-// AddrSpace is a per-process virtual address space.
+// AddrSpace is a per-process virtual address space. Mappings live in a flat
+// slice indexed by the run-wide interned PageID (see intern.Table): page
+// lookup on the access path is two array indexes, and every address space of
+// a run shares one addr→PageID assignment, so PTSB and detector state keyed
+// by PageID is meaningful across spaces.
 type AddrSpace struct {
 	mem      *Memory
 	pageSize int
-	pages    map[uint64]*Mapping // virtual page number -> mapping
-	bulk     []*BulkRegion       // sorted by Start
+	tab      *intern.Table
+	slots    []Mapping     // PageID -> mapping (File == nil: unmapped here)
+	bulk     []*BulkRegion // sorted by Start
 }
 
 // NewAddrSpace returns an empty address space over m.
 func NewAddrSpace(m *Memory) *AddrSpace {
-	return &AddrSpace{mem: m, pageSize: m.pageSize, pages: make(map[uint64]*Mapping)}
+	return &AddrSpace{mem: m, pageSize: m.pageSize, tab: m.pageTable}
 }
 
 // PageSize reports the page size of the space.
@@ -136,17 +159,58 @@ func (as *AddrSpace) PageSize() int { return as.pageSize }
 // Memory returns the backing physical memory manager.
 func (as *AddrSpace) Memory() *Memory { return as.mem }
 
-func (as *AddrSpace) vpn(addr uint64) uint64 { return addr / uint64(as.pageSize) }
+// Table returns the run-wide page interning table the space resolves
+// through.
+func (as *AddrSpace) Table() *intern.Table { return as.tab }
+
+// slot returns the mapping slot for addr, or nil when no mapping covers it.
+// The pointer stays valid until the next Map call (which may grow the slot
+// slice); callers must not retain it across mapping changes.
+func (as *AddrSpace) slot(addr uint64) *Mapping {
+	id := as.tab.Lookup(addr)
+	if id < 0 || int(id) >= len(as.slots) {
+		return nil
+	}
+	mp := &as.slots[id]
+	if mp.File == nil {
+		return nil
+	}
+	return mp
+}
 
 // Map maps npages virtual pages starting at vaddr (which must be page
-// aligned) to consecutive pages of f starting at fpage.
+// aligned) to consecutive pages of f starting at fpage. Interning the pages
+// here — at map time — is what keeps the translation fast path free of any
+// hashing: Map is the cold path that pays for it.
 func (as *AddrSpace) Map(vaddr uint64, npages int, f *File, fpage int, private bool, prot Prot) {
 	if vaddr%uint64(as.pageSize) != 0 {
 		panic(fmt.Sprintf("mem: Map of unaligned address 0x%x", vaddr))
 	}
-	base := as.vpn(vaddr)
 	for i := 0; i < npages; i++ {
-		as.pages[base+uint64(i)] = &Mapping{File: f, FilePage: fpage + i, Private: private, Prot: prot}
+		id := as.tab.Intern(vaddr + uint64(i)*uint64(as.pageSize))
+		as.slots = intern.Grow(as.slots, id)
+		as.slots[id] = Mapping{File: f, FilePage: fpage + i, Private: private, Prot: prot}
+	}
+}
+
+// Unmap removes npages mappings starting at vaddr from this space and bumps
+// each page's generation in the shared intern table. The generation bump is
+// the remap-safety contract: any state cached under the page's PageID
+// elsewhere (PTSB protection bits and twins, detector line spans) becomes
+// stale atomically, so a later Map of the same range starts clean instead of
+// inheriting another mapping's repair state. Pages in the range that were
+// never mapped are skipped.
+func (as *AddrSpace) Unmap(vaddr uint64, npages int) {
+	if vaddr%uint64(as.pageSize) != 0 {
+		panic(fmt.Sprintf("mem: Unmap of unaligned address 0x%x", vaddr))
+	}
+	for i := 0; i < npages; i++ {
+		id := as.tab.Lookup(vaddr + uint64(i)*uint64(as.pageSize))
+		if id < 0 || int(id) >= len(as.slots) || as.slots[id].File == nil {
+			continue
+		}
+		as.slots[id] = Mapping{}
+		as.tab.Invalidate(id)
 	}
 }
 
@@ -172,10 +236,9 @@ func (as *AddrSpace) BulkAt(addr uint64) *BulkRegion {
 // Protect changes the protection and privacy of npages pages at vaddr.
 // Changing a page from private back to shared discards any COW copy.
 func (as *AddrSpace) Protect(vaddr uint64, npages int, private bool, prot Prot) error {
-	base := as.vpn(vaddr)
 	for i := 0; i < npages; i++ {
-		mp, ok := as.pages[base+uint64(i)]
-		if !ok {
+		mp := as.slot(vaddr + uint64(i)*uint64(as.pageSize))
+		if mp == nil {
 			return &Fault{Addr: vaddr + uint64(i*as.pageSize), Kind: FaultUnmapped}
 		}
 		mp.Private = private
@@ -187,16 +250,17 @@ func (as *AddrSpace) Protect(vaddr uint64, npages int, private bool, prot Prot) 
 	return nil
 }
 
-// MappingAt returns the mapping covering addr, or nil.
+// MappingAt returns the mapping covering addr, or nil. The pointer is
+// invalidated by the next Map call; do not retain it.
 func (as *AddrSpace) MappingAt(addr uint64) *Mapping {
-	return as.pages[as.vpn(addr)]
+	return as.slot(addr)
 }
 
 // DropCopy discards the private COW copy of the page containing addr, so
 // subsequent reads see the shared file page and the next private write
 // faults again. This is the "mark read-only again" step of a PTSB commit.
 func (as *AddrSpace) DropCopy(addr uint64) {
-	if mp := as.pages[as.vpn(addr)]; mp != nil {
+	if mp := as.slot(addr); mp != nil {
 		mp.Copied = nil
 		if mp.Private {
 			mp.Prot &^= ProtWrite
@@ -218,9 +282,13 @@ type Translation struct {
 // protections, performs implicit copy-on-write for writable private pages,
 // and reports first-touch faults for cost accounting. A protection violation
 // returns a *Fault for the runtime to handle.
+//
+// This is the hottest function in the simulator: the steady-state path is
+// one radix lookup, one slot index and the protection checks — no map
+// access, no file lock, no allocation.
 func (as *AddrSpace) Translate(addr uint64, write bool) (Translation, *Fault) {
-	mp, ok := as.pages[as.vpn(addr)]
-	if !ok {
+	mp := as.slot(addr)
+	if mp == nil {
 		return Translation{}, &Fault{Addr: addr, Write: write, Kind: FaultUnmapped}
 	}
 	if write && mp.Prot&ProtWrite == 0 {
@@ -234,7 +302,7 @@ func (as *AddrSpace) Translate(addr uint64, write bool) (Translation, *Fault) {
 		mp.Touched = true
 		t.FirstTouch = true
 	}
-	page := mp.File.Page(mp.FilePage)
+	page := mp.filePage()
 	if mp.Private {
 		if mp.Copied == nil && write {
 			// Implicit COW: writable private page, first write.
@@ -261,14 +329,13 @@ func (as *AddrSpace) Translate(addr uint64, write bool) (Translation, *Fault) {
 // carry no data.
 func (as *AddrSpace) Clone() *AddrSpace {
 	n := NewAddrSpace(as.mem)
-	for vpn, mp := range as.pages {
-		c := *mp
-		if mp.Copied != nil {
-			cp := as.mem.NewAnonPage()
-			copy(cp.Data, mp.Copied.Data)
-			c.Copied = cp
+	n.slots = append([]Mapping(nil), as.slots...)
+	for i := range n.slots {
+		if cp := n.slots[i].Copied; cp != nil {
+			dup := as.mem.NewAnonPage()
+			copy(dup.Data, cp.Data)
+			n.slots[i].Copied = dup
 		}
-		n.pages[vpn] = &c
 	}
 	n.bulk = append(n.bulk, as.bulk...)
 	return n
@@ -280,11 +347,11 @@ func (as *AddrSpace) Clone() *AddrSpace {
 func (as *AddrSpace) ReadBytes(addr uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
 	for i := 0; i < n; {
-		mp, ok := as.pages[as.vpn(addr+uint64(i))]
-		if !ok {
+		mp := as.slot(addr + uint64(i))
+		if mp == nil {
 			return nil, &Fault{Addr: addr + uint64(i), Kind: FaultUnmapped}
 		}
-		page := mp.File.Page(mp.FilePage)
+		page := mp.filePage()
 		if mp.Private && mp.Copied != nil {
 			page = mp.Copied
 		}
@@ -299,11 +366,11 @@ func (as *AddrSpace) ReadBytes(addr uint64, n int) ([]byte, error) {
 // protection (used by setup code, not by simulated instructions).
 func (as *AddrSpace) WriteBytes(addr uint64, b []byte) error {
 	for i := 0; i < len(b); {
-		mp, ok := as.pages[as.vpn(addr+uint64(i))]
-		if !ok {
+		mp := as.slot(addr + uint64(i))
+		if mp == nil {
 			return &Fault{Addr: addr + uint64(i), Write: true, Kind: FaultUnmapped}
 		}
-		page := mp.File.Page(mp.FilePage)
+		page := mp.filePage()
 		if mp.Private && mp.Copied != nil {
 			page = mp.Copied
 		}

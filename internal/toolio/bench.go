@@ -90,6 +90,37 @@ func BenchFileName(date string) string {
 	return fmt.Sprintf("BENCH_%s.json", date)
 }
 
+// benchFileNameN names the n-th same-day trajectory file: the first point
+// of a day is BENCH_<date>.json, reruns get BENCH_<date>.2.json, .3.json…
+func benchFileNameN(date string, n int) string {
+	if n <= 1 {
+		return BenchFileName(date)
+	}
+	return fmt.Sprintf("BENCH_%s.%d.json", date, n)
+}
+
+// AutoBenchFileName returns the first unused trajectory file name for date
+// (exists reports whether a candidate is taken), so a same-day rerun
+// records a new point instead of clobbering a committed one.
+func AutoBenchFileName(date string, exists func(string) bool) string {
+	n := 1
+	for exists(benchFileNameN(date, n)) {
+		n++
+	}
+	return benchFileNameN(date, n)
+}
+
+// LatestBenchFileName returns the newest existing trajectory file for date,
+// or the day's first file name if none exists yet — the file a same-day
+// append (tmimicro) should fold into.
+func LatestBenchFileName(date string, exists func(string) bool) string {
+	last := benchFileNameN(date, 1)
+	for n := 2; exists(benchFileNameN(date, n)); n++ {
+		last = benchFileNameN(date, n)
+	}
+	return last
+}
+
 // ReadBenchReport parses a trajectory document (for tests and trajectory
 // diff tooling).
 func ReadBenchReport(rd io.Reader) (*BenchReport, error) {

@@ -48,3 +48,39 @@ func TestBenchFileName(t *testing.T) {
 		t.Errorf("BenchFileName = %q", got)
 	}
 }
+
+func TestAutoBenchFileName(t *testing.T) {
+	taken := map[string]bool{}
+	exists := func(p string) bool { return taken[p] }
+
+	if got := AutoBenchFileName("2026-08-05", exists); got != "BENCH_2026-08-05.json" {
+		t.Errorf("empty day: AutoBenchFileName = %q", got)
+	}
+	taken["BENCH_2026-08-05.json"] = true
+	if got := AutoBenchFileName("2026-08-05", exists); got != "BENCH_2026-08-05.2.json" {
+		t.Errorf("one point: AutoBenchFileName = %q", got)
+	}
+	taken["BENCH_2026-08-05.2.json"] = true
+	if got := AutoBenchFileName("2026-08-05", exists); got != "BENCH_2026-08-05.3.json" {
+		t.Errorf("two points: AutoBenchFileName = %q", got)
+	}
+}
+
+func TestLatestBenchFileName(t *testing.T) {
+	taken := map[string]bool{}
+	exists := func(p string) bool { return taken[p] }
+
+	// No point yet: appending tooling should target the day's first file.
+	if got := LatestBenchFileName("2026-08-05", exists); got != "BENCH_2026-08-05.json" {
+		t.Errorf("empty day: LatestBenchFileName = %q", got)
+	}
+	taken["BENCH_2026-08-05.json"] = true
+	if got := LatestBenchFileName("2026-08-05", exists); got != "BENCH_2026-08-05.json" {
+		t.Errorf("one point: LatestBenchFileName = %q", got)
+	}
+	taken["BENCH_2026-08-05.2.json"] = true
+	taken["BENCH_2026-08-05.3.json"] = true
+	if got := LatestBenchFileName("2026-08-05", exists); got != "BENCH_2026-08-05.3.json" {
+		t.Errorf("three points: LatestBenchFileName = %q", got)
+	}
+}
