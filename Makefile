@@ -1,18 +1,21 @@
 # Build, test and lint entry points. `make check` is the gate a PR must
 # pass: tier-1 build+test, lint (gofmt, go vet, and tmilint's static
 # annotation verification of the whole workload catalog), race-harness
-# (the sweep executor is the one place real host-level concurrency lives,
-# so its tests run under the race detector), mc (tmimc's exhaustive
-# model-checking of the litmus kernels, plus the negative fixture that
-# must diverge) and benchgate (fig9's table must stay byte-identical to
-# the committed golden). `make bench` persists one BENCH_<date>[.N].json
+# (the sweep executor and the tmid service are where real host-level
+# concurrency lives, so their tests run under the race detector), mc
+# (tmimc's exhaustive model-checking of the litmus kernels, plus the
+# negative fixture that must diverge), benchgate (fig9's table must stay
+# byte-identical to the committed golden) and serve-smoke (a race-built
+# tmid server replayed at by concurrent tmiload clients, advice streams
+# asserted byte-identical to the offline detector).
+# `make bench` persists one BENCH_<date>[.N].json
 # perf point per invocation so the trajectory across PRs stays
 # comparable; `make microbench` folds access-path microbenchmark stats
 # into the same point.
 
 GO ?= go
 
-.PHONY: all build test race race-harness bench microbench benchgate vet lint tmilint mc fmt ci check
+.PHONY: all build test race race-harness bench microbench benchgate serve-smoke vet lint tmilint mc fmt ci check
 
 all: check
 
@@ -25,11 +28,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The sweep executor fans simulation cells across GOMAXPROCS workers; this
-# is the only subsystem with host-level concurrency, so it gets a dedicated
-# race-detector lane in the check gate.
+# The sweep executor fans simulation cells across GOMAXPROCS workers and
+# the tmid service runs sharded detector goroutines under concurrent HTTP
+# streams; these are the subsystems with host-level concurrency, so they
+# get a dedicated race-detector lane in the check gate.
 race-harness:
-	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./internal/harness/... ./internal/service/...
 
 # bench regenerates the full evaluation with the parallel sweep executor
 # and appends a benchmark-trajectory point (wall-clock, cell counts,
@@ -55,6 +59,23 @@ benchgate:
 		echo "benchgate: fig9 output diverged from testdata/fig9_golden.txt"; rm -f $$tmp; exit 1; \
 	fi; \
 	rm -f $$tmp; echo "benchgate: fig9 output matches golden"
+
+# serve-smoke boots a race-built tmid on an ephemeral port and replays a
+# simulator-generated HITM trace at it from 8 concurrent clients (tmiload),
+# asserting every advice stream is byte-identical to the offline detector
+# and no session was dropped. tmiload's exit code is the verdict; the tmid
+# log is printed on failure.
+serve-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) build -race -o $$dir/tmid ./cmd/tmid || { rm -rf $$dir; exit 1; }; \
+	$(GO) build -race -o $$dir/tmiload ./cmd/tmiload || { rm -rf $$dir; exit 1; }; \
+	$$dir/tmid -addr 127.0.0.1:0 -addr-file $$dir/addr > $$dir/tmid.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	if [ ! -s $$dir/addr ]; then echo "serve-smoke: tmid never bound"; cat $$dir/tmid.log; kill $$pid 2>/dev/null; rm -rf $$dir; exit 1; fi; \
+	$$dir/tmiload -addr "$$(cat $$dir/addr)" -clients 8; rc=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then echo "serve-smoke: FAILED (tmid log follows)"; cat $$dir/tmid.log; fi; \
+	rm -rf $$dir; exit $$rc
 
 vet:
 	$(GO) vet ./...
@@ -83,4 +104,4 @@ lint: fmt vet
 
 ci: build test lint
 
-check: ci race-harness mc benchgate
+check: ci race-harness mc benchgate serve-smoke

@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -58,7 +61,13 @@ func main() {
 		return
 	}
 
-	o := &harness.Options{Runs: *runs, Seed: *seed, Out: os.Stdout, CSVDir: *csv, Parallel: *parallel}
+	// Ctrl-C cancels the sweep: queued cells fail fast with the context
+	// error while in-flight simulations finish, so partial output stays
+	// coherent. A second signal kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	o := &harness.Options{Runs: *runs, Seed: *seed, Out: os.Stdout, CSVDir: *csv, Parallel: *parallel, Ctx: ctx}
 	defer o.Close()
 
 	var traj *toolio.BenchReport

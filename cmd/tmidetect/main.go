@@ -7,6 +7,12 @@
 //
 //	tmidetect -workload histogramfs
 //	tmidetect -workload leveldb-clean -period 10
+//	tmidetect -workload histogramfs -advice   # canonical NDJSON advice stream
+//
+// With -advice the run captures the detector's sample trace and prints the
+// offline replay's advice stream (one NDJSON line per analysis window) —
+// the exact bytes a tmid server streams for the same trace, which is what
+// tmiload's parity check compares against.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/detect"
+	"repro/internal/service"
 	"repro/tmi"
 	"repro/tmi/workloads"
 )
@@ -25,6 +32,7 @@ func main() {
 		period = flag.Int("period", 100, "perf sampling period")
 		huge   = flag.Bool("hugepages", true, "back shared memory with 2 MiB pages")
 		seed   = flag.Int64("seed", 1, "determinism seed")
+		advice = flag.Bool("advice", false, "print the canonical per-window NDJSON advice stream instead of the report")
 	)
 	flag.Parse()
 
@@ -33,10 +41,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tmidetect:", err)
 		os.Exit(2)
 	}
-	rep, err := tmi.Run(w, tmi.Config{System: tmi.TMIDetect, Period: *period, HugePages: *huge, Seed: *seed})
+	rep, err := tmi.Run(w, tmi.Config{System: tmi.TMIDetect, Period: *period, HugePages: *huge, Seed: *seed, CaptureSamples: *advice})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmidetect:", err)
 		os.Exit(1)
+	}
+
+	if *advice {
+		log := rep.SampleLog
+		if log == nil || len(log.Windows) == 0 {
+			fmt.Fprintln(os.Stderr, "tmidetect: run captured no analysis windows")
+			os.Exit(1)
+		}
+		dcfg := detect.Config{
+			ThresholdPerSec: detect.DefaultConfig().ThresholdPerSec,
+			MinRecords:      detect.DefaultConfig().MinRecords,
+		}
+		out, err := service.Replay(log, log.PageSize, dcfg, detect.DefaultPeriodController(), 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmidetect:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		return
 	}
 
 	fmt.Printf("workload %s: %.3f ms, %d HITM events, %d PEBS records (period %d)\n\n",

@@ -1,0 +1,171 @@
+// Command tmiload is the load generator and parity checker for tmid. It
+// runs a workload once under TMI's detection-only simulator with sample
+// capture on, which yields a replayable HITM trace; then K concurrent
+// clients stream that trace to a tmid server (each as its own tenant) and
+// every advice stream coming back is compared byte-for-byte against the
+// offline detector's advice over the same trace (service.Replay — the same
+// stream tmidetect -advice prints).
+//
+// Usage:
+//
+//	tmiload -addr 127.0.0.1:7412                    # 8 clients, histogramfs
+//	tmiload -addr $A -clients 64 -min-records 100000
+//
+// Exit status: 0 when every client finished with byte-identical advice,
+// 1 on any mismatch or lost session, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/service"
+	"repro/tmi"
+	"repro/tmi/workloads"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7412", "tmid server address (host:port)")
+		clients    = flag.Int("clients", 8, "concurrent replay clients (one tenant each)")
+		name       = flag.String("workload", "histogramfs", "workload generating the HITM trace (see tmirun -list)")
+		period     = flag.Int("period", 100, "perf sampling period for the trace-generating run")
+		seed       = flag.Int64("seed", 1, "determinism seed for the trace-generating run")
+		huge       = flag.Bool("hugepages", true, "back the trace-generating run with 2 MiB pages")
+		repeat     = flag.Int("repeat", 1, "times each client replays the trace (detector state carries across)")
+		minRecords = flag.Int("min-records", 0, "raise repeat until each client streams at least this many records")
+		batch      = flag.Int("batch", service.DefaultBatchRecords, "samples per wire line")
+		retries    = flag.Int("retries", 20, "attempts per client when the server answers busy (fresh tenant each time)")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmiload:", err)
+		os.Exit(2)
+	}
+	rep, err := tmi.Run(w, tmi.Config{
+		System: tmi.TMIDetect, Period: *period, HugePages: *huge,
+		Seed: *seed, CaptureSamples: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmiload:", err)
+		os.Exit(2)
+	}
+	log := rep.SampleLog
+	if log == nil || log.Len() == 0 || len(log.Windows) == 0 {
+		fmt.Fprintf(os.Stderr, "tmiload: workload %s produced no captured samples (try a lower -period)\n", *name)
+		os.Exit(2)
+	}
+	if *minRecords > 0 {
+		for *repeat*log.Len() < *minRecords {
+			*repeat++
+		}
+	}
+
+	// Offline truth: same trace, same traversal, same detector config the
+	// server defaults to. Clients must match this byte-for-byte.
+	dcfg := detect.Config{
+		ThresholdPerSec: detect.DefaultConfig().ThresholdPerSec,
+		MinRecords:      detect.DefaultConfig().MinRecords,
+	}
+	periods := detect.DefaultPeriodController()
+	want, err := service.Replay(log, log.PageSize, dcfg, periods, *repeat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmiload:", err)
+		os.Exit(2)
+	}
+
+	base := "http://" + *addr
+	if strings.Contains(*addr, "://") {
+		base = *addr
+	}
+	perClient := *repeat * log.Len()
+	fmt.Printf("tmiload: %s trace: %d records over %d windows (x%d replay = %d records/client), %d clients -> %s\n",
+		*name, log.Len(), len(log.Windows), *repeat, perClient, *clients, base)
+
+	type outcome struct {
+		tenant   string
+		attempts int
+		records  int
+		ticks    int
+		match    bool
+		err      error
+	}
+	results := make([]outcome, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := outcome{}
+			for attempt := 0; attempt < *retries; attempt++ {
+				out.attempts = attempt + 1
+				// A fresh tenant per attempt: a busy-aborted stream may have
+				// fed the server a partial window, and resuming that session
+				// would (correctly!) change its advice. The abandoned tenant
+				// ages out via the session TTL.
+				out.tenant = fmt.Sprintf("load-%d-a%d", c, attempt)
+				cl := &service.Client{
+					BaseURL:      base,
+					Tenant:       out.tenant,
+					PageSize:     log.PageSize,
+					BatchRecords: *batch,
+				}
+				res, err := cl.Replay(log, *repeat)
+				if busy, ok := err.(*service.ErrBusy); ok {
+					time.Sleep(busy.RetryAfter)
+					continue
+				}
+				if err != nil {
+					out.err = err
+					break
+				}
+				out.records, out.ticks = res.Records, res.Ticks
+				out.match = bytes.Equal(res.Advice, want)
+				if !out.match {
+					out.err = fmt.Errorf("advice diverged from offline replay (%d vs %d bytes)", len(res.Advice), len(want))
+				}
+				break
+			}
+			if out.err == nil && out.ticks == 0 {
+				out.err = fmt.Errorf("gave up after %d busy attempts", out.attempts)
+			}
+			results[c] = out
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, lost, mismatched, records int
+	for _, out := range results {
+		switch {
+		case out.match:
+			ok++
+			records += out.records
+		case out.ticks == 0:
+			lost++
+		default:
+			mismatched++
+		}
+		if out.err != nil {
+			fmt.Fprintf(os.Stderr, "tmiload: %s: %v\n", out.tenant, out.err)
+		}
+	}
+
+	rate := float64(records) / elapsed.Seconds()
+	fmt.Printf("tmiload: %d/%d clients parity-ok, %d mismatched, %d lost; %d records in %s (%.0f records/s)\n",
+		ok, *clients, mismatched, lost, records, elapsed.Round(time.Millisecond), rate)
+	if mismatched > 0 || lost > 0 {
+		fmt.Println("tmiload: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("tmiload: PASS (all advice byte-identical to offline detector)")
+}

@@ -117,6 +117,11 @@ type Config struct {
 	// Trace records structured runtime events (sync, regions, faults,
 	// commits, repair) into Report.Tracer.
 	Trace bool
+	// CaptureSamples records the detector's accepted sample stream and
+	// window boundaries into Report.SampleLog — a replayable HITM trace for
+	// tmid load testing and offline/online advice-parity checks. Only
+	// meaningful for monitoring setups.
+	CaptureSamples bool
 	// ForceProtect arms the PTSB over every heap and globals page at
 	// startup (threads converted to processes immediately), without
 	// enabling detection. Only meaningful for TMI setups; the model

@@ -81,6 +81,10 @@ type Report struct {
 	// Tracer holds the structured event trace when Config.Trace was set.
 	Tracer *trace.Recorder
 
+	// SampleLog holds the replayable detector sample trace when
+	// Config.CaptureSamples was set.
+	SampleLog *trace.SampleLog
+
 	// SanitizerViolations/SanitizerDetails report annotation-contract
 	// violations caught at runtime when Config.Sanitize was set (details
 	// capped; the count is complete).

@@ -97,11 +97,12 @@ type runtime struct {
 	// at the last tick and how many ticks it has been unchanged.
 	pageIdle map[uint64]*idleState
 
-	notes  map[string]float64
-	hangs  map[int]string
-	events []string
-	tracer *trace.Recorder
-	hooksC composedHooks
+	notes     map[string]float64
+	hangs     map[int]string
+	events    []string
+	tracer    *trace.Recorder
+	sampleLog *trace.SampleLog
+	hooksC    composedHooks
 	// accScratch holds one AccessInfo per thread, reused for every observer
 	// OnAccess dispatch (the observer must not retain the pointer).
 	accScratch []AccessInfo
@@ -267,6 +268,10 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 			ThresholdPerSec: cfg.ThresholdPerSec,
 			MinRecords:      detect.DefaultConfig().MinRecords,
 		}, rt.mon, rt.prog, rt.maps, rt.memory.PageTable(), pageSize)
+		if cfg.CaptureSamples {
+			rt.sampleLog = &trace.SampleLog{PageSize: pageSize}
+			rt.det.SetTap(rt.sampleLog)
+		}
 		interval := int64(cfg.DetectIntervalSec * cache.ClockHz)
 		rt.mc.AddTimer(interval, interval, rt.detectTick)
 	}
@@ -456,31 +461,14 @@ func (rt *runtime) maybeTeardown(now int64) {
 	}
 }
 
-// Adaptive-period band: keep records per interval between these bounds.
-const (
-	adaptiveLowRecords  = 32
-	adaptiveHighRecords = 512
-	adaptiveMaxPeriod   = 1000
-)
-
 func (rt *runtime) adaptPeriod(windowRecords uint64) {
 	p := rt.mon.Period()
-	switch {
-	case windowRecords > adaptiveHighRecords && p < adaptiveMaxPeriod:
-		p *= 4
-		if p > adaptiveMaxPeriod {
-			p = adaptiveMaxPeriod
-		}
-	case windowRecords < adaptiveLowRecords && p > 1:
-		p /= 4
-		if p < 1 {
-			p = 1
-		}
-	default:
+	next := detect.DefaultPeriodController().Next(p, windowRecords)
+	if next == p {
 		return
 	}
-	rt.mon.SetPeriod(p)
-	rt.notes["adaptive.period"] = float64(p)
+	rt.mon.SetPeriod(next)
+	rt.notes["adaptive.period"] = float64(next)
 }
 
 func (rt *runtime) detectTick(now int64) {
@@ -640,6 +628,7 @@ func (rt *runtime) execute(w workload.Workload) (*Report, error) {
 	rep.Events = rt.events
 	rep.Timeline = rt.timeline
 	rep.Tracer = rt.tracer
+	rep.SampleLog = rt.sampleLog
 	st := rt.repairE.Stats
 	rep.Repaired = st.RepairEvents > 0 || rt.laserRepaired || rt.plasticEngaged || rt.cfg.Setup.IsSheriff()
 	rep.RepairAtSec = float64(st.ConvertedAtCycle) / cache.ClockHz

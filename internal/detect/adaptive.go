@@ -1,0 +1,50 @@
+package detect
+
+// PeriodController is the adaptive sampling-period policy (the paper's
+// PEBS period controller, automating Figure 4's accuracy/overhead
+// tradeoff): hold the records-seen-per-window inside a target band by
+// geometrically retuning the period. Above the band the period is
+// multiplied by Factor (fewer records, less assist overhead); below it the
+// period is divided by Factor (more records, better estimates). Estimates
+// stay unbiased either way because counts always scale by the period in
+// force.
+//
+// It is shared by the embedded runtime (core's AdaptivePeriod extension)
+// and the tmid service, whose per-tick advice carries Next's value back to
+// the client as the sampling-period feedback loop.
+type PeriodController struct {
+	// LowRecords/HighRecords bound the target records-per-window band.
+	LowRecords  int
+	HighRecords int
+	// Factor is the geometric step (default 4).
+	Factor int
+	// MaxPeriod caps the period; the floor is always 1 (record everything).
+	MaxPeriod int
+}
+
+// DefaultPeriodController is the band the runtime has always used.
+func DefaultPeriodController() PeriodController {
+	return PeriodController{LowRecords: 32, HighRecords: 512, Factor: 4, MaxPeriod: 1000}
+}
+
+// Next returns the period to program for the next window, given the period
+// in force and the records the closing window produced. A window inside the
+// band keeps its period.
+func (c PeriodController) Next(period int, windowRecords uint64) int {
+	if period < 1 {
+		period = 1
+	}
+	switch {
+	case windowRecords > uint64(c.HighRecords) && period < c.MaxPeriod:
+		period *= c.Factor
+		if period > c.MaxPeriod {
+			period = c.MaxPeriod
+		}
+	case windowRecords < uint64(c.LowRecords) && period > 1:
+		period /= c.Factor
+		if period < 1 {
+			period = 1
+		}
+	}
+	return period
+}

@@ -1,0 +1,43 @@
+package detect
+
+import "testing"
+
+func TestPeriodControllerBand(t *testing.T) {
+	c := DefaultPeriodController()
+	cases := []struct {
+		period  int
+		records uint64
+		want    int
+	}{
+		{100, 200, 100},  // inside the band: hold
+		{100, 600, 400},  // above: multiply by Factor
+		{400, 600, 1000}, // above near the cap: clamp to MaxPeriod
+		{1000, 9999, 1000},
+		{100, 10, 25}, // below: divide by Factor
+		{2, 0, 1},     // below near the floor: clamp to 1
+		{1, 0, 1},
+		{0, 200, 1}, // degenerate input period normalizes to 1
+	}
+	for _, tc := range cases {
+		if got := c.Next(tc.period, tc.records); got != tc.want {
+			t.Errorf("Next(%d, %d) = %d, want %d", tc.period, tc.records, got, tc.want)
+		}
+	}
+}
+
+func TestPeriodControllerConvergesFromExtremes(t *testing.T) {
+	c := DefaultPeriodController()
+	p := 1
+	for i := 0; i < 10; i++ {
+		p = c.Next(p, 100_000)
+	}
+	if p != c.MaxPeriod {
+		t.Errorf("overloaded stream settled at period %d, want %d", p, c.MaxPeriod)
+	}
+	for i := 0; i < 10; i++ {
+		p = c.Next(p, 0)
+	}
+	if p != 1 {
+		t.Errorf("silent stream settled at period %d, want 1", p)
+	}
+}

@@ -21,11 +21,40 @@ import (
 	"sort"
 
 	"repro/internal/disasm"
-	"repro/internal/perfev"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/intern"
 	"repro/internal/sim/osim"
+	"repro/internal/sim/pebs"
 )
+
+// Ingestor supplies the detector's record stream: what perfev.Monitor
+// provides in an embedded run, and what a replayed or network-fed source
+// provides when no live machine exists. DrainInto appends all pending
+// records to dst and returns the extended slice, so a caller-owned scratch
+// buffer keeps the per-tick drain allocation-free.
+type Ingestor interface {
+	DrainInto(dst []pebs.Record) []pebs.Record
+	Period() int
+}
+
+// Sample is one resolved record: the data address plus the access geometry
+// recovered from disassembly, or carried pre-resolved on the wire in the
+// tmid service path (where the server has no disassembler or address map).
+type Sample struct {
+	TID   int
+	Addr  uint64
+	Width int
+	Write bool
+}
+
+// Tap observes the detector's accepted sample stream and window boundaries.
+// It is the capture hook behind replayable HITM traces (trace.SampleLog):
+// everything a Tap sees is exactly what a fresh detector needs to reproduce
+// this detector's advice, window by window.
+type Tap interface {
+	TapSample(s Sample)
+	TapWindow(intervalSec float64, period int)
+}
 
 // Config tunes the detector.
 type Config struct {
@@ -208,10 +237,15 @@ type touchedLine struct {
 // Detector is the per-application detection thread's state.
 type Detector struct {
 	cfg  Config
-	mon  *perfev.Monitor
+	src  Ingestor
 	prog *disasm.Program
 	maps *osim.AddressMap
 	tab  *intern.Table
+	tap  Tap
+
+	// drain is the scratch buffer Tick reuses for the per-window record
+	// drain (no per-tick allocation once it reaches steady-state capacity).
+	drain []pebs.Record
 
 	// Window state: PageID-indexed stat pages, the touched-line list, and
 	// the epoch that lazily invalidates stats from previous windows.
@@ -245,12 +279,14 @@ type Detector struct {
 	archive map[uint64]*lineStat
 }
 
-// New creates a detector. tab is the run's page interning table; nil is
+// New creates a detector. src is the record source (a *perfev.Monitor in
+// embedded runs); nil is allowed when the caller only uses the direct
+// Ingest/Analyze path. tab is the run's page interning table; nil is
 // allowed (all samples then aggregate through the fallback map, e.g. in
 // unit tests without a simulated memory).
-func New(cfg Config, mon *perfev.Monitor, prog *disasm.Program, maps *osim.AddressMap, tab *intern.Table, pageSize int) *Detector {
+func New(cfg Config, src Ingestor, prog *disasm.Program, maps *osim.AddressMap, tab *intern.Table, pageSize int) *Detector {
 	return &Detector{
-		cfg: cfg, mon: mon, prog: prog, maps: maps, tab: tab,
+		cfg: cfg, src: src, prog: prog, maps: maps, tab: tab,
 		epoch:      1, // zero-valued lineStats must read as "stale window"
 		pageSize:   uint64(pageSize),
 		TrueLines:  make(map[uint64]bool),
@@ -301,43 +337,77 @@ func (d *Detector) lineFor(line uint64) *lineStat {
 	return ls
 }
 
-// Tick drains the perf buffers, analyzes the window of intervalSec seconds,
-// and returns a repair request for pages whose false sharing crosses the
-// threshold (nil if none). The window state is reset between ticks (an
-// epoch bump; nothing is reallocated).
+// SetTap installs (or, with nil, removes) the capture tap.
+func (d *Detector) SetTap(t Tap) { d.tap = t }
+
+// Tick drains the record source, analyzes the window of intervalSec
+// seconds, and returns a repair request for pages whose false sharing
+// crosses the threshold (nil if none). The window state is reset between
+// ticks (an epoch bump; nothing is reallocated).
 func (d *Detector) Tick(intervalSec float64) *Request {
-	recs := d.mon.DrainAll()
+	d.drain = d.src.DrainInto(d.drain[:0])
+	d.Feed(d.drain)
+	return d.Analyze(intervalSec, d.src.Period())
+}
+
+// Feed filters raw PEBS records through the address map, resolves each
+// survivor's access kind and width by disassembling its PC, and ingests the
+// resolved samples into the current window. It is the resolution half of
+// Tick, split out so record sources other than a live monitor can drive the
+// detector.
+func (d *Detector) Feed(recs []pebs.Record) {
 	for _, r := range recs {
-		d.TotalRecords++
 		if !d.maps.Monitorable(r.Addr) {
+			d.TotalRecords++
 			d.FilteredRecords++
 			continue
 		}
 		info, ok := d.prog.Disassemble(r.PC)
 		if !ok {
+			d.TotalRecords++
 			d.FilteredRecords++
 			continue
 		}
-		line := r.Addr &^ (cache.LineSize - 1)
-		lo := int(r.Addr - line)
-		hi := lo + info.Width
-		if hi > cache.LineSize {
-			hi = cache.LineSize
-		}
-		wrote := info.Kind.Writes()
-		ls := d.lineFor(line)
-		if ls.epoch != d.epoch {
-			ls.reset()
-			ls.epoch = d.epoch
-			d.touched = append(d.touched, touchedLine{line, ls})
-		}
-		ls.records++
-		if wrote {
-			ls.writeRecords++
-		}
-		ls.add(r.TID, lo, hi, wrote)
+		d.Ingest(Sample{TID: r.TID, Addr: r.Addr, Width: info.Width, Write: info.Kind.Writes()})
 	}
+}
 
+// Ingest aggregates one already-resolved sample into the current window.
+// This is the seam the tmid service feeds wire records through: no monitor,
+// no disassembler, no address map — just per-line aggregation.
+func (d *Detector) Ingest(s Sample) {
+	d.TotalRecords++
+	if d.tap != nil {
+		d.tap.TapSample(s)
+	}
+	line := s.Addr &^ (cache.LineSize - 1)
+	lo := int(s.Addr - line)
+	hi := lo + s.Width
+	if hi > cache.LineSize {
+		hi = cache.LineSize
+	}
+	ls := d.lineFor(line)
+	if ls.epoch != d.epoch {
+		ls.reset()
+		ls.epoch = d.epoch
+		d.touched = append(d.touched, touchedLine{line, ls})
+	}
+	ls.records++
+	if s.Write {
+		ls.writeRecords++
+	}
+	ls.add(s.TID, lo, hi, s.Write)
+}
+
+// Analyze closes the window of intervalSec seconds sampled at period and
+// returns the repair request (nil if no page crossed the threshold). It is
+// the classification half of Tick; period is explicit because a replayed or
+// network-fed stream carries the period that was in force when its records
+// were sampled, not whatever the local source is programmed to now.
+func (d *Detector) Analyze(intervalSec float64, period int) *Request {
+	if d.tap != nil {
+		d.tap.TapWindow(intervalSec, period)
+	}
 	var req Request
 	var pages []uint64
 	for _, tl := range d.touched {
@@ -347,7 +417,7 @@ func (d *Detector) Tick(intervalSec float64) *Request {
 			continue
 		}
 		class := classify(ls)
-		est := float64(ls.records) * float64(d.mon.Period()) / intervalSec
+		est := float64(ls.records) * float64(period) / intervalSec
 		rep := LineReport{Line: line, Class: class, Records: ls.records, EstEventsPerSec: est, DroppedSpans: ls.dropped}
 		// Archive every sufficiently-sampled line — including single-thread
 		// ones: the Predator-style prediction needs them to see false

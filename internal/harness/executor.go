@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,29 +44,60 @@ type executor struct {
 	cond    *sync.Cond
 	queue   []*runJob
 	closed  bool
+	cancErr error // context cancellation, sticky once set
 	workers int
 	meter   *benchMeter
+	stopc   chan struct{}
 }
 
-func newExecutor(workers int, meter *benchMeter) *executor {
+func newExecutor(workers int, meter *benchMeter, ctx context.Context) *executor {
 	if workers < 1 {
 		workers = 1
 	}
-	x := &executor{workers: workers, meter: meter}
+	x := &executor{workers: workers, meter: meter, stopc: make(chan struct{})}
 	x.cond = sync.NewCond(&x.mu)
 	for i := 0; i < workers; i++ {
 		go x.work()
 	}
+	if ctx != nil && ctx.Done() != nil {
+		// Watcher: context cancellation fails every queued job and stops the
+		// pool. In-flight simulations finish (tmi.Run has no preemption
+		// points), so a canceled sweep still hands back coherent cells —
+		// each either a complete report or ctx.Err().
+		go func() {
+			select {
+			case <-ctx.Done():
+				x.cancel(ctx.Err())
+			case <-x.stopc:
+			}
+		}()
+	}
 	return x
+}
+
+// cancel fails all queued jobs with err and stops the workers. Idempotent.
+func (x *executor) cancel(err error) {
+	x.mu.Lock()
+	if x.cancErr == nil {
+		x.cancErr = err
+	}
+	queued := x.queue
+	x.queue = nil
+	x.mu.Unlock()
+	x.cond.Broadcast()
+	for _, j := range queued {
+		j.err = err
+		close(j.done)
+	}
 }
 
 func (x *executor) work() {
 	for {
 		x.mu.Lock()
-		for len(x.queue) == 0 && !x.closed {
+		for len(x.queue) == 0 && !x.closed && x.cancErr == nil {
 			x.cond.Wait()
 		}
-		if len(x.queue) == 0 {
+		if len(x.queue) == 0 || x.cancErr != nil {
 			x.mu.Unlock()
 			return
 		}
@@ -90,6 +122,12 @@ func (x *executor) submit(w func() workload.Workload, cfg tmi.Config) *runJob {
 		x.mu.Unlock()
 		panic("harness: submit on closed executor")
 	}
+	if err := x.cancErr; err != nil {
+		x.mu.Unlock()
+		j.err = err
+		close(j.done)
+		return j
+	}
 	x.queue = append(x.queue, j)
 	x.mu.Unlock()
 	x.cond.Signal()
@@ -99,12 +137,17 @@ func (x *executor) submit(w func() workload.Workload, cfg tmi.Config) *runJob {
 // close drains the queue and releases the workers once it is empty.
 func (x *executor) close() {
 	x.mu.Lock()
+	first := !x.closed
 	x.closed = true
 	x.mu.Unlock()
 	x.cond.Broadcast()
+	if first {
+		close(x.stopc)
+	}
 }
 
-// executor lazily builds the pool on first use, sized by Options.Parallel.
+// executor lazily builds the pool on first use, sized by Options.Parallel
+// and bound to Options.Ctx.
 func (o *Options) executor() *executor {
 	if o.exec == nil {
 		workers := o.Parallel
@@ -114,7 +157,7 @@ func (o *Options) executor() *executor {
 		if o.meter == nil {
 			o.meter = &benchMeter{}
 		}
-		o.exec = newExecutor(workers, o.meter)
+		o.exec = newExecutor(workers, o.meter, o.Ctx)
 	}
 	return o.exec
 }

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -169,5 +171,78 @@ func TestRunTimedBench(t *testing.T) {
 	}
 	if row.SimSeconds <= 0 || row.RecordsSeen == 0 {
 		t.Errorf("simulated metrics not populated: %+v", row)
+	}
+}
+
+// TestCancelMidGrid cancels the sweep context partway through a grid:
+// queued cells must fail with the context error (not hang, not run), cells
+// that already completed must keep their reports, and submits after
+// cancellation must fail immediately.
+func TestCancelMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := &Options{Runs: 1, Seed: 1, Out: &bytes.Buffer{}, Parallel: 1, Ctx: ctx}
+	defer o.Close()
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker: the first cell runs, the rest queue behind it.
+	const n = 16
+	cells := make([]*cell, n)
+	for i := range cells {
+		cells[i] = o.submit(fsWorkload("histogram"), tmi.Config{System: tmi.Pthreads})
+	}
+	first, err := cells[0].mean()
+	if err != nil {
+		t.Fatalf("cell 0 (ran before cancellation): %v", err)
+	}
+	if first.SimSeconds <= 0 {
+		t.Fatalf("cell 0 report incomplete: %+v", first)
+	}
+
+	cancel()
+
+	// Every remaining cell resolves — some may have run before the
+	// cancellation landed, but none may hang and every failure must carry
+	// the context error.
+	canceled := 0
+	for i := 1; i < n; i++ {
+		rep, err := cells[i].mean()
+		switch {
+		case err == nil:
+			if rep.SimSeconds != first.SimSeconds {
+				t.Fatalf("cell %d: completed run diverged: %v vs %v", i, rep.SimSeconds, first.SimSeconds)
+			}
+		case errors.Is(err, context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("cell %d: error %v, want context.Canceled", i, err)
+		}
+	}
+	if canceled == 0 {
+		t.Error("no queued cell observed the cancellation (grid too fast for the test premise?)")
+	}
+
+	// Post-cancellation submits fail fast with the same error.
+	late := o.submit(fsWorkload("histogram"), tmi.Config{System: tmi.Pthreads})
+	if _, err := late.mean(); !errors.Is(err, context.Canceled) {
+		t.Errorf("post-cancel submit: error %v, want context.Canceled", err)
+	}
+}
+
+// TestNilCtxSweepRunsToCompletion pins the compatibility contract: Options
+// without a context behave exactly as before.
+func TestNilCtxSweepRunsToCompletion(t *testing.T) {
+	o := &Options{Runs: 2, Seed: 1, Out: &bytes.Buffer{}, Parallel: 2}
+	defer o.Close()
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := o.submit(fsWorkload("histogram"), tmi.Config{System: tmi.Pthreads}).mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimSeconds <= 0 {
+		t.Errorf("report incomplete: %+v", rep)
 	}
 }

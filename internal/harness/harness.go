@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -33,6 +34,11 @@ type Options struct {
 	// fans simulation cells across (default runtime.GOMAXPROCS(0); 1 runs
 	// the sweep sequentially). Output is byte-identical for any value.
 	Parallel int
+	// Ctx, when set, cancels the sweep: on Ctx.Done, queued cells fail with
+	// Ctx.Err() (in-flight simulations finish — they have no preemption
+	// points) and the running experiment returns that error. nil means the
+	// sweep runs to completion.
+	Ctx context.Context
 
 	exec  *executor
 	meter *benchMeter

@@ -54,11 +54,17 @@ func (e *Event) Read() []pebs.Record { return e.sampler.Buffer(e.TID).Drain() }
 
 // DrainAll reads every thread's buffer and returns all pending records.
 func (m *Monitor) DrainAll() []pebs.Record {
-	var out []pebs.Record
+	return m.DrainInto(nil)
+}
+
+// DrainInto appends every thread's pending records to dst and returns the
+// extended slice. With a reused dst this path is allocation-free at steady
+// state (detect.Ingestor's drain contract).
+func (m *Monitor) DrainInto(dst []pebs.Record) []pebs.Record {
 	for _, e := range m.events {
-		out = append(out, e.Read()...)
+		dst = m.sampler.Buffer(e.TID).DrainInto(dst)
 	}
-	return out
+	return dst
 }
 
 // Period reports the configured sampling period.

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/toolio"
+)
+
+// maxWireLine bounds one NDJSON line (a sample batch of a few thousand
+// quads fits comfortably; anything larger is a protocol violation, not
+// load).
+const maxWireLine = 8 << 20
+
+// handleStream serves POST /v1/stream: hello, then sample/tick rounds,
+// with one advice line flushed back per tick. Admission is checked against
+// the tenant's shard before any work is queued: a saturated shard answers
+// 429 with Retry-After, which keeps the service's memory bounded by
+// (shards × queue depth × batch size) no matter how many clients push.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "tmid: draining", http.StatusServiceUnavailable)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxWireLine)
+
+	if !sc.Scan() {
+		http.Error(w, "tmid: empty stream (expected hello)", http.StatusBadRequest)
+		return
+	}
+	hello, err := toolio.DecodeWireMsg(sc.Bytes())
+	if err != nil || hello.K != toolio.WireHelloKind {
+		http.Error(w, "tmid: first line must be a hello", http.StatusBadRequest)
+		return
+	}
+	if hello.Version != toolio.SchemaVersion {
+		http.Error(w, fmt.Sprintf("tmid: wire schema version %d, want %d", hello.Version, toolio.SchemaVersion), http.StatusBadRequest)
+		return
+	}
+	if hello.Tenant == "" {
+		http.Error(w, "tmid: hello without tenant", http.StatusBadRequest)
+		return
+	}
+	pageSize := hello.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	if pageSize < 0 || pageSize&(pageSize-1) != 0 {
+		http.Error(w, fmt.Sprintf("tmid: page size %d is not a power of two", pageSize), http.StatusBadRequest)
+		return
+	}
+
+	sh := s.shardFor(hello.Tenant)
+	if sh.saturated() {
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "tmid: shard saturated, retry later", http.StatusTooManyRequests)
+		return
+	}
+
+	s.metrics.streamsTotal.Add(1)
+	s.metrics.streamsOpen.Add(1)
+	defer s.metrics.streamsOpen.Add(-1)
+
+	// Advice lines interleave with request-body reads on one HTTP/1.1
+	// exchange; without full-duplex the server would fail body reads after
+	// the first write. (Best effort: HTTP/2 and test recorders don't need
+	// it.)
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The client learns it was admitted from the (flushed) 200 header
+	// before its first tick round-trips.
+	flush()
+
+	fail := func(werr toolio.WireError) {
+		werr.K = toolio.WireErrorKind
+		w.Write(toolio.EncodeWire(werr))
+		flush()
+	}
+
+	reply := make(chan toolio.WireAdvice, 1)
+	for sc.Scan() {
+		msg, err := toolio.DecodeWireMsg(sc.Bytes())
+		if err != nil {
+			fail(toolio.WireError{Error: err.Error()})
+			return
+		}
+		switch msg.K {
+		case toolio.WireSamplesKind:
+			if len(msg.S) == 0 {
+				continue
+			}
+			samples := make([]detect.Sample, len(msg.S))
+			for i, q := range msg.S {
+				samples[i] = detect.Sample{TID: int(q[0]), Addr: q[1], Width: int(q[2]), Write: q[3] != 0}
+			}
+			j := job{tenant: hello.Tenant, pageSize: pageSize, samples: samples}
+			if !s.enqueue(sh, j) {
+				s.metrics.droppedBatches.Add(1)
+				s.metrics.droppedRecords.Add(uint64(len(samples)))
+				fail(toolio.WireError{Error: "shard overloaded, batch dropped", RetryMs: 1000})
+				return
+			}
+		case toolio.WireTickKind:
+			tick := toolio.WireTick{K: msg.K, Seq: msg.Seq, IntervalSec: msg.IntervalSec, Period: msg.Period}
+			if tick.IntervalSec <= 0 || tick.Period < 1 {
+				fail(toolio.WireError{Error: fmt.Sprintf("tick seq %d: interval and period must be positive", tick.Seq)})
+				return
+			}
+			j := job{tenant: hello.Tenant, pageSize: pageSize, tick: &tick, reply: reply, enqueued: s.cfg.now()}
+			if !s.enqueue(sh, j) {
+				s.metrics.droppedBatches.Add(1)
+				fail(toolio.WireError{Error: "shard overloaded, tick dropped", RetryMs: 1000})
+				return
+			}
+			adv := <-reply
+			w.Write(toolio.EncodeWire(adv))
+			flush()
+		default:
+			fail(toolio.WireError{Error: fmt.Sprintf("unexpected message kind %q", msg.K)})
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(toolio.WireError{Error: err.Error()})
+	}
+	// EOF ends the stream but not the session: the tenant may reconnect and
+	// continue until the TTL evicts it.
+}
+
+// enqueue puts a job on the shard's bounded queue, blocking up to the
+// configured backpressure wait. false means the queue stayed saturated (or
+// the server began draining) and the job was not queued.
+func (s *Server) enqueue(sh *shard, j job) bool {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case sh.jobs <- j:
+		return true
+	default:
+	}
+	t := time.NewTimer(s.cfg.EnqueueWait)
+	defer t.Stop()
+	select {
+	case sh.jobs <- j:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while queued work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	depths := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		depths[i] = sh.depth()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, depths, s.cfg.QueueDepth, s.draining.Load())
+}

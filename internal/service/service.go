@@ -1,0 +1,246 @@
+// Package service implements tmid: a long-running, multi-tenant false
+// sharing detection-and-repair-advice service over the reproduction's
+// detector (PAPER §3.1).
+//
+// The offline pipeline — PEBS records in, sliding-window classification
+// out, sampling period tuned online — is fundamentally a stream consumer,
+// and this package runs it as one. Clients stream NDJSON-framed resolved
+// HITM samples (internal/toolio wire schema) over HTTP; each tenant
+// (process/run identity) is hash-routed to one of N detector shards — a
+// worker goroutine that owns its sessions' detect.Detector state outright,
+// so the hot ingest path takes no locks and shards never contend with each
+// other. Per tick the service streams back repair advice (page →
+// isolate/twin decisions, the offline detect.Request) plus the adaptive
+// sampling-period feedback value of the paper's PEBS period controller.
+//
+// Production shape: per-shard ingest queues are bounded with explicit
+// drop/backpressure accounting (saturated shards reject new streams with
+// 429 + Retry-After), idle tenant sessions are TTL-evicted to release their
+// interned-page state, SIGTERM drains the shards before exit, and /healthz
+// plus a Prometheus-text /metrics endpoint expose queue depths, ingest
+// rates, classification counts, advice latency and drop totals.
+//
+// The load-bearing guarantee is offline/online parity: a tenant's advice
+// stream is byte-identical to what the offline detector (tmidetect -advice,
+// or Replay in this package) computes over the same sample trace. Sessions
+// and the offline replay share one code path (session.advise), so the
+// service adds transport, sharding and lifecycle — never a different
+// verdict.
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/sim/intern"
+	"repro/internal/toolio"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Shards is the number of detector worker goroutines (default 4).
+	// Tenants are FNV-hashed onto shards; each shard owns its sessions
+	// exclusively, so shards scale ingest without any cross-shard locking.
+	Shards int
+	// QueueDepth bounds each shard's pending-job queue (default 256). A
+	// full queue rejects new streams (429 + Retry-After) and backpressures
+	// established ones instead of growing memory without bound.
+	QueueDepth int
+	// EnqueueWait is how long an established stream blocks on a full shard
+	// queue before the batch is dropped and the stream aborted with a
+	// retryable wire error (default 5s).
+	EnqueueWait time.Duration
+	// SessionTTL evicts a tenant idle for this long, releasing its detector
+	// and interned-page state (default 60s).
+	SessionTTL time.Duration
+	// Detect configures every session's detector. Zero fields take
+	// detect.DefaultConfig values — the offline tools' operating point,
+	// which offline/online parity depends on.
+	Detect detect.Config
+	// Periods is the adaptive sampling-period policy driving each advice
+	// message's NextPeriod feedback. Zero takes detect.DefaultPeriodController.
+	Periods detect.PeriodController
+
+	// now is the clock seam (tests inject a fake for TTL eviction).
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.EnqueueWait <= 0 {
+		c.EnqueueWait = 5 * time.Second
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 60 * time.Second
+	}
+	if c.Detect.ThresholdPerSec <= 0 {
+		c.Detect.ThresholdPerSec = detect.DefaultConfig().ThresholdPerSec
+	}
+	if c.Detect.MinRecords <= 0 {
+		c.Detect.MinRecords = detect.DefaultConfig().MinRecords
+	}
+	if c.Periods == (detect.PeriodController{}) {
+		c.Periods = detect.DefaultPeriodController()
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the tmid service: shards, metrics, lifecycle.
+type Server struct {
+	cfg      Config
+	shards   []*shard
+	metrics  *Metrics
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	// gate serializes enqueues against shard-queue closure: Drain takes the
+	// write side once, so no handler can ever send on a closed queue.
+	gate   sync.RWMutex
+	closed bool
+}
+
+// New builds a server and starts its shard workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, metrics: newMetrics(cfg.now)}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(i, s)
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	return s
+}
+
+// shardFor routes a tenant to its shard (stable FNV-1a hash).
+func (s *Server) shardFor(tenant string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics exposes the server's metric registry (the /metrics handler and
+// tests read it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// BeginDrain flips the server into draining mode: /healthz answers 503 and
+// new streams are refused, while established streams and queued work keep
+// flowing. Call it before shutting the HTTP layer down so load balancers
+// and retry loops move on immediately.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain stops admitting new streams, closes the shard queues and waits for
+// every queued job to finish. Streams still connected see their enqueues
+// refused (a retryable wire error), never a send on a closed queue. Safe to
+// call multiple times.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.gate.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, sh := range s.shards {
+			// A closed queue still hands its buffered jobs to the shard
+			// loop, so ticks already admitted get their advice replies.
+			close(sh.jobs)
+		}
+	}
+	s.gate.Unlock()
+	s.wg.Wait()
+}
+
+// Handler returns the service's HTTP surface: POST /v1/stream, GET
+// /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// session is one tenant's detection state: a detector over a private
+// interning table, plus the bookkeeping the adaptive-period feedback and
+// TTL eviction need. A session is owned by exactly one shard goroutine.
+type session struct {
+	tenant   string
+	pageSize int
+	tab      *intern.Table
+	det      *detect.Detector
+	lastSeen time.Time
+	seen     uint64 // detector records at the last tick
+	ticks    int
+}
+
+// newSession builds the per-tenant detector exactly the way the offline
+// replay does — same config, same interning — so the two stay in lockstep.
+func newSession(tenant string, pageSize int, dcfg detect.Config) (*session, error) {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("service: tenant %q page size %d is not a power of two", tenant, pageSize)
+	}
+	tab := intern.NewTable(pageSize)
+	return &session{
+		tenant:   tenant,
+		pageSize: pageSize,
+		tab:      tab,
+		det:      detect.New(dcfg, nil, nil, nil, tab, pageSize),
+	}, nil
+}
+
+// feed ingests one batch of resolved samples. Pages are interned on first
+// sight so the per-line window state lives on the detector's PageID fast
+// path rather than the fallback map.
+func (s *session) feed(samples []detect.Sample) {
+	for _, sm := range samples {
+		s.tab.Intern(sm.Addr)
+		s.det.Ingest(sm)
+	}
+}
+
+// advise closes the window a tick message describes and renders the advice
+// reply: repair pages and lines from the detector's request, the window's
+// record count, and the adaptive-period feedback. This is the single
+// advice-producing code path — shards and the offline replay both end here,
+// which is what makes offline/online parity a structural property instead
+// of a test hope.
+func (s *session) advise(tick toolio.WireTick, periods detect.PeriodController) toolio.WireAdvice {
+	req := s.det.Analyze(tick.IntervalSec, tick.Period)
+	window := s.det.TotalRecords - s.seen
+	s.seen = s.det.TotalRecords
+	s.ticks++
+	adv := toolio.WireAdvice{
+		K:          toolio.WireAdviceKind,
+		Seq:        tick.Seq,
+		Records:    window,
+		NextPeriod: periods.Next(tick.Period, window),
+	}
+	if req != nil {
+		adv.Pages = req.Pages
+		for _, l := range req.Lines {
+			adv.Lines = append(adv.Lines, toolio.WireLine{
+				Line:         l.Line,
+				Class:        l.Class.String(),
+				Records:      l.Records,
+				EstPerSec:    l.EstEventsPerSec,
+				DroppedSpans: l.DroppedSpans,
+			})
+		}
+	}
+	return adv
+}

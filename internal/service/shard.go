@@ -1,0 +1,170 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/toolio"
+)
+
+// job is one unit of shard work. Exactly one of samples / tick / inspect /
+// stall is meaningful; the zero fields are ignored.
+type job struct {
+	tenant   string
+	pageSize int
+	// samples is a batch of resolved records to ingest.
+	samples []detect.Sample
+	// tick closes the current window; the advice reply lands on reply
+	// (buffered 1, never blocks the shard).
+	tick  *toolio.WireTick
+	reply chan toolio.WireAdvice
+	// inspect asks for a session snapshot (diagnostics and white-box
+	// tests); the reply lands on info.
+	inspect bool
+	info    chan SessionInfo
+	// stall blocks the shard loop until the channel closes (tests use it to
+	// saturate a queue deterministically).
+	stall chan struct{}
+	// enqueued timestamps admission for the advice-latency histogram.
+	enqueued time.Time
+}
+
+// SessionInfo is a diagnostic snapshot of one tenant's session.
+type SessionInfo struct {
+	Exists        bool
+	Ticks         int
+	Records       uint64
+	InternedPages int
+}
+
+// shard is one detector worker: a bounded job queue consumed by a single
+// goroutine that exclusively owns every session hashed onto it.
+type shard struct {
+	id  int
+	srv *Server
+	// jobs is the bounded ingest queue; len(jobs) is the queue depth the
+	// admission check and /metrics report.
+	jobs     chan job
+	sessions map[string]*session
+	lastScan time.Time
+}
+
+func newShard(id int, srv *Server) *shard {
+	return &shard{
+		id:       id,
+		srv:      srv,
+		jobs:     make(chan job, srv.cfg.QueueDepth),
+		sessions: make(map[string]*session),
+	}
+}
+
+// depth reports the pending-job count (queue gauge).
+func (sh *shard) depth() int { return len(sh.jobs) }
+
+// saturated reports whether the queue has no admission headroom left: new
+// streams are rejected at this point so established ones keep their
+// backpressure budget.
+func (sh *shard) saturated() bool { return len(sh.jobs) >= cap(sh.jobs) }
+
+// loop is the shard worker: it drains the job queue until the server
+// closes it, then exits (graceful drain processes everything queued).
+func (sh *shard) loop() {
+	defer sh.srv.wg.Done()
+	m := sh.srv.metrics
+	for j := range sh.jobs {
+		now := sh.srv.cfg.now()
+		sh.maybeEvict(now)
+		switch {
+		case j.stall != nil:
+			<-j.stall
+		case j.inspect:
+			j.info <- sh.inspectSession(j.tenant)
+		case j.samples != nil:
+			s, err := sh.session(j.tenant, j.pageSize, now)
+			if err != nil {
+				m.invalidBatches.Add(1)
+				continue
+			}
+			s.lastSeen = now
+			s.feed(j.samples)
+			m.records.Add(uint64(len(j.samples)))
+		case j.tick != nil:
+			s, err := sh.session(j.tenant, j.pageSize, now)
+			if err != nil {
+				m.invalidBatches.Add(1)
+				continue
+			}
+			s.lastSeen = now
+			adv := s.advise(*j.tick, sh.srv.cfg.Periods)
+			m.ticks.Add(1)
+			m.observeAdvice(adv, now.Sub(j.enqueued))
+			j.reply <- adv
+		}
+	}
+}
+
+// session returns the tenant's session, creating it on first sight — which
+// is also what a record arriving after TTL eviction gets: a fresh session
+// with a fresh interning table, never a stale-generation panic.
+func (sh *shard) session(tenant string, pageSize int, now time.Time) (*session, error) {
+	if s := sh.sessions[tenant]; s != nil {
+		return s, nil
+	}
+	s, err := newSession(tenant, pageSize, sh.srv.cfg.Detect)
+	if err != nil {
+		return nil, err
+	}
+	s.lastSeen = now
+	sh.sessions[tenant] = s
+	sh.srv.metrics.sessionsActive.Add(1)
+	return s, nil
+}
+
+// maybeEvict drops sessions idle past the TTL. The scan itself runs at most
+// every TTL/4 so a busy shard is not walking its session map per batch.
+func (sh *shard) maybeEvict(now time.Time) {
+	ttl := sh.srv.cfg.SessionTTL
+	if now.Sub(sh.lastScan) < ttl/4 {
+		return
+	}
+	sh.lastScan = now
+	for tenant, s := range sh.sessions {
+		if now.Sub(s.lastSeen) >= ttl {
+			// Deleting the session releases the detector's PageID-indexed
+			// stat pages and the tenant's whole intern.Table in one step:
+			// nothing else holds a reference, so there is no stale-generation
+			// state to trip over if the tenant returns.
+			delete(sh.sessions, tenant)
+			sh.srv.metrics.sessionsActive.Add(-1)
+			sh.srv.metrics.sessionsEvicted.Add(1)
+		}
+	}
+}
+
+func (sh *shard) inspectSession(tenant string) SessionInfo {
+	s := sh.sessions[tenant]
+	if s == nil {
+		return SessionInfo{}
+	}
+	return SessionInfo{
+		Exists:        true,
+		Ticks:         s.ticks,
+		Records:       s.det.TotalRecords,
+		InternedPages: s.tab.Len(),
+	}
+}
+
+// Inspect returns a coherent snapshot of a tenant's session by routing the
+// query through the owning shard's queue (so it can never race ingest). A
+// drained server reports the zero SessionInfo.
+func (s *Server) Inspect(tenant string) SessionInfo {
+	info := make(chan SessionInfo, 1)
+	s.gate.RLock()
+	if s.closed {
+		s.gate.RUnlock()
+		return SessionInfo{}
+	}
+	s.shardFor(tenant).jobs <- job{tenant: tenant, inspect: true, info: info}
+	s.gate.RUnlock()
+	return <-info
+}

@@ -1,6 +1,10 @@
 package pebs
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+)
 
 func TestPeriodControlsRecordRate(t *testing.T) {
 	recordsAt := func(period int) uint64 {
@@ -101,5 +105,51 @@ func TestAddressSkidStaysNearAccess(t *testing.T) {
 	}
 	if skids == 0 {
 		t.Error("expected some address skid")
+	}
+}
+
+func TestDrainIntoReusesDst(t *testing.T) {
+	s := NewSampler(1, 1, 1)
+	for i := 0; i < 10; i++ {
+		s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, int64(i))
+	}
+	b := s.Buffer(0)
+	got := b.DrainInto(nil)
+	if len(got) != 10 || b.Len() != 0 {
+		t.Fatalf("DrainInto(nil) returned %d records, buffer holds %d; want 10 and 0", len(got), b.Len())
+	}
+	if got[0].PC != 0x400000 || got[9].Time != 9 {
+		t.Errorf("record contents: first %+v last %+v", got[0], got[9])
+	}
+
+	// Appending into a recycled slice must not reallocate once capacity is
+	// established, and must preserve the prefix handed in.
+	for i := 0; i < 5; i++ {
+		s.OnHITM(0, 0, 0x400100, 0x2000, 8, false, int64(100+i))
+	}
+	before := got[:0]
+	again := b.DrainInto(before)
+	if len(again) != 5 || &again[0] != &got[0] {
+		t.Errorf("DrainInto did not reuse dst backing (len %d)", len(again))
+	}
+	if again[0].PC != 0x400100 {
+		t.Errorf("recycled drain contents: %+v", again[0])
+	}
+}
+
+func TestDrainIntoSteadyStateDoesNotAllocate(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s := NewSampler(1, 1, 1)
+	scratch := make([]Record, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.OnHITM(0, 0, 0x400000, 0x1000, 8, false, int64(i))
+		}
+		scratch = s.Buffer(0).DrainInto(scratch[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DrainInto allocates %.1f times per drain, want 0", allocs)
 	}
 }

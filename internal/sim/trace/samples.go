@@ -1,0 +1,48 @@
+package trace
+
+import "repro/internal/detect"
+
+// SampleLog captures the detector's accepted (post-filter, post-disasm)
+// sample stream together with the window boundaries that closed over it: a
+// replayable HITM trace. Feeding the log's samples into a fresh detector
+// and calling Analyze at each window marker reproduces the original run's
+// advice exactly, which is what cmd/tmiload replays against a tmid server
+// and what the offline side of the parity check recomputes.
+//
+// SampleLog implements detect.Tap.
+type SampleLog struct {
+	// PageSize is the page geometry the samples were collected under; a
+	// replaying detector must use the same value for its advice to match.
+	PageSize int
+	Samples  []detect.Sample
+	Windows  []SampleWindow
+}
+
+// SampleWindow marks one detector analysis boundary: all samples with index
+// < End (and ≥ the previous window's End) belong to it, sampled at Period
+// over IntervalSec simulated seconds.
+type SampleWindow struct {
+	End         int
+	IntervalSec float64
+	Period      int
+}
+
+// TapSample records one accepted sample (detect.Tap).
+func (l *SampleLog) TapSample(s detect.Sample) { l.Samples = append(l.Samples, s) }
+
+// TapWindow records one window boundary (detect.Tap).
+func (l *SampleLog) TapWindow(intervalSec float64, period int) {
+	l.Windows = append(l.Windows, SampleWindow{End: len(l.Samples), IntervalSec: intervalSec, Period: period})
+}
+
+// WindowSamples returns window i's sample slice (a view into Samples).
+func (l *SampleLog) WindowSamples(i int) []detect.Sample {
+	lo := 0
+	if i > 0 {
+		lo = l.Windows[i-1].End
+	}
+	return l.Samples[lo:l.Windows[i].End]
+}
+
+// Len reports the total captured sample count.
+func (l *SampleLog) Len() int { return len(l.Samples) }

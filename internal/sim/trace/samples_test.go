@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+)
+
+func TestSampleLogWindows(t *testing.T) {
+	l := &SampleLog{PageSize: 4096}
+	l.TapSample(detect.Sample{TID: 0, Addr: 0x1000, Width: 8})
+	l.TapSample(detect.Sample{TID: 1, Addr: 0x1008, Width: 8, Write: true})
+	l.TapWindow(0.0001, 100)
+	l.TapSample(detect.Sample{TID: 0, Addr: 0x2000, Width: 4})
+	l.TapWindow(0.0001, 400)
+	l.TapWindow(0.0001, 400) // empty window: a quiet interval
+
+	if l.Len() != 3 || len(l.Windows) != 3 {
+		t.Fatalf("Len = %d, windows = %d; want 3 and 3", l.Len(), len(l.Windows))
+	}
+	if w0 := l.WindowSamples(0); len(w0) != 2 || w0[1].Addr != 0x1008 || !w0[1].Write {
+		t.Errorf("window 0 samples: %+v", w0)
+	}
+	if w1 := l.WindowSamples(1); len(w1) != 1 || w1[0].Addr != 0x2000 {
+		t.Errorf("window 1 samples: %+v", w1)
+	}
+	if w2 := l.WindowSamples(2); len(w2) != 0 {
+		t.Errorf("window 2 should be empty: %+v", w2)
+	}
+	if l.Windows[1].Period != 400 || l.Windows[0].IntervalSec != 0.0001 {
+		t.Errorf("window metadata: %+v", l.Windows)
+	}
+}

@@ -37,6 +37,9 @@ type BenchExperiment struct {
 
 // BenchReport is the top-level BENCH_<date>.json document.
 type BenchReport struct {
+	// Version is the schema version (SchemaVersion at write time; older
+	// trajectory files without the field read back as version 1).
+	Version    int    `json:"version"`
 	Tool       string `json:"tool"`
 	Date       string `json:"date"` // YYYY-MM-DD
 	GoVersion  string `json:"go_version"`
@@ -56,6 +59,7 @@ type BenchReport struct {
 // NewBenchReport builds an empty trajectory document for one invocation.
 func NewBenchReport(date string, workers, runs int, seed int64) *BenchReport {
 	return &BenchReport{
+		Version:    SchemaVersion,
 		Tool:       "tmibench",
 		Date:       date,
 		GoVersion:  runtime.Version(),
@@ -131,5 +135,10 @@ func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
 	if r.Tool != "tmibench" {
 		return nil, fmt.Errorf("toolio: not a tmibench trajectory (tool %q)", r.Tool)
 	}
+	v, err := checkVersion("trajectory", r.Version)
+	if err != nil {
+		return nil, err
+	}
+	r.Version = v
 	return &r, nil
 }

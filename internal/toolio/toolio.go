@@ -6,8 +6,27 @@ package toolio
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
+
+// SchemaVersion is stamped into every document this package defines — the
+// checker Report, the benchmark-trajectory BenchReport, and the tmid wire
+// protocol's hello — so producers and consumers across PRs agree on one
+// version axis. Documents written before versioning existed carry 0 and are
+// read as version 1.
+const SchemaVersion = 1
+
+// checkVersion validates a decoded document's version field.
+func checkVersion(kind string, v int) (int, error) {
+	if v == 0 {
+		return 1, nil // pre-versioning document
+	}
+	if v > SchemaVersion {
+		return 0, fmt.Errorf("toolio: %s schema version %d is newer than this tool's %d", kind, v, SchemaVersion)
+	}
+	return v, nil
+}
 
 // Finding is one diagnostic from any checker. Rule is the stable,
 // tool-scoped identifier CI filters on (tmilint: the verifier rule names;
@@ -23,7 +42,9 @@ type Finding struct {
 
 // Report is the top-level JSON document a tool emits.
 type Report struct {
-	Tool string `json:"tool"`
+	// Version is the schema version (SchemaVersion at write time).
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
 	// OK is true iff Findings is empty — the single bit CI gates on.
 	OK       bool      `json:"ok"`
 	Findings []Finding `json:"findings"`
@@ -34,7 +55,22 @@ type Report struct {
 
 // NewReport builds an empty, passing report for one tool.
 func NewReport(tool string) *Report {
-	return &Report{Tool: tool, OK: true, Findings: []Finding{}, Stats: map[string]float64{}}
+	return &Report{Version: SchemaVersion, Tool: tool, OK: true, Findings: []Finding{}, Stats: map[string]float64{}}
+}
+
+// ReadReport parses a checker report, normalizing pre-versioning documents
+// and rejecting ones newer than this tool understands.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	v, err := checkVersion("report", r.Version)
+	if err != nil {
+		return nil, err
+	}
+	r.Version = v
+	return &r, nil
 }
 
 // Add appends a finding (stamping the tool name) and flips the verdict.

@@ -1,0 +1,131 @@
+package toolio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []any{
+		WireHello{K: WireHelloKind, Version: SchemaVersion, Tenant: "run-42", PageSize: 4096},
+		WireSamples{K: WireSamplesKind, S: [][4]uint64{{3, 0x7f001040, 8, 1}, {0, 0x7f001048, 4, 0}}},
+		WireTick{K: WireTickKind, Seq: 7, IntervalSec: 0.0001, Period: 100},
+		WireAdvice{
+			K: WireAdviceKind, Seq: 7, Records: 37, NextPeriod: 400,
+			Pages: []uint64{0x7f000000},
+			Lines: []WireLine{{Line: 0x7f001040, Class: "false", Records: 37, EstPerSec: 3.7e5, DroppedSpans: 1}},
+		},
+		WireError{K: WireErrorKind, Error: "shard overloaded, batch dropped", RetryMs: 1000},
+	}
+	for _, msg := range msgs {
+		line := EncodeWire(msg)
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			t.Fatalf("%T: encoded line not newline-terminated: %q", msg, line)
+		}
+		m, err := DecodeWireMsg(bytes.TrimSuffix(line, []byte("\n")))
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		switch want := msg.(type) {
+		case WireHello:
+			if m.K != want.K || m.Version != want.Version || m.Tenant != want.Tenant || m.PageSize != want.PageSize {
+				t.Errorf("hello did not round-trip: %+v", m)
+			}
+		case WireSamples:
+			if m.K != want.K || len(m.S) != len(want.S) || m.S[0] != want.S[0] || m.S[1] != want.S[1] {
+				t.Errorf("samples did not round-trip: %+v", m)
+			}
+		case WireTick:
+			if m.K != want.K || m.Seq != want.Seq || m.IntervalSec != want.IntervalSec || m.Period != want.Period {
+				t.Errorf("tick did not round-trip: %+v", m)
+			}
+		case WireAdvice:
+			if m.K != want.K || m.Seq != want.Seq || m.Records != want.Records || m.NextPeriod != want.NextPeriod ||
+				len(m.Pages) != 1 || m.Pages[0] != want.Pages[0] || len(m.Lines) != 1 || m.Lines[0] != want.Lines[0] {
+				t.Errorf("advice did not round-trip: %+v", m)
+			}
+		case WireError:
+			if m.K != want.K || m.Error != want.Error || m.RetryMs != want.RetryMs {
+				t.Errorf("error did not round-trip: %+v", m)
+			}
+		}
+	}
+}
+
+func TestWireEncodingIsDeterministic(t *testing.T) {
+	adv := WireAdvice{K: WireAdviceKind, Seq: 1, Records: 5, NextPeriod: 100, Pages: []uint64{4096}}
+	a, b := EncodeWire(adv), EncodeWire(adv)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two encodings of the same advice differ: %q vs %q", a, b)
+	}
+}
+
+func TestDecodeWireMsgRejectsKindless(t *testing.T) {
+	if _, err := DecodeWireMsg([]byte(`{"seq":1}`)); err == nil {
+		t.Error("accepted a wire line without a kind")
+	}
+	if _, err := DecodeWireMsg([]byte(`{`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestReportVersionRoundTrip(t *testing.T) {
+	r := NewReport("tmilint")
+	if r.Version != SchemaVersion {
+		t.Fatalf("NewReport version = %d, want %d", r.Version, SchemaVersion)
+	}
+	r.Add(Finding{Workload: "histogramfs", Rule: "region-balance", Detail: "unbalanced"})
+	r.AddStat("runs", 3)
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != SchemaVersion || back.Tool != "tmilint" || back.OK || len(back.Findings) != 1 {
+		t.Errorf("report did not round-trip: %+v", back)
+	}
+	if back.Findings[0].Rule != "region-balance" || back.Stats["runs"] != 3 {
+		t.Errorf("payload did not round-trip: %+v", back)
+	}
+}
+
+func TestReadReportVersionHandling(t *testing.T) {
+	// Pre-versioning documents (no version field) read as version 1.
+	back, err := ReadReport(strings.NewReader(`{"tool":"tmimc","ok":true,"findings":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 1 {
+		t.Errorf("legacy document version = %d, want 1", back.Version)
+	}
+	// Documents newer than this tool are rejected, not misread.
+	if _, err := ReadReport(strings.NewReader(`{"version":99,"tool":"tmimc","ok":true}`)); err == nil {
+		t.Error("accepted a document with a future schema version")
+	}
+}
+
+func TestBenchReportVersionRoundTrip(t *testing.T) {
+	r := NewBenchReport("2026-08-05", 8, 3, 1)
+	if r.Version != SchemaVersion {
+		t.Fatalf("NewBenchReport version = %d, want %d", r.Version, SchemaVersion)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != SchemaVersion {
+		t.Errorf("bench report version = %d, want %d", back.Version, SchemaVersion)
+	}
+	if _, err := ReadBenchReport(strings.NewReader(`{"version":99,"tool":"tmibench"}`)); err == nil {
+		t.Error("accepted a bench report with a future schema version")
+	}
+}

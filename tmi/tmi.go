@@ -105,6 +105,10 @@ type Config struct {
 	TeardownIdleIntervals int
 	// Trace records structured runtime events into Report.Tracer.
 	Trace bool
+	// CaptureSamples records the detector's accepted sample stream and
+	// window boundaries into Report.SampleLog — a replayable HITM trace
+	// (the input format of cmd/tmiload and tmidetect -advice).
+	CaptureSamples bool
 	// Sanitize enables the runtime annotation sanitizer: region balance,
 	// access-kind/site-kind agreement, and atomics-inside-regions are
 	// asserted while the simulation runs (see core.Config.Sanitize).
@@ -142,6 +146,7 @@ func Run(w workload.Workload, cfg Config) (*Report, error) {
 		AdaptivePeriod:        cfg.AdaptivePeriod,
 		TeardownIdleIntervals: cfg.TeardownIdleIntervals,
 		Trace:                 cfg.Trace,
+		CaptureSamples:        cfg.CaptureSamples,
 		Sanitize:              cfg.Sanitize,
 	}
 	if c.DetectIntervalSec <= 0 {
