@@ -4,7 +4,9 @@
 # (the sweep executor and the tmid service are where real host-level
 # concurrency lives, so their tests run under the race detector), mc
 # (tmimc's exhaustive model-checking of the litmus kernels, plus the
-# negative fixture that must diverge), benchgate (fig9's table must stay
+# negative fixture that must diverge), suggest (tmilint's static repair
+# solver run on the broken fixtures, its repair sets applied by tmimc and
+# certified SC-equivalent and race-free), benchgate (fig9's table must stay
 # byte-identical to the committed golden) and serve-smoke (a race-built
 # tmid server replayed at by concurrent tmiload clients, advice streams
 # asserted byte-identical to the offline detector).
@@ -15,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-harness bench microbench benchgate serve-smoke vet lint tmilint mc fmt ci check
+.PHONY: all build test race race-harness bench microbench benchgate serve-smoke vet lint tmilint mc suggest fmt ci check
 
 all: check
 
@@ -99,9 +101,27 @@ mc:
 	$(GO) run ./cmd/tmimc
 	$(GO) run ./cmd/tmimc -workload litmus-brokenfence -expect-divergence
 
+# suggest closes the repair loop on the broken fixtures: tmilint solves for
+# a minimal static repair set, tmimc applies it and certifies the repaired
+# kernel SC-equivalent and race-free. brokenfence explores to completion;
+# the 4-thread relaxed-IRIW baseline completes under 9000 runs while its
+# PTSB side is capped, which -allow-incomplete waives via the subset
+# argument (a capped PTSB run checked against a complete SC set cannot
+# certify a non-SC behavior).
+suggest:
+	@dir=$$(mktemp -d); rc=1; \
+	$(GO) build -o $$dir/tmilint ./cmd/tmilint && \
+	$(GO) build -o $$dir/tmimc ./cmd/tmimc && \
+	$$dir/tmilint -suggest -predict none -json -workloads litmus-brokenfence > $$dir/bf.json && \
+	$$dir/tmimc -apply $$dir/bf.json && \
+	$$dir/tmilint -suggest -predict none -json -workloads litmus-iriw-relaxed > $$dir/iriw.json && \
+	$$dir/tmimc -apply $$dir/iriw.json -max-runs 9000 -allow-incomplete && \
+	rc=0 && echo "suggest: repaired fixtures verified SC-equivalent and race-free"; \
+	rm -rf $$dir; exit $$rc
+
 lint: fmt vet
 	$(GO) run ./cmd/tmilint
 
-ci: build test lint
+ci: build test vet lint
 
-check: ci race-harness mc benchgate serve-smoke
+check: ci race-harness mc suggest benchgate serve-smoke

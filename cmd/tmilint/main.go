@@ -14,9 +14,16 @@
 //	tmilint -sites -workloads leveldb     # dump the per-PC site model
 //	tmilint -table2                       # print the Table 2 policy matrix
 //	tmilint -json                         # machine-readable report (internal/toolio)
+//	tmilint -suggest -workloads litmus-brokenfence -predict none
+//	                                      # static fence/annotation repair: solve
+//	                                      # for a minimal ordering-repair set
+//	tmilint -suggest -workloads litmus-brokenfence -predict none -json
+//	                                      # suggest schema for tmimc -apply
 //
 // Exit status: 0 when every linted workload is clean, 1 when any finding
-// was reported, 2 on usage errors.
+// was reported, 2 on usage errors. In -suggest mode, suggestions are advice,
+// not findings: the exit status is 0 as long as the repaired program
+// analyzes clean, 1 when residual defects could not be repaired.
 package main
 
 import (
@@ -49,6 +56,7 @@ func main() {
 		lines   = flag.Bool("lines", false, "dump every predicted shared line, not just the comparison summary")
 		table2  = flag.Bool("table2", false, "print the Table 2 region-interaction policy matrix and exit")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable toolio report on stdout (suppresses human output)")
+		suggest = flag.Bool("suggest", false, "solve for a minimal static repair set (ordering upgrades and fence insertions) per linted workload instead of linting")
 	)
 	flag.Parse()
 
@@ -71,6 +79,10 @@ func main() {
 	lintSet := workloads.Names()
 	if *names != "" {
 		lintSet = splitList(*names)
+	}
+
+	if *suggest {
+		os.Exit(runSuggest(lintSet, opt, *jsonOut))
 	}
 
 	rep := toolio.NewReport("tmilint")
@@ -144,6 +156,65 @@ func main() {
 	}
 }
 
+// runSuggest is the -suggest mode: for each workload, iterate the static
+// analysis (race detection over the abstract trace, then Shasha–Snir delay
+// sets over the atomic skeleton) against trial repairs until the model is
+// clean, then minimize the surviving repair set. With -json exactly one
+// workload must be named, and the minimized set is emitted as a
+// toolio.SuggestReport for `tmimc -apply` to verify dynamically.
+func runSuggest(lintSet []string, opt analysis.Options, jsonOut bool) int {
+	if jsonOut && len(lintSet) != 1 {
+		fmt.Fprintf(os.Stderr, "tmilint: -suggest -json needs exactly one -workloads entry, got %d\n", len(lintSet))
+		return 2
+	}
+	exit := 0
+	for _, name := range lintSet {
+		name := name
+		f := func() (workload.Workload, error) { return workloads.ByName(name) }
+		res, err := analysis.Suggest(f, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmilint: %s: %v\n", name, err)
+			return 2
+		}
+		if !res.Clean {
+			exit = 1
+		}
+		if jsonOut {
+			rep := toolio.NewSuggestReport("tmilint", name)
+			rep.Clean = res.Clean
+			rep.Residual = res.Residual
+			for _, s := range res.Suggestions {
+				rep.Repairs = append(rep.Repairs, toolio.SuggestRepair{
+					Site:   s.Repair.Site,
+					Kind:   s.Repair.Kind.String(),
+					Order:  s.Repair.Order.String(),
+					Reason: s.Reason,
+				})
+			}
+			if err := rep.Write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tmilint:", err)
+				return 2
+			}
+			continue
+		}
+		if len(res.Suggestions) == 0 && res.Clean {
+			fmt.Printf("%s: clean, no repairs needed (%d analysis round(s))\n", name, res.Rounds)
+			continue
+		}
+		fmt.Printf("%s: %d repair(s) after %d analysis round(s)\n", name, len(res.Suggestions), res.Rounds)
+		for _, s := range res.Suggestions {
+			fmt.Printf("  %-40s %s\n", s.Repair, s.Reason)
+		}
+		if !res.Clean {
+			fmt.Printf("  UNRESOLVED: analysis still reports defects after the round budget:\n")
+			for _, r := range res.Residual {
+				fmt.Printf("    %s\n", r)
+			}
+		}
+	}
+	return exit
+}
+
 func comparePrediction(name string, opt analysis.Options, dumpLines bool) (analysis.Accuracy, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
@@ -196,7 +267,7 @@ func orderString(sm *analysis.SiteModel) string {
 		return ""
 	}
 	var parts []string
-	for _, o := range []workload.MemOrder{workload.Relaxed, workload.Acquire, workload.Release, workload.SeqCst} {
+	for _, o := range []workload.MemOrder{workload.Relaxed, workload.Acquire, workload.Release, workload.AcqRel, workload.SeqCst} {
 		if n := sm.Orders[o]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%s:%d", o, n))
 		}

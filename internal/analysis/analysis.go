@@ -71,6 +71,11 @@ type Options struct {
 	// (default 50M); exceeding it aborts with a finding, so a livelocked
 	// workload cannot hang the analysis.
 	MaxOps int64
+	// Trace records the whole-program abstract event trace into Model.Trace
+	// (one entry per byte-addressed access, fence and wake edge, in global
+	// interleaving order). The suggest pass consumes it to build the event
+	// graph; off by default because traces are large.
+	Trace bool
 }
 
 func (o Options) withDefaults(info workload.Info) Options {
@@ -138,6 +143,68 @@ type LineModel struct {
 	PerThread map[int]*Foot
 }
 
+// TraceOp classifies one abstract event.
+type TraceOp int
+
+// Trace event kinds.
+const (
+	// OpPlain is a plain (non-atomic) load or store.
+	OpPlain TraceOp = iota
+	// OpAtomic is an application atomic with an explicit memory order.
+	OpAtomic
+	// OpRuntime is a runtime-library (psync) access; the runtime
+	// synchronizes with full acquire+release semantics and commits the
+	// PTSB, so OpRuntime events are both sync edges and flush points.
+	OpRuntime
+	// OpFence is a standalone fence; Addr/Width are zero.
+	OpFence
+	// OpWake is a scheduler-level happens-before edge (barrier release,
+	// cond signal): the clock of TID flows into thread Other.
+	OpWake
+)
+
+// TraceEvent is one event of the whole-program abstract trace, in global
+// interleaving order. The deterministic round-robin scheduler makes the
+// trace reproducible for fixed Options.
+type TraceEvent struct {
+	TID   int
+	PC    uint64
+	Site  string
+	Addr  uint64
+	Width int
+	Read  bool
+	Write bool
+	Op    TraceOp
+	Order workload.MemOrder
+	// Other is the woken thread for OpWake events.
+	Other int
+	// Asm marks an access executed inside an assembly region; such accesses
+	// synchronize with full acquire+release semantics (TSO-style AMBSA).
+	Asm bool
+}
+
+// Acquires reports whether the event carries acquire semantics.
+func (e *TraceEvent) Acquires() bool {
+	return e.Op == OpRuntime || e.Asm || (e.Op != OpPlain && e.Order.Acquires())
+}
+
+// Releases reports whether the event carries release semantics.
+func (e *TraceEvent) Releases() bool {
+	return e.Op == OpRuntime || e.Asm || (e.Op != OpPlain && e.Order.Releases())
+}
+
+// Flushes reports whether the event commits the PTSB under code-centric
+// consistency (runtime sync, non-relaxed atomics, non-relaxed fences).
+func (e *TraceEvent) Flushes() bool {
+	switch e.Op {
+	case OpRuntime:
+		return true
+	case OpAtomic, OpFence:
+		return e.Order != workload.Relaxed
+	}
+	return false
+}
+
 // Model is the static program model BuildModel produces.
 type Model struct {
 	Workload string
@@ -155,6 +222,8 @@ type Model struct {
 	// AsmEnters counts assembly-region entries (explicit EnterAsm plus the
 	// implicit region of AsmAtomicSwap).
 	AsmEnters uint64
+	// FenceOps counts executed non-relaxed standalone fences.
+	FenceOps uint64
 
 	// Findings holds interpretation-time findings (unbalanced regions,
 	// deadlock, op-budget exhaustion, validation failure). Verify folds
@@ -173,6 +242,9 @@ type Model struct {
 	Notes map[string]float64
 	// Ops is the total interpreted operation count.
 	Ops int64
+
+	// Trace is the abstract event trace (only with Options.Trace).
+	Trace []TraceEvent
 }
 
 // BuildModel abstractly interprets w and returns its static model. The

@@ -422,13 +422,35 @@ func (t *ithread) recordRuntime(s disasm.Site, addr uint64) {
 		sm.AtomicOps++
 		sm.Orders[workload.SeqCst]++
 		t.in.recordLine(t.id, addr, si.Width, true, true)
+		t.trace(TraceEvent{PC: s.PC(), Addr: addr, Width: si.Width, Read: true, Write: true, Op: OpRuntime, Order: workload.SeqCst})
 	case disasm.KindStore:
 		sm.PlainStores++
 		t.in.recordLine(t.id, addr, si.Width, false, true)
+		t.trace(TraceEvent{PC: s.PC(), Addr: addr, Width: si.Width, Write: true, Op: OpRuntime, Order: workload.SeqCst})
 	default:
 		sm.PlainLoads++
 		t.in.recordLine(t.id, addr, si.Width, true, false)
+		t.trace(TraceEvent{PC: s.PC(), Addr: addr, Width: si.Width, Read: true, Op: OpRuntime, Order: workload.SeqCst})
 	}
+}
+
+// trace appends one event to the abstract trace (Options.Trace only),
+// stamping the thread and the site name.
+func (t *ithread) trace(ev TraceEvent) {
+	in := t.in
+	if !in.opt.Trace {
+		return
+	}
+	ev.TID = t.id
+	if t.asmDepth > 0 && ev.Op != OpWake {
+		ev.Asm = true
+	}
+	if ev.Site == "" && ev.PC != 0 {
+		if si, ok := in.prog.Disassemble(ev.PC); ok {
+			ev.Site = si.Name
+		}
+	}
+	in.model.Trace = append(in.model.Trace, ev)
 }
 
 // ---- workload.Thread ----
@@ -440,6 +462,7 @@ func (t *ithread) Load(s workload.Site, addr uint64) uint64 {
 	t.op()
 	v := t.read(addr, s.Width)
 	t.recordPlain(s, addr, false)
+	t.trace(TraceEvent{PC: s.PC, Addr: addr, Width: s.Width, Read: true, Op: OpPlain})
 	return v
 }
 
@@ -447,6 +470,7 @@ func (t *ithread) Store(s workload.Site, addr uint64, v uint64) {
 	t.op()
 	t.write(addr, s.Width, v)
 	t.recordPlain(s, addr, true)
+	t.trace(TraceEvent{PC: s.PC, Addr: addr, Width: s.Width, Write: true, Op: OpPlain})
 }
 
 func (t *ithread) AtomicAdd(s workload.Site, addr uint64, delta uint64, order workload.MemOrder) uint64 {
@@ -454,6 +478,7 @@ func (t *ithread) AtomicAdd(s workload.Site, addr uint64, delta uint64, order wo
 	old := t.read(addr, s.Width)
 	t.write(addr, s.Width, old+delta)
 	t.recordAtomic(s, addr, order)
+	t.trace(TraceEvent{PC: s.PC, Addr: addr, Width: s.Width, Read: true, Write: true, Op: OpAtomic, Order: order})
 	return old
 }
 
@@ -465,6 +490,7 @@ func (t *ithread) AtomicCAS(s workload.Site, addr uint64, old, new uint64, order
 		t.write(addr, s.Width, new)
 	}
 	t.recordAtomic(s, addr, order)
+	t.trace(TraceEvent{PC: s.PC, Addr: addr, Width: s.Width, Read: true, Write: true, Op: OpAtomic, Order: order})
 	return ok
 }
 
@@ -472,6 +498,7 @@ func (t *ithread) AtomicLoad(s workload.Site, addr uint64, order workload.MemOrd
 	t.op()
 	v := t.read(addr, s.Width)
 	t.recordAtomic(s, addr, order)
+	t.trace(TraceEvent{PC: s.PC, Addr: addr, Width: s.Width, Read: true, Op: OpAtomic, Order: order})
 	return v
 }
 
@@ -479,6 +506,16 @@ func (t *ithread) AtomicStore(s workload.Site, addr uint64, v uint64, order work
 	t.op()
 	t.write(addr, s.Width, v)
 	t.recordAtomic(s, addr, order)
+	t.trace(TraceEvent{PC: s.PC, Addr: addr, Width: s.Width, Write: true, Op: OpAtomic, Order: order})
+}
+
+func (t *ithread) Fence(order workload.MemOrder) {
+	t.op()
+	if order == workload.Relaxed {
+		return
+	}
+	t.in.model.FenceOps++
+	t.trace(TraceEvent{Op: OpFence, Order: order})
 }
 
 func (t *ithread) EnterAsm() {
@@ -509,6 +546,8 @@ func (t *ithread) AsmAtomicSwap(sa, sb workload.Site, addrA, addrB uint64) {
 	t.write(addrB, sb.Width, va)
 	t.recordAtomic(sa, addrA, workload.SeqCst)
 	t.recordAtomic(sb, addrB, workload.SeqCst)
+	t.trace(TraceEvent{PC: sa.PC, Addr: addrA, Width: sa.Width, Read: true, Write: true, Op: OpAtomic, Order: workload.SeqCst})
+	t.trace(TraceEvent{PC: sb.PC, Addr: addrB, Width: sb.Width, Read: true, Write: true, Op: OpAtomic, Order: workload.SeqCst})
 	t.asmDepth--
 }
 
@@ -680,6 +719,10 @@ func (t *ithread) Wait(b workload.Barrier) {
 		bb.arrived = 0
 		for _, w := range bb.waiting {
 			w.state = stReady
+			// Barrier release: the last arrival's clock (which has joined
+			// every earlier arrival through the objAddr chain) flows into
+			// each released waiter.
+			t.trace(TraceEvent{Op: OpWake, Other: w.id})
 		}
 		bb.waiting = bb.waiting[:0]
 		return
@@ -721,6 +764,7 @@ func (t *ithread) CondSignal(c workload.Cond) {
 	w := cc.waiting[0]
 	cc.waiting = cc.waiting[1:]
 	w.state = stReady
+	t.trace(TraceEvent{Op: OpWake, Other: w.id})
 }
 
 func (t *ithread) CondBroadcast(c workload.Cond) {
@@ -728,6 +772,7 @@ func (t *ithread) CondBroadcast(c workload.Cond) {
 	cc := c.(*icond)
 	for _, w := range cc.waiting {
 		w.state = stReady
+		t.trace(TraceEvent{Op: OpWake, Other: w.id})
 	}
 	cc.waiting = cc.waiting[:0]
 }

@@ -1,0 +1,160 @@
+package analysis
+
+// Internal tests for the suggest pass: exact repair sets for the broken
+// fixtures, zero-suggestion guarantees for the clean kernels, and local
+// minimality of the solved sets. These live inside the package so the
+// minimality assertions can re-run findDefects on partial repair sets
+// directly, without going through a full Suggest solve.
+
+import (
+	"testing"
+
+	"repro/tmi/workload"
+	"repro/tmi/workloads"
+)
+
+func catalogFactory(name string) Factory {
+	return func() (workload.Workload, error) { return workloads.ByName(name) }
+}
+
+// cleanKernels is every correctly-annotated litmus kernel in the catalog,
+// pre-C11 and C11 alike.
+var cleanKernels = []string{
+	"litmus-sb", "litmus-mp", "litmus-lb", "litmus-iriw", "litmus-corr",
+	"litmus-mp-relacq", "litmus-fencesb", "litmus-fencemp",
+}
+
+// TestSuggestCleanKernelsNoRepairs: the suggest pass must not invent work on
+// any correctly-annotated kernel — no races, no critical-cycle delays, one
+// analysis round, zero suggestions.
+func TestSuggestCleanKernelsNoRepairs(t *testing.T) {
+	for _, name := range cleanKernels {
+		res, err := Suggest(catalogFactory(name), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Clean || len(res.Suggestions) != 0 || res.Rounds != 1 {
+			t.Errorf("%s: clean=%v suggestions=%v rounds=%d, want clean, none, 1",
+				name, res.Clean, res.Suggestions, res.Rounds)
+		}
+	}
+}
+
+// TestSuggestBrokenFence pins the exact solved repair set for the
+// under-annotated MP kernel: annotate the plain flag accesses atomic, with
+// the canonical MP orderings (acquire load, release store) — nothing more.
+func TestSuggestBrokenFence(t *testing.T) {
+	res, err := Suggest(catalogFactory("litmus-brokenfence"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Fatalf("not clean after %d rounds, residual %v", res.Rounds, res.Residual)
+	}
+	want := []workload.Repair{
+		{Site: "brokenfence.load_flag", Kind: workload.RepairAtomic, Order: workload.Acquire},
+		{Site: "brokenfence.store_flag", Kind: workload.RepairAtomic, Order: workload.Release},
+	}
+	assertRepairs(t, res.Repairs(), want)
+}
+
+// TestSuggestIRIWRelaxed pins the solved set for the relaxed IRIW fixture:
+// the two plain mirror loads become relaxed atomics (they race with the
+// stores), and the two leading atomic loads are upgraded to acquire (their
+// program-order edges to the mirror loads lie on the IRIW critical cycle).
+func TestSuggestIRIWRelaxed(t *testing.T) {
+	res, err := Suggest(catalogFactory("litmus-iriw-relaxed"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Fatalf("not clean after %d rounds, residual %v", res.Rounds, res.Residual)
+	}
+	want := []workload.Repair{
+		{Site: "iriwrelaxed.load_x", Kind: workload.RepairOrder, Order: workload.Acquire},
+		{Site: "iriwrelaxed.load_x_plain", Kind: workload.RepairAtomic, Order: workload.Relaxed},
+		{Site: "iriwrelaxed.load_y", Kind: workload.RepairOrder, Order: workload.Acquire},
+		{Site: "iriwrelaxed.load_y_plain", Kind: workload.RepairAtomic, Order: workload.Relaxed},
+	}
+	assertRepairs(t, res.Repairs(), want)
+}
+
+func assertRepairs(t *testing.T, got, want []workload.Repair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("repair set %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("repair[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSuggestStaticMinimality: the solved sets are locally minimal — drop
+// any single repair and the static analysis reports a defect again. (For the
+// ordering upgrades this minimality is *static*: this machine's relaxed
+// atomics run directly against shared memory, so an all-atomic program is SC
+// regardless of orderings and the C11-mandated acquire upgrades cannot be
+// re-broken dynamically. See DESIGN.md §13.)
+func TestSuggestStaticMinimality(t *testing.T) {
+	for _, name := range []string{"litmus-brokenfence", "litmus-iriw-relaxed"} {
+		f := catalogFactory(name)
+		res, err := Suggest(f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		repairs := res.Repairs()
+		if !res.Clean || len(repairs) == 0 {
+			t.Fatalf("%s: want a clean non-empty repair set, got clean=%v %v", name, res.Clean, repairs)
+		}
+		if defs := defectsFor(t, f, repairs); len(defs.races)+len(defs.delays) != 0 {
+			t.Fatalf("%s: full repair set is not clean: %d races, %d delays",
+				name, len(defs.races), len(defs.delays))
+		}
+		for i := range repairs {
+			partial := append(append([]workload.Repair{}, repairs[:i]...), repairs[i+1:]...)
+			defs := defectsFor(t, f, partial)
+			if len(defs.races)+len(defs.delays) == 0 {
+				t.Errorf("%s: dropping %v leaves the analysis clean — set not minimal", name, repairs[i])
+			}
+		}
+	}
+}
+
+func defectsFor(t *testing.T, f Factory, repairs []workload.Repair) defects {
+	t.Helper()
+	m, err := buildRepaired(f, Options{}, repairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findDefects(m)
+}
+
+// TestFenceRepairsClean: the fence vocabulary is a complete alternative to
+// ordering upgrades — annotating brokenfence's flag accesses as *relaxed*
+// atomics and interposing standalone fences (release before the store,
+// acquire after the load) must also satisfy the analysis: the fence clocks
+// order the plain data accesses, and the interposed separators discharge the
+// critical-cycle edges.
+func TestFenceRepairsClean(t *testing.T) {
+	f := catalogFactory("litmus-brokenfence")
+	repairs := []workload.Repair{
+		{Site: "brokenfence.load_flag", Kind: workload.RepairAtomic, Order: workload.Relaxed},
+		{Site: "brokenfence.load_flag", Kind: workload.RepairFenceAfter, Order: workload.Acquire},
+		{Site: "brokenfence.store_flag", Kind: workload.RepairAtomic, Order: workload.Relaxed},
+		{Site: "brokenfence.store_flag", Kind: workload.RepairFenceBefore, Order: workload.Release},
+	}
+	if defs := defectsFor(t, f, repairs); len(defs.races)+len(defs.delays) != 0 {
+		t.Fatalf("fence-based repair not clean: %d races, %d delays", len(defs.races), len(defs.delays))
+	}
+	// Dropping either fence re-exposes a defect: without the release fence
+	// the data store is unpublished; without the acquire fence the reader
+	// never joins it.
+	for _, drop := range []int{1, 3} {
+		partial := append(append([]workload.Repair{}, repairs[:drop]...), repairs[drop+1:]...)
+		if defs := defectsFor(t, f, partial); len(defs.races)+len(defs.delays) == 0 {
+			t.Errorf("dropping %v leaves the analysis clean", repairs[drop])
+		}
+	}
+}

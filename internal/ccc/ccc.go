@@ -32,12 +32,22 @@ type Flusher interface {
 	Commit(t *machine.Thread) int64
 }
 
-// Stats counts controller activity.
+// Stats counts controller activity. StrongRegions is the legacy aggregate
+// of every non-relaxed atomic region entry (acquire + release + acq_rel +
+// seq_cst), kept populated for pre-C11 readers; the per-ordering fields
+// split the same entries out so /metrics and the Table 2 goldens can
+// distinguish orderings.
 type Stats struct {
 	Flushes        uint64
 	AsmRegions     uint64
 	StrongRegions  uint64
 	RelaxedRegions uint64
+
+	AcquireRegions uint64
+	ReleaseRegions uint64
+	AcqRelRegions  uint64
+	SeqCstRegions  uint64
+	Fences         uint64
 }
 
 type threadState struct {
@@ -84,40 +94,61 @@ func (c *Controller) flush(t *machine.Thread) {
 	}
 }
 
-// Enter handles a region-entry callback.
+// Enter handles a region-entry callback. Every non-relaxed ordering — and
+// every standalone fence — flushes the PTSB on entry and disables it for the
+// region's duration; under page twinning one commit both publishes this
+// thread's buffered stores (release direction) and re-protects its private
+// view so subsequent reads observe fresh shared data (acquire direction), so
+// Table 2's strong-atomic row covers acquire, release, acq_rel and seq_cst
+// alike. Relaxed atomics require only atomicity, which direct shared access
+// provides; no flush (paper §3.4, case 2).
 func (c *Controller) Enter(t *machine.Thread, k machine.RegionKind) {
 	s := c.ts(t)
-	switch k {
-	case machine.RegionAsm:
+	switch {
+	case k == machine.RegionAsm:
 		c.Stats.AsmRegions++
 		if c.Enabled {
 			c.flush(t)
 		}
 		s.asmDepth++
-	case machine.RegionAtomicStrong:
-		c.Stats.StrongRegions++
+	case k == machine.RegionAtomicRelaxed:
+		c.Stats.RelaxedRegions++
+		s.relaxedDepth++
+	case k.IsFence():
+		c.Stats.Fences++
 		if c.Enabled {
 			c.flush(t)
 		}
 		s.strongDepth++
-	case machine.RegionAtomicRelaxed:
-		// Relaxed atomics require only atomicity, which direct shared
-		// access provides; no flush (paper §3.4, case 2).
-		c.Stats.RelaxedRegions++
-		s.relaxedDepth++
+	case k.IsAtomic():
+		c.Stats.StrongRegions++ // legacy aggregate of all non-relaxed entries
+		switch k {
+		case machine.RegionAtomicAcquire:
+			c.Stats.AcquireRegions++
+		case machine.RegionAtomicRelease:
+			c.Stats.ReleaseRegions++
+		case machine.RegionAtomicAcqRel:
+			c.Stats.AcqRelRegions++
+		default:
+			c.Stats.SeqCstRegions++
+		}
+		if c.Enabled {
+			c.flush(t)
+		}
+		s.strongDepth++
 	}
 }
 
 // Exit handles a region-exit callback.
 func (c *Controller) Exit(t *machine.Thread, k machine.RegionKind) {
 	s := c.ts(t)
-	switch k {
-	case machine.RegionAsm:
+	switch {
+	case k == machine.RegionAsm:
 		s.asmDepth--
-	case machine.RegionAtomicStrong:
-		s.strongDepth--
-	case machine.RegionAtomicRelaxed:
+	case k == machine.RegionAtomicRelaxed:
 		s.relaxedDepth--
+	default:
+		s.strongDepth--
 	}
 }
 

@@ -1,0 +1,144 @@
+package ccc
+
+import (
+	"testing"
+
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+// TestNestedMixedOrderingRegions pins the controller's behavior for the
+// deepest legal mix: a relaxed atomic inside an acquire atomic inside an
+// assembly region. Flush counts, per-ordering stats and routing are asserted
+// at every step so a policy regression is caught at the exact transition.
+func TestNestedMixedOrderingRegions(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	fl := &fakeFlusher{}
+	c := NewController(true, shared, fl)
+
+	c.Enter(th, machine.RegionAsm) // outermost: asm flushes and disables
+	if fl.commits != 1 {
+		t.Fatalf("asm entry: commits=%d, want 1", fl.commits)
+	}
+	c.Enter(th, machine.RegionAtomicAcquire) // acquire inside asm still flushes
+	if fl.commits != 2 {
+		t.Fatalf("acquire entry: commits=%d, want 2", fl.commits)
+	}
+	c.Enter(th, machine.RegionAtomicRelaxed) // relaxed never flushes
+	if fl.commits != 2 {
+		t.Fatalf("relaxed entry: commits=%d, want 2 (relaxed must not flush)", fl.commits)
+	}
+	if !c.Disabled(th) {
+		t.Error("asm+acquire open: PTSB must be disabled")
+	}
+	if got := c.SpaceFor(th, &machine.Access{}); got != shared {
+		t.Error("plain access inside the nest must route to the shared view")
+	}
+
+	c.Exit(th, machine.RegionAtomicRelaxed)
+	if !c.Disabled(th) {
+		t.Error("relaxed closed, acquire+asm still open: must remain disabled")
+	}
+	c.Exit(th, machine.RegionAtomicAcquire)
+	if !c.Disabled(th) {
+		t.Error("acquire closed, asm still open: must remain disabled")
+	}
+	c.Exit(th, machine.RegionAsm)
+	if c.Disabled(th) {
+		t.Error("all regions closed: enabled again")
+	}
+	if got := c.SpaceFor(th, &machine.Access{}); got != nil {
+		t.Error("plain access outside regions keeps the thread's space")
+	}
+	if fl.commits != 2 {
+		t.Errorf("exits must not flush: commits=%d, want 2", fl.commits)
+	}
+
+	want := Stats{Flushes: 2, AsmRegions: 1, StrongRegions: 1, RelaxedRegions: 1, AcquireRegions: 1}
+	if c.Stats != want {
+		t.Errorf("stats = %+v, want %+v", c.Stats, want)
+	}
+}
+
+// TestRelaxedRoutesWithoutDisabling pins the relaxed-region distinction: a
+// relaxed atomic region routes accesses to shared memory (atomicity needs a
+// single authoritative copy) but does NOT disable the PTSB, because relaxed
+// ordering imposes no flush obligation (paper §3.4 case 2).
+func TestRelaxedRoutesWithoutDisabling(t *testing.T) {
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	fl := &fakeFlusher{}
+	c := NewController(true, shared, fl)
+
+	c.Enter(th, machine.RegionAtomicRelaxed)
+	if c.Disabled(th) {
+		t.Error("relaxed region must not disable the PTSB")
+	}
+	if got := c.SpaceFor(th, &machine.Access{}); got != shared {
+		t.Error("accesses inside a relaxed region still route to shared memory")
+	}
+	c.Exit(th, machine.RegionAtomicRelaxed)
+	if fl.commits != 0 {
+		t.Errorf("relaxed region flushed %d time(s), want 0", fl.commits)
+	}
+}
+
+// TestFenceRegionsFlushAndDisable: every standalone fence flavor flushes on
+// entry (one commit both publishes buffered stores and re-protects the
+// private view, so one mechanism serves acquire and release directions) and
+// disables the PTSB while open.
+func TestFenceRegionsFlushAndDisable(t *testing.T) {
+	kinds := []machine.RegionKind{
+		machine.RegionFenceAcquire, machine.RegionFenceRelease,
+		machine.RegionFenceAcqRel, machine.RegionFenceSeqCst,
+	}
+	th, _ := newThread()
+	shared := mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K))
+	fl := &fakeFlusher{}
+	c := NewController(true, shared, fl)
+	for i, k := range kinds {
+		c.Enter(th, k)
+		if fl.commits != i+1 {
+			t.Errorf("%v entry: commits=%d, want %d", k, fl.commits, i+1)
+		}
+		if !c.Disabled(th) {
+			t.Errorf("%v open: PTSB must be disabled", k)
+		}
+		c.Exit(th, k)
+		if c.Disabled(th) {
+			t.Errorf("%v closed: PTSB must be enabled", k)
+		}
+	}
+	if c.Stats.Fences != uint64(len(kinds)) {
+		t.Errorf("Fences=%d, want %d", c.Stats.Fences, len(kinds))
+	}
+	if c.Stats.StrongRegions != 0 {
+		t.Errorf("fences must not count as strong atomic regions, StrongRegions=%d", c.Stats.StrongRegions)
+	}
+}
+
+// TestPerOrderingStatsSplit: each non-relaxed atomic ordering increments its
+// own counter AND the legacy StrongRegions aggregate, so pre-C11 consumers
+// of Stats keep reading the same totals.
+func TestPerOrderingStatsSplit(t *testing.T) {
+	th, _ := newThread()
+	c := NewController(true, mem.NewAddrSpace(mem.NewMemory(mem.PageSize4K)), &fakeFlusher{})
+	for _, k := range []machine.RegionKind{
+		machine.RegionAtomicAcquire, machine.RegionAtomicRelease,
+		machine.RegionAtomicAcqRel, machine.RegionAtomicStrong, machine.RegionAtomicStrong,
+	} {
+		c.Enter(th, k)
+		c.Exit(th, k)
+	}
+	s := c.Stats
+	if s.AcquireRegions != 1 || s.ReleaseRegions != 1 || s.AcqRelRegions != 1 || s.SeqCstRegions != 2 {
+		t.Errorf("per-ordering split %+v", s)
+	}
+	if s.StrongRegions != 5 {
+		t.Errorf("legacy aggregate StrongRegions=%d, want 5 (sum of all non-relaxed entries)", s.StrongRegions)
+	}
+	if s.Flushes != 5 {
+		t.Errorf("every non-relaxed atomic entry flushes: Flushes=%d, want 5", s.Flushes)
+	}
+}

@@ -143,10 +143,31 @@ func (t *runThread) Store(s workload.Site, addr uint64, v uint64) {
 }
 
 func regionKind(order workload.MemOrder) machine.RegionKind {
-	if order == workload.Relaxed {
+	switch order {
+	case workload.Relaxed:
 		return machine.RegionAtomicRelaxed
+	case workload.Acquire:
+		return machine.RegionAtomicAcquire
+	case workload.Release:
+		return machine.RegionAtomicRelease
+	case workload.AcqRel:
+		return machine.RegionAtomicAcqRel
 	}
 	return machine.RegionAtomicStrong
+}
+
+func fenceKind(order workload.MemOrder) (machine.RegionKind, bool) {
+	switch order {
+	case workload.Acquire:
+		return machine.RegionFenceAcquire, true
+	case workload.Release:
+		return machine.RegionFenceRelease, true
+	case workload.AcqRel:
+		return machine.RegionFenceAcqRel, true
+	case workload.SeqCst:
+		return machine.RegionFenceSeqCst, true
+	}
+	return 0, false // relaxed fence is a no-op
 }
 
 func (t *runThread) AtomicAdd(s workload.Site, addr uint64, delta uint64, order workload.MemOrder) uint64 {
@@ -177,6 +198,15 @@ func (t *runThread) AtomicStore(s workload.Site, addr uint64, v uint64, order wo
 	k := regionKind(order)
 	t.mt.EnterRegion(k)
 	t.mt.AtomicStore(s.PC, addr, s.Width, v)
+	t.mt.ExitRegion(k)
+}
+
+func (t *runThread) Fence(order workload.MemOrder) {
+	k, ok := fenceKind(order)
+	if !ok {
+		return
+	}
+	t.mt.EnterRegion(k)
 	t.mt.ExitRegion(k)
 }
 

@@ -144,14 +144,17 @@ func (e *explorer) exploreTree() error {
 				if _, explored := n.done[c]; explored {
 					continue
 				}
-				if e.mode == modeDPOR {
-					if entry := findSleep(n.sleepIn, c); entry != nil {
-						// Asleep on entry: this subtree is covered by an
-						// earlier branch elsewhere. Mark explored and skip.
-						n.done[c] = entry.sigs
-						continue
-					}
-				}
+				// A backtrack candidate asleep on entry is still explored.
+				// The sleep entry only certifies that the candidate's
+				// *immediate* transition reaches a covered state; the
+				// backtrack request wants a race reversed deeper in the
+				// subtree, and treating "asleep" as "subtree covered" loses
+				// interleavings (naive DPOR + sleep sets is incomplete —
+				// cf. source sets, Abdulla et al.; litmus-iriw's SC set
+				// shrank from 15 to 13 outcomes under the old skip).
+				// Exploring the sleeping candidate is redundant at worst,
+				// so completeness wins over pruning here; in-run sleep
+				// evolution still abandons covered completions.
 				branch, choice = k, c
 				break
 			}

@@ -1,21 +1,37 @@
 package mc
 
 // Vector-clock happens-before race detection over the observer event
-// stream. The synchronization vocabulary is exactly what the CCC annotation
-// contract declares synchronizing:
+// stream, with per-ordering C11-style synchronization semantics (following
+// C11Tester's clock treatment, simplified to this machine's vocabulary):
 //
-//   - atomic accesses (acquire+release join on a per-address clock);
-//   - runtime-library accesses (psync lock words, barrier words — the
-//     synchronization runtime is below the annotation pass and trusted);
-//   - plain accesses inside an assembly region (annotated as synchronizing
-//     by the EnterAsm/ExitAsm callbacks);
+//   - a release-or-stronger atomic write publishes the writer's clock on a
+//     per-address clock (replacing the previous publication — the last
+//     write is what a later read reads, and a weaker write breaks the
+//     release sequence);
+//   - an acquire-or-stronger atomic read/RMW joins the per-address clock;
+//   - relaxed atomics do neither (they only provide atomicity);
+//   - runtime-library accesses (psync lock words, barrier words) and plain
+//     accesses inside assembly regions synchronize with full
+//     acquire+release semantics — the synchronization runtime is below the
+//     annotation pass and trusted, and assembly guarantees TSO-style AMBSA;
+//   - standalone fences synchronize per Alglave et al.: a release fence
+//     snapshots the thread's clock, and every later atomic write publishes
+//     that snapshot (even a relaxed one); an acquire fence joins the
+//     per-address clocks of every atomic read the thread performed before
+//     it (accumulated in a pending-acquire clock);
 //   - scheduler wake edges (Unblock: the wakee inherits the waker's clock);
 //   - psync sync boundaries (epoch increments at acquire/release).
 //
+// There is no global seq_cst clock: C11's happens-before is po ∪ sw, and
+// the seq_cst total order alone does not create hb edges — same-address
+// seq_cst accesses already synchronize through the release/acquire rules
+// above.
+//
 // Two accesses race when they touch a common byte, at least one writes,
 // they are unordered by happens-before, and they are not both
-// synchronization operations. Detection is value-independent, so a race is
-// usually visible in many schedules — including the default one — but
+// synchronization operations (atomics never race with atomics, whatever
+// their orders). Detection is value-independent, so a race is usually
+// visible in many schedules — including the default one — but
 // lock-release edges can mask races in some interleavings, which is why the
 // detector runs on every explored schedule and reports are deduplicated by
 // unordered PC pair.
@@ -40,18 +56,25 @@ type raceDetector struct {
 	n      int
 	vc     []vclock
 	addrVC map[uint64]vclock
-	bytes  map[uint64]*byteState
-	races  []RaceReport
-	seen   map[[2]uint64]bool
+	// relFence[t] is the clock snapshot of t's latest release fence; later
+	// atomic writes by t publish it. pendAcq[t] accumulates the per-address
+	// clocks of t's atomic accesses; an acquire fence joins it into vc[t].
+	relFence []vclock
+	pendAcq  []vclock
+	bytes    map[uint64]*byteState
+	races    []RaceReport
+	seen     map[[2]uint64]bool
 }
 
 func newRaceDetector(threads int) *raceDetector {
 	d := &raceDetector{
-		n:      threads,
-		vc:     make([]vclock, threads),
-		addrVC: make(map[uint64]vclock),
-		bytes:  make(map[uint64]*byteState),
-		seen:   make(map[[2]uint64]bool),
+		n:        threads,
+		vc:       make([]vclock, threads),
+		addrVC:   make(map[uint64]vclock),
+		relFence: make([]vclock, threads),
+		pendAcq:  make([]vclock, threads),
+		bytes:    make(map[uint64]*byteState),
+		seen:     make(map[[2]uint64]bool),
 	}
 	for i := range d.vc {
 		d.vc[i] = make(vclock, threads)
@@ -66,12 +89,22 @@ func (d *raceDetector) ordered(e *accEpoch, t int) bool {
 	return e.clk <= d.vc[t][e.tid]
 }
 
-func (d *raceDetector) onAccess(info *core.AccessInfo, inAsm bool) {
+// onAccess processes one access. syncish marks a synchronization operation
+// (atomic, runtime or in-asm); acq/rel are its effective acquire/release
+// semantics after the ordering is applied.
+func (d *raceDetector) onAccess(info *core.AccessInfo, syncish, acq, rel bool) {
 	t := info.TID
-	syncish := info.Atomic || info.Runtime || inAsm
 	if syncish {
 		if l := d.addrVC[info.Addr]; l != nil {
-			d.vc[t].join(l) // acquire
+			if acq {
+				d.vc[t].join(l)
+			}
+			// Any atomic access feeds the pending-acquire clock: a later
+			// acquire fence promotes it to a full join (Alglave et al.).
+			if d.pendAcq[t] == nil {
+				d.pendAcq[t] = make(vclock, d.n)
+			}
+			d.pendAcq[t].join(l)
 		}
 	}
 	ep := &accEpoch{
@@ -99,13 +132,42 @@ func (d *raceDetector) onAccess(info *core.AccessInfo, inAsm bool) {
 		}
 	}
 	if syncish {
-		// Release: publish the thread's clock on the address, then advance
-		// the local epoch so later plain accesses are distinguishable.
-		cp := make(vclock, d.n)
-		cp.join(d.vc[t])
-		d.addrVC[info.Addr] = cp
+		if info.Write {
+			// Publication: a releasing write publishes the thread's clock
+			// (which subsumes any release-fence snapshot); a weaker atomic
+			// write after a release fence publishes the fence snapshot; a
+			// plain relaxed write publishes nothing and breaks the chain.
+			switch {
+			case rel:
+				cp := make(vclock, d.n)
+				cp.join(d.vc[t])
+				d.addrVC[info.Addr] = cp
+			case d.relFence[t] != nil:
+				cp := make(vclock, d.n)
+				cp.join(d.relFence[t])
+				d.addrVC[info.Addr] = cp
+			default:
+				delete(d.addrVC, info.Addr)
+			}
+		}
+		// Advance the local epoch so later plain accesses are
+		// distinguishable from ones before the synchronization.
 		d.vc[t][t]++
 	}
+}
+
+// onFence processes a standalone fence with the given effective semantics.
+func (d *raceDetector) onFence(tid int, acq, rel bool) {
+	if acq && d.pendAcq[tid] != nil {
+		d.vc[tid].join(d.pendAcq[tid])
+		d.pendAcq[tid] = nil
+	}
+	if rel {
+		cp := make(vclock, d.n)
+		cp.join(d.vc[tid])
+		d.relFence[tid] = cp
+	}
+	d.vc[tid][tid]++
 }
 
 func (d *raceDetector) onSync(tid int) {

@@ -107,7 +107,8 @@ type runner struct {
 	decisions []decision
 	sleep     []sleepEntry
 	asmDepth  []int
-	dirty     []map[uint64]bool // per-thread pages plain-written since last sync
+	ordStack  [][]machine.RegionKind // per-thread atomic-region nesting
+	dirty     []map[uint64]bool      // per-thread pages plain-written since last flush
 	det       *raceDetector
 
 	abandoned bool
@@ -253,30 +254,72 @@ func (r *runner) OnAccess(info *core.AccessInfo) {
 		}
 	}
 	if r.det != nil {
-		r.det.onAccess(info, r.asmDepth[info.TID] > 0)
+		inAsm := r.asmDepth[info.TID] > 0
+		syncish := info.Atomic || info.Runtime || inAsm
+		acq, rel := syncish, syncish // runtime/asm synchronize fully
+		if info.Atomic && !info.Runtime && !inAsm {
+			k := r.topKind(info.TID)
+			acq, rel = k.Acquires(), k.Releases()
+		}
+		r.det.onAccess(info, syncish, acq, rel)
 	}
+}
+
+// topKind is the innermost atomic region the thread is executing in; a bare
+// atomic (runtime-internal, no region bracket) defaults to seq_cst.
+func (r *runner) topKind(tid int) machine.RegionKind {
+	if s := r.ordStack[tid]; len(s) > 0 {
+		return s[len(s)-1]
+	}
+	return machine.RegionAtomicStrong
 }
 
 func (r *runner) OnRegion(tid int, k machine.RegionKind, enter bool) {
-	if k != machine.RegionAsm {
-		return
-	}
-	if enter {
-		r.asmDepth[tid]++
-	} else if r.asmDepth[tid] > 0 {
-		r.asmDepth[tid]--
+	switch {
+	case k == machine.RegionAsm:
+		if enter {
+			r.commitDirty(tid)
+			r.asmDepth[tid]++
+		} else if r.asmDepth[tid] > 0 {
+			r.asmDepth[tid]--
+		}
+	case k.IsFence():
+		if enter {
+			r.commitDirty(tid)
+			if r.det != nil {
+				r.det.onFence(tid, k.Acquires(), k.Releases())
+			}
+		}
+	case k.IsAtomic():
+		if enter {
+			if k != machine.RegionAtomicRelaxed {
+				// The CCC controller flushes the PTSB on entry to any
+				// non-relaxed atomic region; the commit is a visible effect
+				// the exploration must order against.
+				r.commitDirty(tid)
+			}
+			r.ordStack[tid] = append(r.ordStack[tid], k)
+		} else if n := len(r.ordStack[tid]); n > 0 {
+			r.ordStack[tid] = r.ordStack[tid][:n-1]
+		}
 	}
 }
 
-func (r *runner) OnSync(tid int) {
-	// A sync point commits the thread's PTSB: every dirtied page becomes
-	// visible, so the commit conflicts like a write to each of those pages.
-	if r.ex.pageConflicts && r.cur != nil && len(r.dirty[tid]) > 0 {
-		for _, u := range sortedUnits(r.dirty[tid]) {
-			r.cur.sigs = append(r.cur.sigs, sig{unit: u, write: true})
-		}
-		r.dirty[tid] = nil
+// commitDirty records a PTSB commit: every page the thread plain-wrote
+// since the last flush becomes visible, so the commit conflicts like a
+// write to each of those pages.
+func (r *runner) commitDirty(tid int) {
+	if !r.ex.pageConflicts || r.cur == nil || len(r.dirty[tid]) == 0 {
+		return
 	}
+	for _, u := range sortedUnits(r.dirty[tid]) {
+		r.cur.sigs = append(r.cur.sigs, sig{unit: u, write: true})
+	}
+	r.dirty[tid] = nil
+}
+
+func (r *runner) OnSync(tid int) {
+	r.commitDirty(tid)
 	if r.det != nil {
 		r.det.onSync(tid)
 	}
@@ -373,6 +416,7 @@ func (e *explorer) runOnce(forced []int, nodes []*node, m mode, rng *rand.Rand) 
 	r := &runner{
 		ex: e, mode: m, forced: forced, nodes: nodes, rng: rng,
 		asmDepth: make([]int, e.threads),
+		ordStack: make([][]machine.RegionKind, e.threads),
 		dirty:    make([]map[uint64]bool, e.threads),
 	}
 	if e.opts.Race {

@@ -45,11 +45,21 @@ type Access struct {
 // RegionKind tags code-region boundaries for code-centric consistency.
 type RegionKind uint8
 
-// Region kinds (paper §3.4).
+// Region kinds (paper §3.4). RegionAtomicStrong is the seq_cst atomic
+// region; the remaining C11 orderings and standalone fences follow. The
+// numeric values of the original three kinds are frozen: traces serialize
+// the kind as a raw integer.
 const (
 	RegionAtomicRelaxed RegionKind = iota
 	RegionAtomicStrong
 	RegionAsm
+	RegionAtomicAcquire
+	RegionAtomicRelease
+	RegionAtomicAcqRel
+	RegionFenceAcquire
+	RegionFenceRelease
+	RegionFenceAcqRel
+	RegionFenceSeqCst
 )
 
 func (k RegionKind) String() string {
@@ -57,11 +67,71 @@ func (k RegionKind) String() string {
 	case RegionAtomicRelaxed:
 		return "atomic-relaxed"
 	case RegionAtomicStrong:
-		return "atomic-strong"
+		return "atomic-seqcst"
 	case RegionAsm:
 		return "asm"
+	case RegionAtomicAcquire:
+		return "atomic-acquire"
+	case RegionAtomicRelease:
+		return "atomic-release"
+	case RegionAtomicAcqRel:
+		return "atomic-acqrel"
+	case RegionFenceAcquire:
+		return "fence-acquire"
+	case RegionFenceRelease:
+		return "fence-release"
+	case RegionFenceAcqRel:
+		return "fence-acqrel"
+	case RegionFenceSeqCst:
+		return "fence-seqcst"
 	}
 	return "?"
+}
+
+// IsAtomic reports whether k brackets an atomic instruction (as opposed to
+// an assembly region or a standalone fence).
+func (k RegionKind) IsAtomic() bool {
+	switch k {
+	case RegionAtomicRelaxed, RegionAtomicStrong, RegionAtomicAcquire,
+		RegionAtomicRelease, RegionAtomicAcqRel:
+		return true
+	}
+	return false
+}
+
+// IsFence reports whether k is a standalone fence region.
+func (k RegionKind) IsFence() bool {
+	switch k {
+	case RegionFenceAcquire, RegionFenceRelease, RegionFenceAcqRel,
+		RegionFenceSeqCst:
+		return true
+	}
+	return false
+}
+
+// Acquires reports whether k carries acquire semantics (joins published
+// state). Asm regions conservatively acquire and release, matching the
+// paper's Table 2 treatment of opaque assembly.
+func (k RegionKind) Acquires() bool {
+	switch k {
+	case RegionAtomicStrong, RegionAsm, RegionAtomicAcquire,
+		RegionAtomicAcqRel, RegionFenceAcquire, RegionFenceAcqRel,
+		RegionFenceSeqCst:
+		return true
+	}
+	return false
+}
+
+// Releases reports whether k carries release semantics (publishes prior
+// state).
+func (k RegionKind) Releases() bool {
+	switch k {
+	case RegionAtomicStrong, RegionAsm, RegionAtomicRelease,
+		RegionAtomicAcqRel, RegionFenceRelease, RegionFenceAcqRel,
+		RegionFenceSeqCst:
+		return true
+	}
+	return false
 }
 
 // Hooks are the runtime attachment points. All hooks run in the context of

@@ -73,6 +73,64 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	return &r, nil
 }
 
+// SuggestRepair is one proposed source-level repair in the suggest schema:
+// a site name, a repair kind ("atomic", "order", "fence-before",
+// "fence-after") and a C11 memory order ("relaxed", "acquire", "release",
+// "acq_rel", "seq_cst"), plus the evidence that produced it. Kinds and
+// orders travel as strings so the schema is self-describing and does not
+// leak internal enums.
+type SuggestRepair struct {
+	Site   string `json:"site"`
+	Kind   string `json:"kind"`
+	Order  string `json:"order"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// SuggestReport is the document `tmilint -suggest -json` emits and
+// `tmimc -apply` consumes: a minimized repair set for one workload.
+type SuggestReport struct {
+	// Version is the schema version (SchemaVersion at write time).
+	Version  int    `json:"version"`
+	Tool     string `json:"tool"`
+	Workload string `json:"workload"`
+	// Clean reports whether the analysis is defect-free after applying
+	// every repair; false means the round budget ran out with Residual
+	// defects left.
+	Clean    bool            `json:"clean"`
+	Repairs  []SuggestRepair `json:"repairs"`
+	Residual []string        `json:"residual,omitempty"`
+}
+
+// NewSuggestReport builds an empty suggest report for one tool/workload.
+func NewSuggestReport(tool, workload string) *SuggestReport {
+	return &SuggestReport{
+		Version: SchemaVersion, Tool: tool, Workload: workload,
+		Repairs: []SuggestRepair{},
+	}
+}
+
+// ReadSuggestReport parses a suggest report, normalizing pre-versioning
+// documents and rejecting ones newer than this tool understands.
+func ReadSuggestReport(rd io.Reader) (*SuggestReport, error) {
+	var r SuggestReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	v, err := checkVersion("suggest report", r.Version)
+	if err != nil {
+		return nil, err
+	}
+	r.Version = v
+	return &r, nil
+}
+
+// Write emits the suggest report as indented JSON.
+func (r *SuggestReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
 // Add appends a finding (stamping the tool name) and flips the verdict.
 func (r *Report) Add(f Finding) {
 	f.Tool = r.Tool

@@ -1,0 +1,93 @@
+package workload
+
+import "testing"
+
+// TestJoinOrdersLattice: JoinOrders is the LUB on the C11 strength lattice —
+// commutative, idempotent, monotone toward seq_cst, with acquire⊔release =
+// acq_rel as the interesting non-chain join.
+func TestJoinOrdersLattice(t *testing.T) {
+	orders := []MemOrder{Relaxed, Acquire, Release, AcqRel, SeqCst}
+	for _, a := range orders {
+		if JoinOrders(a, a) != a {
+			t.Errorf("join not idempotent at %v", a)
+		}
+		if JoinOrders(a, Relaxed) != a || JoinOrders(Relaxed, a) != a {
+			t.Errorf("relaxed is not the bottom at %v", a)
+		}
+		if JoinOrders(a, SeqCst) != SeqCst || JoinOrders(SeqCst, a) != SeqCst {
+			t.Errorf("seq_cst is not the top at %v", a)
+		}
+		for _, b := range orders {
+			if JoinOrders(a, b) != JoinOrders(b, a) {
+				t.Errorf("join not commutative at (%v,%v)", a, b)
+			}
+			j := JoinOrders(a, b)
+			if j.Acquires() != (a.Acquires() || b.Acquires()) || j.Releases() != (a.Releases() || b.Releases()) {
+				t.Errorf("join(%v,%v)=%v loses a direction", a, b, j)
+			}
+		}
+	}
+	if JoinOrders(Acquire, Release) != AcqRel {
+		t.Errorf("acquire ⊔ release = %v, want acq_rel", JoinOrders(Acquire, Release))
+	}
+}
+
+// TestParseRepairRoundTrip: every (kind, order) pair the suggest schema can
+// emit parses back to the same repair.
+func TestParseRepairRoundTrip(t *testing.T) {
+	kinds := []RepairKind{RepairAtomic, RepairOrder, RepairFenceBefore, RepairFenceAfter}
+	orders := []MemOrder{Relaxed, Acquire, Release, AcqRel, SeqCst}
+	for _, k := range kinds {
+		for _, o := range orders {
+			want := Repair{Site: "w.site", Kind: k, Order: o}
+			got, err := ParseRepair("w.site", k.String(), o.String())
+			if err != nil {
+				t.Fatalf("ParseRepair(%q, %q): %v", k, o, err)
+			}
+			if got != want {
+				t.Errorf("ParseRepair(%q, %q) = %v, want %v", k, o, got, want)
+			}
+		}
+	}
+}
+
+func TestParseRepairRejects(t *testing.T) {
+	if _, err := ParseRepair("s", "jitter", "acquire"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseRepair("s", "atomic", "consume"); err == nil {
+		t.Error("unknown order accepted")
+	}
+	if _, err := ParseRepair("", "atomic", "relaxed"); err == nil {
+		t.Error("empty site accepted")
+	}
+}
+
+type stubWorkload struct{}
+
+func (stubWorkload) Name() string       { return "stub" }
+func (stubWorkload) Info() Info         { return Info{Threads: 2} }
+func (stubWorkload) Setup(Env) error    { return nil }
+func (stubWorkload) Body(Thread)        {}
+func (stubWorkload) Validate(Env) error { return nil }
+
+// TestRepairedPreservesIdentity: the wrapper keeps the base workload's name,
+// forces UsesAtomics when an atomicity or ordering repair is present (the
+// runner keys region instrumentation off it), and vanishes entirely for the
+// empty repair set.
+func TestRepairedPreservesIdentity(t *testing.T) {
+	base := stubWorkload{}
+	w := Repaired(base, []Repair{{Site: "stub.x", Kind: RepairAtomic, Order: Relaxed}})
+	if w.Name() != base.Name() {
+		t.Errorf("name %q, want %q", w.Name(), base.Name())
+	}
+	if got := w.Info(); !got.UsesAtomics {
+		t.Error("atomicity repair must force UsesAtomics in Info")
+	}
+	if got := w.Info(); got.Threads != 2 {
+		t.Errorf("threads %d, want 2", got.Threads)
+	}
+	if w2 := Repaired(base, nil); w2 != Workload(base) {
+		t.Error("empty repair set must return the base workload unchanged")
+	}
+}

@@ -45,12 +45,14 @@ type Site struct {
 // consistency; stronger orders do (paper §3.4, case 2).
 type MemOrder int
 
-// Memory orders.
+// Memory orders. AcqRel is appended after the original four so existing
+// serialized order values stay stable.
 const (
 	Relaxed MemOrder = iota
 	Acquire
 	Release
 	SeqCst
+	AcqRel
 )
 
 func (o MemOrder) String() string {
@@ -63,9 +65,17 @@ func (o MemOrder) String() string {
 		return "release"
 	case SeqCst:
 		return "seq_cst"
+	case AcqRel:
+		return "acq_rel"
 	}
 	return "?"
 }
+
+// Acquires reports whether the order carries acquire semantics.
+func (o MemOrder) Acquires() bool { return o == Acquire || o == AcqRel || o == SeqCst }
+
+// Releases reports whether the order carries release semantics.
+func (o MemOrder) Releases() bool { return o == Release || o == AcqRel || o == SeqCst }
 
 // Mutex is an opaque handle to a runtime-managed lock. Under TMI the lock
 // word the application sees is replaced by an indirection to a cache-line
@@ -169,6 +179,12 @@ type Thread interface {
 	AtomicCAS(s Site, addr uint64, old, new uint64, order MemOrder) bool
 	AtomicLoad(s Site, addr uint64, order MemOrder) uint64
 	AtomicStore(s Site, addr uint64, v uint64, order MemOrder)
+
+	// Fence issues a standalone memory fence of the given order. Relaxed is
+	// a no-op; stronger orders flush the PTSB (code-centric consistency
+	// treats a fence like the strong-atomic case of Table 2, minus the
+	// instruction). Fences have no Site: they touch no data address.
+	Fence(order MemOrder)
 
 	// EnterAsm/ExitAsm bracket an inline-assembly region (the callbacks the
 	// paper's LLVM pass inserts).

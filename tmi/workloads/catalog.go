@@ -70,6 +70,8 @@ func ByName(name string) (workload.Workload, error) {
 		CannealSwap(), CholeskyFlag(), Misannotated(),
 		LitmusSB(), LitmusMP(), LitmusLB(), LitmusIRIW(), LitmusCoRR(),
 		LitmusBrokenFence(),
+		LitmusMPRelAcq(), LitmusFenceSB(), LitmusFenceMP(),
+		LitmusIRIWRelaxed(),
 	}
 	for _, w := range Suite() {
 		if w.Name() == name {
@@ -106,6 +108,8 @@ func Names() []string {
 		"cholesky-flag",
 		"litmus-sb", "litmus-mp", "litmus-lb", "litmus-iriw", "litmus-corr",
 		"litmus-brokenfence",
+		"litmus-mp-relacq", "litmus-fencesb", "litmus-fencemp",
+		"litmus-iriw-relaxed",
 	} {
 		seen[n] = true
 	}

@@ -1,0 +1,316 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/tmi/workload"
+)
+
+// This file holds the C11-ordering litmus kernels added with the
+// ordering-aware model: message passing over a release/acquire flag,
+// fence-mediated SB and MP, and a deliberately under-annotated relaxed IRIW
+// whose plain second loads miss their atomic annotation. They follow the
+// conventions of litmus.go: one variable per page, warm/scratch plain
+// stores at offset 512 of a page the thread later reads (creating a dirty
+// private twin without byte overlap), a terminal barrier, and single loads
+// so the schedule space stays finite.
+
+// --- MP with release/acquire orderings -----------------------------------
+
+// litmusMPRelAcq is message passing where the flag uses exactly the
+// orderings C11 requires — a release store and an acquire load — rather
+// than seq_cst. The consumer scratch-dirties the data page first, so its
+// acquire-side PTSB flush (Table 2 treats acquire like the strong case)
+// must discard the stale private twin before the data read.
+type litmusMPRelAcq struct {
+	data, scratch uint64 // same page: scratch is the consumer's dirtying store
+	flag          uint64
+	r             litmusRegs
+	bar           workload.Barrier
+
+	sData, sDataLd, sScratch, sFlagSt, sFlagLd workload.Site
+}
+
+// LitmusMPRelAcq constructs the release/acquire message-passing kernel.
+func LitmusMPRelAcq() workload.Workload { return &litmusMPRelAcq{} }
+
+var _ workload.Outcomer = (*litmusMPRelAcq)(nil)
+
+func (w *litmusMPRelAcq) Name() string { return "litmus-mp-relacq" }
+
+func (w *litmusMPRelAcq) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus MP with release store / acquire load: flag=1 implies data=42"}
+}
+
+func (w *litmusMPRelAcq) Setup(env workload.Env) error {
+	page := env.PageSize()
+	base := env.Alloc(page, page)
+	w.data, w.scratch = base, base+512
+	w.flag = env.Alloc(page, page)
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("mprelacq.bar", env.Threads())
+	w.sData = env.Site("mprelacq.store_data", workload.SiteStore, 8)
+	w.sDataLd = env.Site("mprelacq.load_data", workload.SiteLoad, 8)
+	w.sScratch = env.Site("mprelacq.scratch", workload.SiteStore, 8)
+	w.sFlagSt = env.Site("mprelacq.store_flag", workload.SiteAtomic, 8)
+	w.sFlagLd = env.Site("mprelacq.load_flag", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusMPRelAcq) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sData, w.data, 42)
+		t.AtomicStore(w.sFlagSt, w.flag, 1, workload.Release)
+	} else {
+		t.Store(w.sScratch, w.scratch, 7)
+		w.r[0] = t.AtomicLoad(w.sFlagLd, w.flag, workload.Acquire)
+		if w.r[0] == 1 {
+			w.r[1] = t.Load(w.sDataLd, w.data)
+		}
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusMPRelAcq) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] != 42 {
+		return fmt.Errorf("litmus-mp-relacq: flag=1 but data=%s, want 42", reg(w.r[1]))
+	}
+	return nil
+}
+
+func (w *litmusMPRelAcq) Outcome(env workload.Env) string {
+	return fmt.Sprintf("flag=%s data=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- SB with relaxed atomics and seq_cst fences --------------------------
+
+// litmusFenceSB is Dekker's core with the ordering carried entirely by
+// standalone fences: the flag accesses themselves are relaxed, and a
+// seq_cst fence sits between each thread's store and load. Each thread
+// warm-dirties the page it later reads, so the fence's PTSB flush is what
+// discards the stale twin.
+type litmusFenceSB struct {
+	x, y         uint64
+	warm0, warm1 uint64 // warm0 on y's page (t0 writes), warm1 on x's page
+	r            litmusRegs
+	bar          workload.Barrier
+
+	sWarm, sStX, sStY, sLdX, sLdY workload.Site
+}
+
+// LitmusFenceSB constructs the fence-mediated store-buffering kernel.
+func LitmusFenceSB() workload.Workload { return &litmusFenceSB{} }
+
+var _ workload.Outcomer = (*litmusFenceSB)(nil)
+
+func (w *litmusFenceSB) Name() string { return "litmus-fencesb" }
+
+func (w *litmusFenceSB) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus SB over relaxed atomics and seq_cst fences: SC forbids r0=0,r1=0"}
+}
+
+func (w *litmusFenceSB) Setup(env workload.Env) error {
+	page := env.PageSize()
+	pageX := env.Alloc(page, page)
+	pageY := env.Alloc(page, page)
+	w.x, w.warm1 = pageX, pageX+512
+	w.y, w.warm0 = pageY, pageY+512
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("fencesb.bar", env.Threads())
+	w.sWarm = env.Site("fencesb.warm", workload.SiteStore, 8)
+	w.sStX = env.Site("fencesb.store_x", workload.SiteAtomic, 8)
+	w.sStY = env.Site("fencesb.store_y", workload.SiteAtomic, 8)
+	w.sLdX = env.Site("fencesb.load_x", workload.SiteAtomic, 8)
+	w.sLdY = env.Site("fencesb.load_y", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusFenceSB) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sWarm, w.warm0, 1)
+		t.AtomicStore(w.sStX, w.x, 1, workload.Relaxed)
+		t.Fence(workload.SeqCst)
+		w.r[0] = t.AtomicLoad(w.sLdY, w.y, workload.Relaxed)
+	} else {
+		t.Store(w.sWarm, w.warm1, 2)
+		t.AtomicStore(w.sStY, w.y, 1, workload.Relaxed)
+		t.Fence(workload.SeqCst)
+		w.r[1] = t.AtomicLoad(w.sLdX, w.x, workload.Relaxed)
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusFenceSB) Validate(env workload.Env) error {
+	if w.r[0] == 0 && w.r[1] == 0 {
+		return fmt.Errorf("litmus-fencesb: r0=0 r1=0 is forbidden with seq_cst fences")
+	}
+	return nil
+}
+
+func (w *litmusFenceSB) Outcome(env workload.Env) string {
+	return fmt.Sprintf("r0=%s r1=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- MP with relaxed flag and release/acquire fences ---------------------
+
+// litmusFenceMP is message passing where the data is plain, the flag is a
+// *relaxed* atomic, and the ordering comes entirely from fences: a release
+// fence before the flag store, an acquire fence after the flag load
+// (Alglave et al.'s canonical fence placement). The producer's release
+// fence must commit the dirty data page before the flag becomes visible;
+// the consumer's acquire fence must discard its scratch-dirtied twin before
+// the data read. Remove either fence and the PTSB makes flag=1 with stale
+// data reachable.
+type litmusFenceMP struct {
+	data, scratch uint64 // same page
+	flag          uint64
+	r             litmusRegs
+	bar           workload.Barrier
+
+	sData, sDataLd, sScratch, sFlagSt, sFlagLd workload.Site
+}
+
+// LitmusFenceMP constructs the fence-mediated message-passing kernel.
+func LitmusFenceMP() workload.Workload { return &litmusFenceMP{} }
+
+var _ workload.Outcomer = (*litmusFenceMP)(nil)
+
+func (w *litmusFenceMP) Name() string { return "litmus-fencemp" }
+
+func (w *litmusFenceMP) Info() workload.Info {
+	return workload.Info{Threads: 2, FootprintMB: 1, UsesAtomics: true,
+		Desc: "litmus MP over a relaxed flag and release/acquire fences: flag=1 implies data=42"}
+}
+
+func (w *litmusFenceMP) Setup(env workload.Env) error {
+	page := env.PageSize()
+	base := env.Alloc(page, page)
+	w.data, w.scratch = base, base+512
+	w.flag = env.Alloc(page, page)
+	w.r = litmusRegs{litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("fencemp.bar", env.Threads())
+	w.sData = env.Site("fencemp.store_data", workload.SiteStore, 8)
+	w.sDataLd = env.Site("fencemp.load_data", workload.SiteLoad, 8)
+	w.sScratch = env.Site("fencemp.scratch", workload.SiteStore, 8)
+	w.sFlagSt = env.Site("fencemp.store_flag", workload.SiteAtomic, 8)
+	w.sFlagLd = env.Site("fencemp.load_flag", workload.SiteAtomic, 8)
+	return nil
+}
+
+func (w *litmusFenceMP) Body(t workload.Thread) {
+	if t.ID() == 0 {
+		t.Store(w.sData, w.data, 42)
+		t.Fence(workload.Release)
+		t.AtomicStore(w.sFlagSt, w.flag, 1, workload.Relaxed)
+	} else {
+		t.Store(w.sScratch, w.scratch, 7)
+		w.r[0] = t.AtomicLoad(w.sFlagLd, w.flag, workload.Relaxed)
+		t.Fence(workload.Acquire)
+		if w.r[0] == 1 {
+			w.r[1] = t.Load(w.sDataLd, w.data)
+		}
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusFenceMP) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] != 42 {
+		return fmt.Errorf("litmus-fencemp: flag=1 but data=%s, want 42", reg(w.r[1]))
+	}
+	return nil
+}
+
+func (w *litmusFenceMP) Outcome(env workload.Env) string {
+	return fmt.Sprintf("flag=%s data=%s", reg(w.r[0]), reg(w.r[1]))
+}
+
+// --- relaxed IRIW with plain second loads (broken) -----------------------
+
+// litmusIRIWRelaxed is the under-annotated relaxed-IRIW fixture: two
+// writers publish x and y through relaxed atomics, and each reader reads
+// one variable atomically and then the *other through a plain load* — the
+// annotation the pass missed. Each reader first scratch-dirties the page of
+// its plain-loaded variable. Statically every access matches its site's
+// declared kind, so the verifier finds nothing; dynamically the plain loads
+// race with the relaxed stores, and under the PTSB each reader's plain load
+// can return its stale private snapshot while the atomic load sees the
+// fresh shared value — so the readers disagree on the write order, which SC
+// forbids. The repair tmilint -suggest must find: upgrade both plain-load
+// sites to relaxed atomics (each one individually necessary).
+type litmusIRIWRelaxed struct {
+	x, y               uint64
+	scratch2, scratch3 uint64 // scratch2 on y's page (r2 plain-loads y), scratch3 on x's page
+	r                  litmusRegs
+	bar                workload.Barrier
+
+	sScratch, sStX, sStY, sLdX, sLdY, sLdYPlain, sLdXPlain workload.Site
+}
+
+// LitmusIRIWRelaxed constructs the broken relaxed-IRIW fixture.
+func LitmusIRIWRelaxed() workload.Workload { return &litmusIRIWRelaxed{} }
+
+var _ workload.Outcomer = (*litmusIRIWRelaxed)(nil)
+
+func (w *litmusIRIWRelaxed) Name() string { return "litmus-iriw-relaxed" }
+
+func (w *litmusIRIWRelaxed) Info() workload.Info {
+	return workload.Info{Threads: 4, FootprintMB: 1, UsesAtomics: true, UsesCustomSync: true,
+		Desc: "under-annotated relaxed IRIW: plain second loads read stale twins"}
+}
+
+func (w *litmusIRIWRelaxed) Setup(env workload.Env) error {
+	page := env.PageSize()
+	pageX := env.Alloc(page, page)
+	pageY := env.Alloc(page, page)
+	w.x, w.scratch3 = pageX, pageX+512
+	w.y, w.scratch2 = pageY, pageY+512
+	w.r = litmusRegs{litmusUnread, litmusUnread, litmusUnread, litmusUnread}
+	w.bar = env.NewBarrier("iriwrelaxed.bar", env.Threads())
+	w.sScratch = env.Site("iriwrelaxed.scratch", workload.SiteStore, 8)
+	w.sStX = env.Site("iriwrelaxed.store_x", workload.SiteAtomic, 8)
+	w.sStY = env.Site("iriwrelaxed.store_y", workload.SiteAtomic, 8)
+	w.sLdX = env.Site("iriwrelaxed.load_x", workload.SiteAtomic, 8)
+	w.sLdY = env.Site("iriwrelaxed.load_y", workload.SiteAtomic, 8)
+	w.sLdYPlain = env.Site("iriwrelaxed.load_y_plain", workload.SiteLoad, 8)
+	w.sLdXPlain = env.Site("iriwrelaxed.load_x_plain", workload.SiteLoad, 8)
+	return nil
+}
+
+func (w *litmusIRIWRelaxed) Body(t workload.Thread) {
+	switch t.ID() {
+	case 0:
+		t.AtomicStore(w.sStX, w.x, 1, workload.Relaxed)
+	case 1:
+		t.AtomicStore(w.sStY, w.y, 1, workload.Relaxed)
+	case 2:
+		t.Store(w.sScratch, w.scratch2, 7) // snapshots y's page
+		w.r[0] = t.AtomicLoad(w.sLdX, w.x, workload.Relaxed)
+		w.r[1] = t.Load(w.sLdYPlain, w.y) // the missing annotation
+	case 3:
+		t.Store(w.sScratch, w.scratch3, 7) // snapshots x's page
+		w.r[2] = t.AtomicLoad(w.sLdY, w.y, workload.Relaxed)
+		w.r[3] = t.Load(w.sLdXPlain, w.x) // the missing annotation
+	}
+	t.Wait(w.bar)
+}
+
+func (w *litmusIRIWRelaxed) Validate(env workload.Env) error {
+	if w.r[0] == 1 && w.r[1] == 0 && w.r[2] == 1 && w.r[3] == 0 {
+		return fmt.Errorf("litmus-iriw-relaxed: readers saw x-then-y and y-then-x (forbidden under SC)")
+	}
+	return nil
+}
+
+func (w *litmusIRIWRelaxed) Outcome(env workload.Env) string {
+	return fmt.Sprintf("r0=%s r1=%s r2=%s r3=%s", reg(w.r[0]), reg(w.r[1]), reg(w.r[2]), reg(w.r[3]))
+}
+
+// LitmusC11Suite returns the clean ordering-aware litmus kernels
+// (SC-equivalence must hold for every one of them).
+func LitmusC11Suite() []workload.Workload {
+	return []workload.Workload{
+		LitmusMPRelAcq(), LitmusFenceSB(), LitmusFenceMP(),
+	}
+}
