@@ -1,0 +1,128 @@
+package analysis
+
+// Footprint-classification edge cases the source-level analyzer (srcvet)
+// leans on: zero-size fields contribute empty masks and must never count
+// as writers, and fields at identical offsets (embedded structs, promoted
+// fields) written by the same thread must not self-report as cross-thread
+// overlap.
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+)
+
+// foot builds a Foot from byte ranges: [lo,hi) write span, [rlo,rhi) read
+// span. Zero-width ranges produce empty masks.
+func foot(wlo, whi, rlo, rhi int) *Foot {
+	f := &Foot{}
+	for b := wlo; b < whi; b++ {
+		f.WriteMask |= 1 << uint(b)
+		f.Writes++
+	}
+	for b := rlo; b < rhi; b++ {
+		f.ReadMask |= 1 << uint(b)
+		f.Reads++
+	}
+	return f
+}
+
+func classify(per map[int]*Foot) LinePrediction {
+	return ClassifyLine(&LineModel{Line: 0x1000, PerThread: per})
+}
+
+func TestClassifyDisjointWritersIsFalseSharing(t *testing.T) {
+	p := classify(map[int]*Foot{
+		0: foot(0, 8, 0, 0),
+		1: foot(8, 16, 0, 0),
+	})
+	if p.Class != detect.SharingFalse {
+		t.Fatalf("disjoint writers: class = %v, want false", p.Class)
+	}
+	if p.Writers != 2 {
+		t.Fatalf("writers = %d, want 2", p.Writers)
+	}
+}
+
+func TestClassifyZeroSizeFieldIsNotAWriter(t *testing.T) {
+	// Thread 1 "writes" a zero-size field at offset 8: the empty mask must
+	// not make it a writer, so the line has a single writer and no sharing.
+	p := classify(map[int]*Foot{
+		0: foot(0, 8, 0, 0),
+		1: foot(8, 8, 0, 0), // zero-size write: empty mask
+	})
+	if p.Writers != 1 {
+		t.Fatalf("zero-size footprint counted as writer: writers = %d, want 1", p.Writers)
+	}
+	if p.Class != detect.SharingNone {
+		t.Fatalf("class = %v, want none (single real writer)", p.Class)
+	}
+}
+
+func TestClassifyZeroSizeAtSharedOffsetDoesNotOverlap(t *testing.T) {
+	// A zero-size field sits at the same offset as thread 0's hot field
+	// (the [0]byte marker idiom). Thread 1 writes it plus its own bytes:
+	// the zero-size component adds nothing to the mask, so the writers
+	// stay disjoint — false sharing, not true.
+	p := classify(map[int]*Foot{
+		0: foot(0, 8, 0, 0),
+		1: func() *Foot {
+			f := foot(8, 16, 0, 0)
+			// zero-size write at offset 0: no mask bits.
+			return f
+		}(),
+	})
+	if p.Class != detect.SharingFalse {
+		t.Fatalf("class = %v, want false", p.Class)
+	}
+}
+
+func TestClassifyIdenticalOffsetsSameThreadNoSelfOverlap(t *testing.T) {
+	// Embedded-struct aliasing: the same thread writes offset 0 twice —
+	// once through the promoted field, once through the explicit embedded
+	// path. Identical offsets within ONE thread's footprint must not
+	// produce a cross-thread overlap verdict.
+	a := foot(0, 8, 0, 0)
+	aliased := foot(0, 8, 0, 0)
+	a.WriteMask |= aliased.WriteMask // same bytes, same thread
+	a.Writes += aliased.Writes
+	p := classify(map[int]*Foot{
+		0: a,
+		1: foot(8, 16, 0, 0),
+	})
+	if p.Class != detect.SharingFalse {
+		t.Fatalf("same-thread aliased writes misclassified: class = %v, want false", p.Class)
+	}
+}
+
+func TestClassifyIdenticalOffsetsAcrossThreadsIsTrueSharing(t *testing.T) {
+	// The converse must hold: two threads writing the same embedded field
+	// (same offset) is genuine true sharing.
+	p := classify(map[int]*Foot{
+		0: foot(0, 8, 0, 0),
+		1: foot(0, 8, 0, 0),
+	})
+	if p.Class != detect.SharingTrue {
+		t.Fatalf("cross-thread identical offsets: class = %v, want true", p.Class)
+	}
+}
+
+func TestClassifyReaderWriterOverlapIsTrueSharing(t *testing.T) {
+	p := classify(map[int]*Foot{
+		0: foot(0, 8, 0, 0),
+		1: foot(8, 16, 0, 8), // writes its own bytes, reads thread 0's
+	})
+	if p.Class != detect.SharingTrue {
+		t.Fatalf("reader overlapping a writer: class = %v, want true", p.Class)
+	}
+}
+
+func TestClassifyAllReadersNoSharing(t *testing.T) {
+	p := classify(map[int]*Foot{
+		0: foot(0, 0, 0, 8),
+		1: foot(0, 0, 0, 8),
+	})
+	if p.Class != detect.SharingNone {
+		t.Fatalf("read-only line: class = %v, want none", p.Class)
+	}
+}

@@ -33,6 +33,15 @@ type LinePrediction struct {
 	Accesses uint64
 }
 
+// ClassifyLine classifies one per-thread footprint line with the shared
+// decision procedure. Exported so the source-level analyzer (internal/
+// srcvet) reuses exactly this classifier over statically inferred
+// footprints: two or more writers with disjoint byte masks is false
+// sharing, any cross-writer byte overlap is true sharing. A footprint
+// whose WriteMask is empty (a zero-size field, or a read-only thread)
+// never counts as a writer.
+func ClassifyLine(lm *LineModel) LinePrediction { return classifyLine(lm) }
+
 // PredictLines classifies every modeled line and returns those with any
 // sharing (true or false), sorted by address.
 func (m *Model) PredictLines() []LinePrediction {
@@ -55,8 +64,16 @@ func classifyLine(lm *LineModel) LinePrediction {
 	p := LinePrediction{Line: lm.Line}
 	tids := make([]int, 0, len(lm.PerThread))
 	for tid, f := range lm.PerThread {
-		tids = append(tids, tid)
 		p.Accesses += f.Reads + f.Writes
+		// A thread with an empty byte footprint (only zero-size accesses)
+		// never reaches coherence: it cannot participate in sharing. The
+		// dynamic detector cannot observe such a thread either — every
+		// sampled span covers at least one byte — so counting it here
+		// would fabricate single-writer "false sharing" no run confirms.
+		if f.ReadMask == 0 && f.WriteMask == 0 {
+			continue
+		}
+		tids = append(tids, tid)
 		if f.WriteMask != 0 {
 			p.Writers++
 		}

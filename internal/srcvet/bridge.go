@@ -1,0 +1,147 @@
+package srcvet
+
+// The confirmation bridge: lower a flagged cache line into a tmi/workload
+// program — one disasm site per written field range, one simulated thread
+// per inferred writer — and run it through the static model
+// (analysis.BuildModel) and the dynamic PEBS/HITM detector (tmi.Run under
+// TMIDetect). A finding the dynamic detector reproduces is graded
+// "confirmed"; one only the static layout flags stays "static-only".
+// This is the same recall vocabulary tmilint uses for its predictor.
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/detect"
+	"repro/internal/toolio"
+	"repro/tmi"
+	"repro/tmi/workload"
+)
+
+// Bridge workload intensity: enough stores per detection window for the
+// sampler (period 100, MinRecords 8) to classify the line, with a little
+// interleaved compute so the access stream resembles a real loop.
+const (
+	bridgeIters = 30_000
+	bridgeWork  = 20
+)
+
+// synthWorkload is the lowered program for one flagged line.
+type synthWorkload struct {
+	name    string
+	writers []WriterInfo
+
+	base  uint64
+	sites [][]workload.Site
+}
+
+var _ workload.Workload = (*synthWorkload)(nil)
+
+func (s *synthWorkload) Name() string { return s.name }
+
+func (s *synthWorkload) Info() workload.Info {
+	return workload.Info{
+		Threads:         len(s.writers),
+		HasFalseSharing: true,
+		Desc:            "srcvet confirmation bridge program",
+	}
+}
+
+func (s *synthWorkload) Setup(env workload.Env) error {
+	s.base = env.Alloc(LineBytes, LineBytes)
+	s.sites = make([][]workload.Site, len(s.writers))
+	for i, w := range s.writers {
+		for j, ref := range w.Refs {
+			width := storeWidth(ref)
+			site := env.Site(fmt.Sprintf("srcvet.w%d.r%d", i, j), workload.SiteStore, width)
+			s.sites[i] = append(s.sites[i], site)
+		}
+	}
+	return nil
+}
+
+func (s *synthWorkload) Body(t workload.Thread) {
+	w := s.writers[t.ID()]
+	sites := s.sites[t.ID()]
+	for i := 0; i < bridgeIters; i++ {
+		for j, ref := range w.Refs {
+			t.Store(sites[j], s.base+uint64(ref.Off), uint64(i+1))
+			t.Work(bridgeWork)
+		}
+	}
+}
+
+func (s *synthWorkload) Validate(env workload.Env) error { return nil }
+
+// storeWidth picks the widest aligned power-of-two access that fits the
+// written range.
+func storeWidth(r ByteRange) int {
+	for _, w := range []int64{8, 4, 2, 1} {
+		if r.Size >= w && r.Off%w == 0 {
+			return int(w)
+		}
+	}
+	return 1
+}
+
+// bridgeWriters filters a finding's writers down to the ones the synth
+// program can model: non-empty footprints, at most 8 threads.
+func bridgeWriters(f *Finding) []WriterInfo {
+	var out []WriterInfo
+	for _, w := range f.Writers {
+		keep := WriterInfo{Desc: w.Desc, Atomic: w.Atomic}
+		for _, r := range w.Refs {
+			if r.Size > 0 {
+				keep.Refs = append(keep.Refs, r)
+			}
+		}
+		if len(keep.Refs) > 0 {
+			out = append(out, keep)
+		}
+		if len(out) == maxSpawnWriters {
+			break
+		}
+	}
+	return out
+}
+
+// confirm grades one finding through the bridge.
+func confirm(f *Finding, seed int64) string {
+	writers := bridgeWriters(f)
+	if len(writers) < 2 {
+		return toolio.ConfirmSkipped
+	}
+	mk := func() *synthWorkload {
+		return &synthWorkload{name: "srcvet-" + f.Region, writers: writers}
+	}
+
+	// Static cross-check: the lowered program must re-flag under the
+	// layout model; a disagreement means the lowering (not the source
+	// analysis) is wrong, which we surface as static-only.
+	m, err := analysis.BuildModel(mk(), analysis.Options{Seed: seed})
+	if err != nil || !hasFalseLine(m.PredictLines()) {
+		return toolio.ConfirmStaticOnly
+	}
+
+	dyn := mk()
+	rep, err := tmi.Run(dyn, tmi.Config{System: tmi.TMIDetect, Seed: seed})
+	if err != nil {
+		return toolio.ConfirmStaticOnly
+	}
+	lineAddr := dyn.base &^ (LineBytes - 1)
+	for _, lr := range rep.Lines {
+		if lr.Class == detect.SharingFalse && lr.Line == lineAddr {
+			return toolio.ConfirmConfirmed
+		}
+	}
+	return toolio.ConfirmStaticOnly
+}
+
+func hasFalseLine(preds []analysis.LinePrediction) bool {
+	for _, p := range preds {
+		if p.Class == detect.SharingFalse {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+package srcvet
+
+// Package loading: parse a directory's non-test Go files (honoring build
+// constraints via go/build file matching), type-check them with the
+// modeled StdSizes, and resolve imports — stdlib through the source
+// importer, module-local paths by mapping them onto the enclosing
+// module's directory tree. Everything here is stdlib-only: go/ast,
+// go/parser, go/types, go/importer, go/build.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Dir is the on-disk directory; Rel is the display path used in
+	// finding IDs (relative to the scan root).
+	Dir string
+	Rel string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages, memoizing module-local imports.
+type Loader struct {
+	fset *token.FileSet
+	std  types.Importer
+
+	// modPath/modRoot map module-local import paths onto directories;
+	// empty when the scan root is not inside a module.
+	modPath string
+	modRoot string
+
+	memo map[string]*types.Package // by import path ("" while in progress)
+}
+
+// NewLoader builds a loader rooted at dir: the nearest enclosing go.mod
+// (if any) provides the module mapping for intra-module imports.
+func NewLoader(dir string) (*Loader, error) {
+	fset := token.NewFileSet()
+	l := &Loader{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		memo: map[string]*types.Package{},
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; {
+		if fi, err := os.Stat(filepath.Join(d, "go.mod")); err == nil && !fi.IsDir() {
+			mod, err := modulePath(filepath.Join(d, "go.mod"))
+			if err != nil {
+				return nil, err
+			}
+			l.modPath, l.modRoot = mod, d
+			break
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	return l, nil
+}
+
+// Fset exposes the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("srcvet: no module line in %s", gomod)
+}
+
+// Import resolves an import path for the type checker: module-local paths
+// load from the module tree (memoized, with cycle detection); everything
+// else goes to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.memo[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("srcvet: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.modRoot, strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/"))
+		l.memo[path] = nil // in progress
+		pkg, err := l.load(dir, path)
+		if err != nil {
+			delete(l.memo, path)
+			return nil, err
+		}
+		l.memo[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir. rel is the display
+// path stamped into finding IDs.
+func (l *Loader) LoadDir(dir, rel string) (*Package, error) {
+	pkg, err := l.load(dir, "")
+	if err != nil {
+		return nil, err
+	}
+	pkg.Rel = filepath.ToSlash(rel)
+	return pkg, nil
+}
+
+func (l *Loader) load(dir, importPath string) (*Package, error) {
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("srcvet: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// A directory may mix `package x` with tooling files; keep the
+	// majority package.
+	files = majorityPackage(files)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    &Sizes,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	path := importPath
+	if path == "" {
+		path = "vetsrc/" + filepath.Base(dir)
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("srcvet: type-checking %s: %w", dir, firstErr)
+	}
+	return &Package{Dir: dir, Rel: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goFiles lists the buildable, non-test Go files of dir in stable order.
+func goFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ok, err := ctx.MatchFile(dir, name)
+		if err != nil || !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func majorityPackage(files []*ast.File) []*ast.File {
+	count := map[string][]*ast.File{}
+	for _, f := range files {
+		count[f.Name.Name] = append(count[f.Name.Name], f)
+	}
+	best := files
+	for _, fs := range count {
+		if len(count) > 1 && len(fs) > len(best) || len(count) > 1 && best == nil {
+			best = fs
+		}
+	}
+	if len(count) > 1 {
+		// Deterministic pick: the alphabetically first of the largest sets.
+		bestName := ""
+		bestN := -1
+		for name, fs := range count {
+			if len(fs) > bestN || (len(fs) == bestN && name < bestName) {
+				bestName, bestN = name, len(fs)
+			}
+		}
+		best = count[bestName]
+	}
+	return best
+}
+
+// ScanDirs expands CLI arguments into package directories: a plain dir is
+// itself; a dir ending in "/..." walks recursively, skipping testdata,
+// hidden directories, and dirs without buildable Go files.
+func ScanDirs(args []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			if rest == "" {
+				rest = "."
+			}
+			err := filepath.WalkDir(rest, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				base := filepath.Base(path)
+				if base == "testdata" || (strings.HasPrefix(base, ".") && path != rest) || strings.HasPrefix(base, "_") {
+					return filepath.SkipDir
+				}
+				names, err := goFiles(path)
+				if err == nil && len(names) > 0 {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(arg)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

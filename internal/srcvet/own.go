@@ -1,0 +1,603 @@
+package srcvet
+
+// The ownership pass: walk the AST to infer which goroutine writes which
+// bytes of which shared region. A "writer" is the unit the classifier
+// treats as one cache-line owner:
+//
+//   - each distinct `go` statement is one writer; a `go` inside a worker-
+//     spawn loop expands into K writers (the loop's constant trip count,
+//     or Options.SpawnCount), and array/slice accesses indexed by the
+//     loop variable stride across elements — the ping-pong shape;
+//   - writes made while a sync.Mutex is held collapse into ONE serialized
+//     writer per lock (the lock owner changes over time but never writes
+//     concurrently with itself);
+//   - the lock word itself is a synthetic writer: every contending
+//     goroutine CASes it, so a mutex co-resident with hot data bounces
+//     the line exactly like a data writer would;
+//   - writes the spawning function makes after its first `go` statement
+//     (and before a join: WaitGroup.Wait or a channel receive) are the
+//     "caller" writer.
+//
+// The pass is heuristic and unsound by design — see DESIGN §14 for the
+// full list of approximations; the confirmation bridge exists to grade
+// what it infers.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const maxSpawnWriters = 8
+
+type regionRef struct {
+	off  int64
+	size int64
+	path string
+}
+
+type writerAcc struct {
+	desc   string
+	atomic bool
+	refs   []regionRef
+}
+
+type writerKey struct {
+	kind string // "go", "caller", "critsec", "lockword"
+	pos  token.Pos
+	elem int
+	lock string
+}
+
+type region struct {
+	name    string
+	root    types.Object
+	typ     types.Type // deref'd root type
+	pos     token.Pos
+	pkg     *Package
+	byKey   map[writerKey]int
+	wids    []writerKey
+	writers map[int]*writerAcc
+}
+
+func (rg *region) writer(k writerKey, desc string, atomic bool) *writerAcc {
+	id, ok := rg.byKey[k]
+	if !ok {
+		id = len(rg.wids)
+		rg.byKey[k] = id
+		rg.wids = append(rg.wids, k)
+		rg.writers[id] = &writerAcc{desc: desc, atomic: atomic}
+	}
+	w := rg.writers[id]
+	if atomic {
+		w.atomic = true
+	}
+	return w
+}
+
+// goCtx is one scanning context: a goroutine body (or a caller tail) with
+// its parameter bindings and per-goroutine-distinct index variables.
+type goCtx struct {
+	kind     string // "go" or "caller"
+	pos      token.Pos
+	desc     string
+	body     ast.Node
+	bind     map[types.Object]ast.Expr
+	distinct map[types.Object]bool
+	spawnK   int
+}
+
+type pass struct {
+	pkg       *Package
+	opt       Options
+	regions   map[types.Object]*region
+	funcDecls map[types.Object]*ast.FuncDecl
+}
+
+// inferOwnership runs the ownership pass over one package and returns the
+// written regions in deterministic order.
+func inferOwnership(pkg *Package, opt Options) []*region {
+	p := &pass{
+		pkg:       pkg,
+		opt:       opt,
+		regions:   map[types.Object]*region{},
+		funcDecls: map[types.Object]*ast.FuncDecl{},
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					p.funcDecls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				p.scanFunc(fd)
+			}
+		}
+	}
+	var out []*region
+	for _, rg := range p.regions {
+		if len(rg.writers) > 0 {
+			out = append(out, rg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+type loopInfo struct {
+	vars []types.Object
+	trip int
+}
+
+// scanFunc finds the `go` statements of one function (with their enclosing
+// spawn loops), scans each goroutine body, and scans the caller tail.
+func (p *pass) scanFunc(fd *ast.FuncDecl) {
+	var loops []loopInfo
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, forLoopInfo(p.pkg, n))
+			ast.Inspect(n.Body, walk)
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.RangeStmt:
+			loops = append(loops, rangeLoopInfo(p.pkg, n))
+			ast.Inspect(n.Body, walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.GoStmt:
+			p.scanGo(n, append([]loopInfo(nil), loops...))
+			// Nested `go` statements inside the spawned body are handled
+			// by this same walk (the body is part of the function's AST).
+			return true
+		case *ast.FuncLit:
+			// Keep walking: a `go` inside a closure still spawns.
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	p.scanCallerTail(fd)
+}
+
+func forLoopInfo(pkg *Package, n *ast.ForStmt) loopInfo {
+	li := loopInfo{}
+	var loopVar types.Object
+	if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					li.vars = append(li.vars, obj)
+					loopVar = obj
+				}
+			}
+		}
+	}
+	// `for i := 0; i < N; i++` with constant N: trip count N.
+	if cond, ok := n.Cond.(*ast.BinaryExpr); ok && loopVar != nil && (cond.Op == token.LSS || cond.Op == token.LEQ) {
+		if id, ok := cond.X.(*ast.Ident); ok && pkg.Info.Uses[id] == loopVar {
+			if tv, ok := pkg.Info.Types[cond.Y]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, ok := constant.Int64Val(tv.Value); ok && v > 0 && v < 1<<20 {
+					li.trip = int(v)
+					if cond.Op == token.LEQ {
+						li.trip++
+					}
+				}
+			}
+		}
+	}
+	return li
+}
+
+func rangeLoopInfo(pkg *Package, n *ast.RangeStmt) loopInfo {
+	li := loopInfo{}
+	if id, ok := n.Key.(*ast.Ident); ok && n.Tok == token.DEFINE {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			li.vars = append(li.vars, obj)
+		}
+	}
+	if tv, ok := pkg.Info.Types[n.X]; ok {
+		if arr, ok := deref(tv.Type).Underlying().(*types.Array); ok && arr.Len() > 0 && arr.Len() < 1<<20 {
+			li.trip = int(arr.Len())
+		}
+	}
+	return li
+}
+
+// scanGo resolves one `go` statement into a scanning context and scans it.
+func (p *pass) scanGo(g *ast.GoStmt, loops []loopInfo) {
+	pos := p.pkg.Fset.Position(g.Pos())
+	ctx := &goCtx{
+		kind:     "go",
+		pos:      g.Pos(),
+		desc:     fmt.Sprintf("go %s:%d", baseName(pos.Filename), pos.Line),
+		bind:     map[types.Object]ast.Expr{},
+		distinct: map[types.Object]bool{},
+		spawnK:   1,
+	}
+	if len(loops) > 0 {
+		inner := loops[len(loops)-1]
+		ctx.spawnK = inner.trip
+		if ctx.spawnK <= 0 {
+			ctx.spawnK = p.opt.SpawnCount
+		}
+		if ctx.spawnK > maxSpawnWriters {
+			ctx.spawnK = maxSpawnWriters
+		}
+		for _, l := range loops {
+			for _, v := range l.vars {
+				ctx.distinct[v] = true
+			}
+		}
+	}
+
+	call := g.Call
+	var params *ast.FieldList
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		ctx.body = fun.Body
+		params = fun.Type.Params
+	case *ast.Ident:
+		obj := p.pkg.Info.Uses[fun]
+		fd := p.funcDecls[obj]
+		if fd == nil {
+			return
+		}
+		ctx.body = fd.Body
+		params = fd.Type.Params
+	case *ast.SelectorExpr:
+		sel := p.pkg.Info.Selections[fun]
+		if sel == nil || sel.Kind() != types.MethodVal {
+			return
+		}
+		fd := p.funcDecls[sel.Obj()]
+		if fd == nil {
+			return
+		}
+		ctx.body = fd.Body
+		params = fd.Type.Params
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			if robj := p.pkg.Info.Defs[fd.Recv.List[0].Names[0]]; robj != nil {
+				ctx.bind[robj] = fun.X
+			}
+		}
+	default:
+		return
+	}
+	bindParams(p.pkg, ctx, params, call.Args)
+	p.scanWrites(ctx)
+}
+
+// bindParams maps the spawned function's parameter objects to the call-site
+// argument expressions, and marks parameters bound to per-goroutine loop
+// indices as distinct.
+func bindParams(pkg *Package, ctx *goCtx, params *ast.FieldList, args []ast.Expr) {
+	if params == nil {
+		return
+	}
+	i := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for _, name := range field.Names {
+			if i >= len(args) {
+				return
+			}
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				i++
+				continue
+			}
+			arg := ast.Unparen(args[i])
+			if id, ok := arg.(*ast.Ident); ok {
+				if ctx.distinct[pkg.Info.Uses[id]] {
+					ctx.distinct[obj] = true
+					i++
+					continue
+				}
+			}
+			ctx.bind[obj] = args[i]
+			i++
+		}
+		if len(field.Names) == 0 {
+			i += n
+		}
+	}
+}
+
+// scanCallerTail treats the spawning function's own writes, lexically after
+// its first `go` statement and before a join point (WaitGroup.Wait or a
+// channel receive), as one more concurrent writer.
+func (p *pass) scanCallerTail(fd *ast.FuncDecl) {
+	pos := p.pkg.Fset.Position(fd.Pos())
+	spawned := false
+	for _, stmt := range fd.Body.List {
+		switch s := stmt.(type) {
+		case *ast.GoStmt:
+			spawned = true
+			continue
+		default:
+			if containsGo(stmt) {
+				spawned = true
+				continue
+			}
+			if isJoin(p.pkg, stmt) {
+				spawned = false
+				continue
+			}
+			if !spawned {
+				continue
+			}
+			ctx := &goCtx{
+				kind:     "caller",
+				pos:      fd.Pos(),
+				desc:     fmt.Sprintf("caller %s:%d", baseName(pos.Filename), pos.Line),
+				bind:     map[types.Object]ast.Expr{},
+				distinct: map[types.Object]bool{},
+				spawnK:   1,
+				body:     s,
+			}
+			p.scanWrites(ctx)
+		}
+	}
+}
+
+func containsGo(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isJoin recognizes the common join idioms at statement level.
+func isJoin(pkg *Package, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		switch e := ast.Unparen(s.X).(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && isSyncType(tv.Type, "WaitGroup") {
+					return true
+				}
+			}
+		case *ast.UnaryExpr:
+			return e.Op == token.ARROW
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		if tv, ok := pkg.Info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanWrites walks one context's body, tracking held locks, and records
+// every write it can resolve to a shared region.
+func (p *pass) scanWrites(ctx *goCtx) {
+	var held []string // lock paths, innermost last
+	ast.Inspect(ctx.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` keeps the lock held for the rest of the
+			// body; suppressing the call models exactly that.
+			return false
+		case *ast.FuncLit:
+			// A nested closure not passed to `go` runs on this goroutine;
+			// keep scanning it.
+			return true
+		case *ast.GoStmt:
+			// Nested spawns were handled by scanFunc's walk.
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				p.recordWrite(ctx, lhs, held, false)
+			}
+			return true
+		case *ast.IncDecStmt:
+			p.recordWrite(ctx, n.X, held, false)
+			return true
+		case *ast.CallExpr:
+			p.scanCall(ctx, n, &held)
+			return true
+		}
+		return true
+	})
+}
+
+// scanCall handles the call-shaped writes and the lock protocol:
+// sync/atomic package functions, atomic.TYPE methods, and Mutex/RWMutex
+// Lock/Unlock (which also feed the synthetic lock-word writer).
+func (p *pass) scanCall(ctx *goCtx, call *ast.CallExpr, held *[]string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// atomic.AddUint64(&x.f, 1) and friends.
+	if obj := p.pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+		if isAtomicWriteFn(sel.Sel.Name) && len(call.Args) > 0 {
+			if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				p.recordWrite(ctx, u.X, *held, true)
+			}
+		}
+		return
+	}
+	msel := p.pkg.Info.Selections[sel]
+	if msel == nil || msel.Kind() != types.MethodVal {
+		return
+	}
+	recvT := deref(msel.Recv())
+	switch {
+	case isSyncType(recvT, "Mutex"), isSyncType(recvT, "RWMutex"):
+		p.scanLockCall(ctx, sel, recvT, held)
+	case isAtomicType(recvT):
+		if isAtomicWriteMethod(sel.Sel.Name) {
+			p.recordWrite(ctx, sel.X, *held, true)
+		}
+	}
+}
+
+func (p *pass) scanLockCall(ctx *goCtx, sel *ast.SelectorExpr, recvT types.Type, held *[]string) {
+	r := p.resolveExpr(sel.X, ctx)
+	if !r.ok || r.root == nil || localToCtx(ctx, r.root) {
+		return
+	}
+	path := r.path
+	switch sel.Sel.Name {
+	case "Lock", "TryLock", "RLock", "TryRLock":
+		// The lock word is written by every contending goroutine: one
+		// synthetic writer, only meaningful in "go" contexts (a lock taken
+		// solely by the caller never bounces).
+		if ctx.kind == "go" {
+			rg := p.regionFor(r.root)
+			if rg != nil {
+				w := rg.writer(writerKey{kind: "lockword", lock: path}, fmt.Sprintf("lock-word(%s)", path), true)
+				w.refs = append(w.refs, regionRef{off: r.off, size: sizeOf(recvT), path: path})
+			}
+		}
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "TryLock" {
+			*held = append(*held, path)
+		}
+	case "Unlock":
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i] == path {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func isAtomicWriteFn(name string) bool {
+	for _, prefix := range []string{"Add", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func isAtomicWriteMethod(name string) bool {
+	switch name {
+	case "Add", "Store", "Swap", "CompareAndSwap", "Or", "And":
+		return true
+	}
+	return false
+}
+
+// localToCtx reports whether obj is declared inside the scanned body
+// itself. Such variables are per-goroutine by construction (each spawned
+// goroutine gets its own instance), so they can never be shared regions —
+// without this check every `for s := ...; s++` loop counter inside a spawn
+// body would look like K goroutines hammering one variable.
+func localToCtx(ctx *goCtx, obj types.Object) bool {
+	if ctx.body == nil {
+		return false
+	}
+	return obj.Pos() >= ctx.body.Pos() && obj.Pos() < ctx.body.End()
+}
+
+// recordWrite resolves one write target and accumulates it into its
+// region under the right writer identity.
+func (p *pass) recordWrite(ctx *goCtx, target ast.Expr, held []string, atomic bool) {
+	r := p.resolveExpr(target, ctx)
+	if !r.ok || r.root == nil || localToCtx(ctx, r.root) {
+		return
+	}
+	rg := p.regionFor(r.root)
+	if rg == nil {
+		return
+	}
+	size := r.size
+	if size < 0 {
+		size = 0
+	}
+	switch {
+	case len(held) > 0:
+		// Serialized under a lock: one logical writer per lock, shared by
+		// every goroutine that takes it.
+		lock := held[len(held)-1]
+		w := rg.writer(writerKey{kind: "critsec", lock: lock}, fmt.Sprintf("critsec(%s)", lock), atomic)
+		w.refs = append(w.refs, regionRef{off: r.off, size: size, path: r.path})
+	case ctx.kind == "go" && ctx.spawnK > 1:
+		for k := 0; k < ctx.spawnK; k++ {
+			off := r.off + int64(k)*r.stride
+			w := rg.writer(writerKey{kind: "go", pos: ctx.pos, elem: k}, fmt.Sprintf("%s[%d]", ctx.desc, k), atomic)
+			w.refs = append(w.refs, regionRef{off: off, size: size, path: r.path})
+		}
+	default:
+		w := rg.writer(writerKey{kind: ctx.kind, pos: ctx.pos, elem: -1}, ctx.desc, atomic)
+		w.refs = append(w.refs, regionRef{off: r.off, size: size, path: r.path})
+	}
+}
+
+// regionFor returns (creating on demand) the region rooted at obj, or nil
+// for roots that cannot be a shared data region (functions, packages,
+// non-addressable objects).
+func (p *pass) regionFor(obj types.Object) *region {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if rg, ok := p.regions[obj]; ok {
+		return rg
+	}
+	t := deref(v.Type())
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array, *types.Slice, *types.Basic:
+	default:
+		return nil
+	}
+	name := v.Name()
+	if v.Parent() != p.pkg.Types.Scope() {
+		pos := p.pkg.Fset.Position(v.Pos())
+		name = fmt.Sprintf("%s@%s:%d", v.Name(), baseName(pos.Filename), pos.Line)
+	}
+	rg := &region{
+		name:    name,
+		root:    obj,
+		typ:     t,
+		pos:     v.Pos(),
+		pkg:     p.pkg,
+		byKey:   map[writerKey]int{},
+		writers: map[int]*writerAcc{},
+	}
+	p.regions[obj] = rg
+	return rg
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,75 @@
+package srcvet
+
+// Human rendering of a result: one block per finding, deterministic, used
+// verbatim by the golden fixture tests (wall-clock time is deliberately
+// not part of this rendering).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Render writes the deterministic human report.
+func Render(w io.Writer, res *Result) {
+	for _, f := range res.Findings {
+		status := strings.ToUpper(f.Class.String())
+		tag := f.Confirmation
+		if f.Waived {
+			tag += ", waived"
+		}
+		fmt.Fprintf(w, "%s: %s (%s:%d) line %d: %s sharing — %d writers on disjoint bytes [%s] (%s)\n",
+			f.Pkg, f.Region, baseName(f.Pos.Filename), f.Pos.Line, f.LineIndex,
+			status, len(f.Writers), f.Spans(), tag)
+		for _, wr := range f.Writers {
+			fmt.Fprintf(w, "    writer %-24s writes %s\n", wr.Desc, renderRefs(wr.Refs))
+		}
+		for _, r := range f.Repairs {
+			fmt.Fprintf(w, "    repair: %s\n", r)
+		}
+	}
+	for _, err := range res.Errors {
+		fmt.Fprintf(w, "error: %v\n", err)
+	}
+}
+
+func renderRefs(refs []ByteRange) string {
+	// Group by path, then render each path's ranges.
+	byPath := map[string][]ByteRange{}
+	var order []string
+	for _, r := range refs {
+		if _, ok := byPath[r.Path]; !ok {
+			order = append(order, r.Path)
+		}
+		byPath[r.Path] = append(byPath[r.Path], r)
+	}
+	sort.Strings(order)
+	var parts []string
+	for _, path := range order {
+		rs := byPath[path]
+		spans := make([]string, len(rs))
+		for i, r := range rs {
+			spans[i] = fmt.Sprintf("[%d,%d)", r.Off, r.Off+r.Size)
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", path, strings.Join(spans, " ")))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Summary renders the one-line scan summary (not part of the goldens).
+func Summary(res *Result) string {
+	confirmed, staticOnly, waived := 0, 0, 0
+	for _, f := range res.Findings {
+		switch {
+		case f.Waived:
+			waived++
+		case f.Confirmation == "confirmed":
+			confirmed++
+		default:
+			staticOnly++
+		}
+	}
+	return fmt.Sprintf("tmivet: %d package(s), %d region(s), %d finding(s) (%d confirmed, %d static-only, %d waived), %d true-sharing line(s)",
+		res.Packages, res.Regions, len(res.Findings), confirmed, staticOnly, waived, res.TrueLines)
+}

@@ -1,0 +1,250 @@
+package srcvet
+
+// The write-target resolver: maps an lvalue expression to (root object,
+// byte offset, size, per-goroutine stride) under the modeled StdSizes.
+// Selector chains walk exact field offsets (flattening embedded structs);
+// constant indices fold into the offset; an index by a worker-loop
+// variable becomes a stride; an arbitrary index widens to the whole
+// container (a sound over-approximation that can only upgrade a verdict
+// to true sharing, never fabricate false sharing). Mid-path pointer
+// fields end the region — the pointee is a different allocation.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+type resolved struct {
+	ok      bool
+	root    types.Object
+	off     int64
+	size    int64 // set by the leaf (type size, or container span when widened)
+	stride  int64 // element stride for worker-indexed accesses
+	widened bool  // arbitrary-index: size already covers the container
+	path    string
+	typ     types.Type // type of the resolved expression
+}
+
+// resolveExpr resolves e in ctx. ctx may be nil (no substitutions).
+func (p *pass) resolveExpr(e ast.Expr, ctx *goCtx) resolved {
+	info := p.pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return resolved{}
+		}
+		if ctx != nil {
+			if bound, ok := ctx.bind[obj]; ok {
+				// Parameter: resolve the call-site argument in the outer
+				// (spawning) context, which has no substitutions of its own.
+				return p.resolveExpr(bound, nil)
+			}
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return resolved{}
+		}
+		t := deref(v.Type())
+		return resolved{ok: true, root: obj, typ: t, size: sizeOf(t), path: v.Name()}
+
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return resolved{}
+		}
+		r := p.resolveExpr(e.X, ctx)
+		if !r.ok {
+			return resolved{}
+		}
+		r.typ = types.NewPointer(r.typ)
+		return r
+
+	case *ast.StarExpr:
+		r := p.resolveExpr(e.X, ctx)
+		if !r.ok {
+			return resolved{}
+		}
+		r.typ = deref(r.typ)
+		r.size = sizeOf(r.typ)
+		return r
+
+	case *ast.SelectorExpr:
+		// Qualified identifier: pkg.Var in another package.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				obj := info.Uses[e.Sel]
+				if v, ok := obj.(*types.Var); ok {
+					t := deref(v.Type())
+					return resolved{ok: true, root: obj, typ: t, size: sizeOf(t), path: v.Name()}
+				}
+				return resolved{}
+			}
+		}
+		sel := info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return resolved{}
+		}
+		r := p.resolveExpr(e.X, ctx)
+		if !r.ok {
+			return resolved{}
+		}
+		if r.widened {
+			// Already covering a whole container; deeper selection cannot
+			// narrow it soundly. Keep the span.
+			r.path += "." + e.Sel.Name
+			return r
+		}
+		base := deref(r.typ)
+		off, leafT, ok := walkFieldPath(base, sel.Index())
+		if !ok {
+			return resolved{}
+		}
+		r.off += off
+		r.typ = leafT
+		r.size = sizeOf(leafT)
+		r.path += "." + e.Sel.Name
+		return r
+
+	case *ast.IndexExpr:
+		r := p.resolveExpr(e.X, ctx)
+		if !r.ok {
+			return resolved{}
+		}
+		if r.widened {
+			return r
+		}
+		var elem types.Type
+		var count int64 = -1
+		switch c := deref(r.typ).Underlying().(type) {
+		case *types.Array:
+			elem, count = c.Elem(), c.Len()
+		case *types.Slice:
+			elem = c.Elem()
+		default:
+			return resolved{}
+		}
+		esz := sizeOf(elem)
+		if esz <= 0 {
+			return resolved{}
+		}
+		if tv, ok := p.pkg.Info.Types[e.Index]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if c, ok := constant.Int64Val(tv.Value); ok && c >= 0 {
+				r.off += c * esz
+				r.typ = elem
+				r.size = sizeOf(elem)
+				r.path += fmt.Sprintf("[%d]", c)
+				return r
+			}
+			return resolved{}
+		}
+		if p.isDistinctIndex(e.Index, ctx) {
+			if r.stride != 0 {
+				// Two nested per-goroutine strides: beyond the model.
+				return resolved{}
+			}
+			r.stride = esz
+			r.typ = elem
+			r.size = sizeOf(elem)
+			r.path += "[i]"
+			return r
+		}
+		// Arbitrary index: the write may land on any element.
+		span := esz
+		if count > 0 {
+			span = count * esz
+		} else {
+			span = int64(p.opt.SpawnCount) * esz
+		}
+		r.widened = true
+		r.typ = elem
+		r.size = span
+		r.path += "[*]"
+		return r
+	}
+	return resolved{}
+}
+
+// isDistinctIndex reports whether idx is a per-goroutine-distinct index in
+// ctx: the spawn loop's variable, or a parameter bound to it.
+func (p *pass) isDistinctIndex(idx ast.Expr, ctx *goCtx) bool {
+	if ctx == nil {
+		return false
+	}
+	id, ok := ast.Unparen(idx).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.pkg.Info.Uses[id]
+	return obj != nil && ctx.distinct[obj]
+}
+
+// walkFieldPath walks a go/types selection index path from base, summing
+// exact field offsets. A pointer field mid-path fails: its pointee is a
+// separate allocation, not part of this region.
+func walkFieldPath(base types.Type, index []int) (off int64, leaf types.Type, ok bool) {
+	t := base
+	for step, idx := range index {
+		st, okS := t.Underlying().(*types.Struct)
+		if !okS {
+			return 0, nil, false
+		}
+		if idx >= st.NumFields() {
+			return 0, nil, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offs := Sizes.Offsetsof(fields)
+		off += offs[idx]
+		ft := fields[idx].Type()
+		if _, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+			if step != len(index)-1 {
+				return 0, nil, false
+			}
+		}
+		t = deref(ft)
+	}
+	return off, t, true
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func sizeOf(t types.Type) int64 {
+	if t == nil {
+		return 0
+	}
+	return Sizes.Sizeof(t)
+}
+
+// isSyncType reports whether t is sync.<name> (possibly through a named
+// alias chain).
+func isSyncType(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed atomics.
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,35 @@
+package srcvet
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseWaiverFile reads a waiver file: one finding ID per line, optionally
+// followed by a justification, with '#' comments and blank lines ignored.
+//
+//	# intentional fixture, exercised by internal/srcvet tests
+//	testdata/srcvet/packed:p@packed.go:15:line0  seeded bug corpus
+func ParseWaiverFile(path string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for ln, line := range strings.Split(string(b), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		id, reason, _ := strings.Cut(line, " ")
+		if !strings.Contains(id, ":line") {
+			return nil, fmt.Errorf("%s:%d: %q is not a finding ID (<pkg>:<region>:line<N>)", path, ln+1, id)
+		}
+		out[id] = strings.TrimSpace(reason)
+	}
+	return out, nil
+}

@@ -1,0 +1,30 @@
+// Package adjcounters is the classic adjacent-thread-local-counters shape:
+// each worker owns one 8-byte counter, but eight counters pack into every
+// 64-byte cache line, so logically private updates ping-pong the line.
+package adjcounters
+
+import "sync"
+
+type counter struct {
+	n uint64
+}
+
+// Counters packs one sub-line counter per worker.
+type Counters struct {
+	slot [8]counter
+}
+
+// Run spawns one goroutine per slot; each increments only its own counter.
+func Run(c *Counters, steps int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				c.slot[i].n++
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+// Package clean holds the control cases: a single-writer region, a
+// read-only shared config, and genuine true sharing (two goroutines on
+// the same field). None of these is false sharing; tmivet must stay
+// silent on all of them.
+package clean
+
+// Config is shared read-only.
+type Config struct {
+	Rate  int
+	Depth int
+}
+
+// Output is written by exactly one goroutine.
+type Output struct {
+	Sum   uint64
+	Count uint64
+}
+
+// Run has one writer goroutine and a read-only config: clean.
+func Run(cfg *Config, steps int, done chan struct{}) {
+	out := &Output{}
+	go func() {
+		for s := 0; s < steps; s++ {
+			out.Sum += uint64(cfg.Rate)
+			out.Count++
+		}
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// RunShared writes one field from two goroutines: true sharing, which is
+// contention but not a layout bug — tmivet counts it, never flags it.
+func RunShared(o *Output, steps int, done chan struct{}) {
+	go bump(o, steps, done)
+	go bump(o, steps, done)
+	<-done
+	<-done
+}
+
+func bump(o *Output, steps int, done chan struct{}) {
+	for s := 0; s < steps; s++ {
+		o.Sum++
+	}
+	done <- struct{}{}
+}

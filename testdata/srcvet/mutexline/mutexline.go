@@ -1,0 +1,30 @@
+// Package mutexline shares a cache line between a sync.Mutex and the data
+// it protects: the owner writes the data while every contender CASes the
+// lock word eight bytes away — the lock-word-sharing shape TMI repairs
+// with process-shared lock indirection.
+package mutexline
+
+import "sync"
+
+// Stats packs the lock word and the hot counter into one line.
+type Stats struct {
+	mu   sync.Mutex
+	hits uint64
+}
+
+// Run hammers the counter from four goroutines under the lock.
+func Run(s *Stats, steps int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < steps; n++ {
+				s.mu.Lock()
+				s.hits++
+				s.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

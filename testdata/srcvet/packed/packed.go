@@ -1,0 +1,30 @@
+// Package packed is the packed-atomics shape: two goroutines each own one
+// atomic counter, but the two words are adjacent fields of one struct and
+// share a cache line.
+package packed
+
+import "sync/atomic"
+
+// Pair holds two logically independent counters on one line.
+type Pair struct {
+	A uint64
+	B uint64
+}
+
+// Run bumps A on one goroutine and B on another.
+func Run(p *Pair, steps int, done chan struct{}) {
+	go func() {
+		for s := 0; s < steps; s++ {
+			atomic.AddUint64(&p.A, 1)
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for s := 0; s < steps; s++ {
+			atomic.AddUint64(&p.B, 1)
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,31 @@
+// Package padded is the manually repaired worker-pool shape: each worker
+// struct is padded to a full 64-byte line, so per-worker updates never
+// share a line. tmivet must pass it clean.
+package padded
+
+import "sync"
+
+type worker struct {
+	hits uint64
+	_    [56]byte
+}
+
+// Pool gives each worker a private line.
+type Pool struct {
+	workers [4]worker
+}
+
+// Run spawns one goroutine per worker slot.
+func Run(p *Pool, steps int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				p.workers[i].hits++
+			}
+		}()
+	}
+	wg.Wait()
+}
