@@ -17,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-harness bench microbench benchgate serve-smoke vet vet-src lint tmilint mc suggest fmt ci check
+.PHONY: all build test race race-harness bench microbench benchgate serve-smoke allocgate vet vet-src lint tmilint mc suggest fmt ci check
 
 all: check
 
@@ -63,10 +63,13 @@ benchgate:
 	rm -f $$tmp; echo "benchgate: fig9 output matches golden"
 
 # serve-smoke boots a race-built tmid on an ephemeral port and replays a
-# simulator-generated HITM trace at it from 8 concurrent clients (tmiload),
-# asserting every advice stream is byte-identical to the offline detector
-# and no session was dropped. tmiload's exit code is the verdict; the tmid
-# log is printed on failure.
+# simulator-generated HITM trace at it from 8 concurrent clients (tmiload)
+# over BOTH wire encodings (-wire both: NDJSON lines, then binary columnar
+# frames), asserting every advice stream is byte-identical to the offline
+# detector and no session was dropped. Each mode also writes its verified
+# offline advice bytes, which are then diffed against each other so the two
+# encodings are provably comparing against the same truth. tmiload's exit
+# code is the verdict; the tmid log is printed on failure.
 serve-smoke:
 	@dir=$$(mktemp -d); \
 	$(GO) build -race -o $$dir/tmid ./cmd/tmid || { rm -rf $$dir; exit 1; }; \
@@ -74,10 +77,23 @@ serve-smoke:
 	$$dir/tmid -addr 127.0.0.1:0 -addr-file $$dir/addr > $$dir/tmid.log 2>&1 & pid=$$!; \
 	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
 	if [ ! -s $$dir/addr ]; then echo "serve-smoke: tmid never bound"; cat $$dir/tmid.log; kill $$pid 2>/dev/null; rm -rf $$dir; exit 1; fi; \
-	$$dir/tmiload -addr "$$(cat $$dir/addr)" -clients 8; rc=$$?; \
+	$$dir/tmiload -addr "$$(cat $$dir/addr)" -clients 8 -wire both -advice-out $$dir/advice.both; rc=$$?; \
+	if [ $$rc -eq 0 ]; then \
+		$$dir/tmiload -addr "$$(cat $$dir/addr)" -clients 2 -wire binary -advice-out $$dir/advice.bin; rc=$$?; \
+		if [ $$rc -eq 0 ] && ! cmp -s $$dir/advice.both $$dir/advice.bin; then \
+			echo "serve-smoke: offline advice bytes diverged between runs"; rc=1; \
+		fi; \
+	fi; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$rc -ne 0 ]; then echo "serve-smoke: FAILED (tmid log follows)"; cat $$dir/tmid.log; fi; \
 	rm -rf $$dir; exit $$rc
+
+# allocgate runs the steady-state allocation guards without the race
+# detector (AllocsPerRun is meaningless under -race, so the race-harness
+# lane skips them): the binary wire codec's reader/writer and the service's
+# whole decode-convert-recycle ingest path must stay at 0 allocs/op.
+allocgate:
+	$(GO) test -run 'SteadyStateDoesNotAllocate' -count 1 ./internal/toolio ./internal/service
 
 vet:
 	$(GO) vet ./...
@@ -133,4 +149,4 @@ lint: fmt vet
 
 ci: build test vet vet-src lint
 
-check: ci race-harness mc suggest benchgate serve-smoke
+check: ci race-harness allocgate mc suggest benchgate serve-smoke

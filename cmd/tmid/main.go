@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/service"
+	"repro/internal/toolio"
 )
 
 func main() {
@@ -41,15 +42,17 @@ func main() {
 		threshold  = flag.Float64("threshold", detect.DefaultConfig().ThresholdPerSec, "est. HITM events/s per line above which repair is advised")
 		minRecords = flag.Int("min-records", detect.DefaultConfig().MinRecords, "min raw records on a line before judging it")
 		drainWait  = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget on SIGTERM")
+		maxFrame   = flag.Int("max-frame", toolio.MaxWireLine, "max accepted wire frame/line payload bytes")
 	)
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		Shards:      *shards,
-		QueueDepth:  *queue,
-		EnqueueWait: *wait,
-		SessionTTL:  *ttl,
-		Detect:      detect.Config{ThresholdPerSec: *threshold, MinRecords: *minRecords},
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		EnqueueWait:   *wait,
+		SessionTTL:    *ttl,
+		MaxFrameBytes: *maxFrame,
+		Detect:        detect.Config{ThresholdPerSec: *threshold, MinRecords: *minRecords},
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -10,6 +10,7 @@
 //
 //	tmiload -addr 127.0.0.1:7412                    # 8 clients, histogramfs
 //	tmiload -addr $A -clients 64 -min-records 100000
+//	tmiload -addr $A -wire both                     # NDJSON vs binary A/B
 //
 // Exit status: 0 when every client finished with byte-identical advice,
 // 1 on any mismatch or lost session, 2 on usage errors.
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/service"
+	"repro/internal/toolio"
 	"repro/tmi"
 	"repro/tmi/workloads"
 )
@@ -42,8 +44,21 @@ func main() {
 		minRecords = flag.Int("min-records", 0, "raise repeat until each client streams at least this many records")
 		batch      = flag.Int("batch", service.DefaultBatchRecords, "samples per wire line")
 		retries    = flag.Int("retries", 20, "attempts per client when the server answers busy (fresh tenant each time)")
+		wire       = flag.String("wire", "ndjson", "sample encoding: ndjson, binary, or both (A/B the same trace through each and report the speedup)")
+		adviceOut  = flag.String("advice-out", "", "write the parity-verified offline advice stream to this file (for external diffing)")
 	)
 	flag.Parse()
+
+	var modes []string
+	switch *wire {
+	case "ndjson", "binary":
+		modes = []string{*wire}
+	case "both":
+		modes = []string{"ndjson", "binary"}
+	default:
+		fmt.Fprintf(os.Stderr, "tmiload: unknown -wire %q (want ndjson, binary, or both)\n", *wire)
+		os.Exit(2)
+	}
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
@@ -81,6 +96,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tmiload:", err)
 		os.Exit(2)
 	}
+	if *adviceOut != "" {
+		if err := os.WriteFile(*adviceOut, want, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tmiload:", err)
+			os.Exit(2)
+		}
+	}
 
 	base := "http://" + *addr
 	if strings.Contains(*addr, "://") {
@@ -90,80 +111,103 @@ func main() {
 	fmt.Printf("tmiload: %s trace: %d records over %d windows (x%d replay = %d records/client), %d clients -> %s\n",
 		*name, log.Len(), len(log.Windows), *repeat, perClient, *clients, base)
 
-	type outcome struct {
-		tenant   string
-		attempts int
-		records  int
-		ticks    int
-		match    bool
-		err      error
-	}
-	results := make([]outcome, *clients)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			out := outcome{}
-			for attempt := 0; attempt < *retries; attempt++ {
-				out.attempts = attempt + 1
-				// A fresh tenant per attempt: a busy-aborted stream may have
-				// fed the server a partial window, and resuming that session
-				// would (correctly!) change its advice. The abandoned tenant
-				// ages out via the session TTL.
-				out.tenant = fmt.Sprintf("load-%d-a%d", c, attempt)
-				cl := &service.Client{
-					BaseURL:      base,
-					Tenant:       out.tenant,
-					PageSize:     log.PageSize,
-					BatchRecords: *batch,
-				}
-				res, err := cl.Replay(log, *repeat)
-				if busy, ok := err.(*service.ErrBusy); ok {
-					time.Sleep(busy.RetryAfter)
-					continue
-				}
-				if err != nil {
-					out.err = err
+	// runMode drives the full client fleet once over one wire encoding and
+	// returns the aggregate. Every client's advice is still compared
+	// byte-for-byte against the offline replay, so in -wire both the two
+	// encodings are transitively byte-identical to each other.
+	runMode := func(mode string) (okN, mismatched, lost, records int, elapsed time.Duration) {
+		wireField := ""
+		if mode == "binary" {
+			wireField = toolio.WireFormatBinary
+		}
+		type outcome struct {
+			tenant   string
+			attempts int
+			records  int
+			ticks    int
+			match    bool
+			err      error
+		}
+		results := make([]outcome, *clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				out := outcome{}
+				for attempt := 0; attempt < *retries; attempt++ {
+					out.attempts = attempt + 1
+					// A fresh tenant per attempt: a busy-aborted stream may have
+					// fed the server a partial window, and resuming that session
+					// would (correctly!) change its advice. The abandoned tenant
+					// ages out via the session TTL.
+					out.tenant = fmt.Sprintf("load-%s-%d-a%d", mode, c, attempt)
+					cl := &service.Client{
+						BaseURL:      base,
+						Tenant:       out.tenant,
+						PageSize:     log.PageSize,
+						BatchRecords: *batch,
+						Wire:         wireField,
+					}
+					res, err := cl.Replay(log, *repeat)
+					if busy, ok := err.(*service.ErrBusy); ok {
+						time.Sleep(busy.RetryAfter)
+						continue
+					}
+					if err != nil {
+						out.err = err
+						break
+					}
+					out.records, out.ticks = res.Records, res.Ticks
+					out.match = bytes.Equal(res.Advice, want)
+					if !out.match {
+						out.err = fmt.Errorf("advice diverged from offline replay (%d vs %d bytes)", len(res.Advice), len(want))
+					}
 					break
 				}
-				out.records, out.ticks = res.Records, res.Ticks
-				out.match = bytes.Equal(res.Advice, want)
-				if !out.match {
-					out.err = fmt.Errorf("advice diverged from offline replay (%d vs %d bytes)", len(res.Advice), len(want))
+				if out.err == nil && out.ticks == 0 {
+					out.err = fmt.Errorf("gave up after %d busy attempts", out.attempts)
 				}
-				break
-			}
-			if out.err == nil && out.ticks == 0 {
-				out.err = fmt.Errorf("gave up after %d busy attempts", out.attempts)
-			}
-			results[c] = out
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
+				results[c] = out
+			}(c)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
 
-	var ok, lost, mismatched, records int
-	for _, out := range results {
-		switch {
-		case out.match:
-			ok++
-			records += out.records
-		case out.ticks == 0:
-			lost++
-		default:
-			mismatched++
+		for _, out := range results {
+			switch {
+			case out.match:
+				okN++
+				records += out.records
+			case out.ticks == 0:
+				lost++
+			default:
+				mismatched++
+			}
+			if out.err != nil {
+				fmt.Fprintf(os.Stderr, "tmiload: %s: %v\n", out.tenant, out.err)
+			}
 		}
-		if out.err != nil {
-			fmt.Fprintf(os.Stderr, "tmiload: %s: %v\n", out.tenant, out.err)
-		}
+		return okN, mismatched, lost, records, elapsed
 	}
 
-	rate := float64(records) / elapsed.Seconds()
-	fmt.Printf("tmiload: %d/%d clients parity-ok, %d mismatched, %d lost; %d records in %s (%.0f records/s)\n",
-		ok, *clients, mismatched, lost, records, elapsed.Round(time.Millisecond), rate)
-	if mismatched > 0 || lost > 0 {
+	failed := false
+	rates := map[string]float64{}
+	for _, mode := range modes {
+		ok, mismatched, lost, records, elapsed := runMode(mode)
+		rate := float64(records) / elapsed.Seconds()
+		rates[mode] = rate
+		fmt.Printf("tmiload: [%s] %d/%d clients parity-ok, %d mismatched, %d lost; %d records in %s (%.0f records/s)\n",
+			mode, ok, *clients, mismatched, lost, records, elapsed.Round(time.Millisecond), rate)
+		if mismatched > 0 || lost > 0 {
+			failed = true
+		}
+	}
+	if len(modes) == 2 && rates["ndjson"] > 0 {
+		fmt.Printf("tmiload: binary/ndjson ingest speedup: %.1fx\n", rates["binary"]/rates["ndjson"])
+	}
+	if failed {
 		fmt.Println("tmiload: FAIL")
 		os.Exit(1)
 	}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/tmi"
 	"repro/tmi/workload"
@@ -42,6 +43,33 @@ type Options struct {
 
 	exec  *executor
 	meter *benchMeter
+
+	statsMu sync.Mutex
+	stats   map[string]float64
+}
+
+// Stat records an invocation-wide named metric (Report.Stats naming
+// convention). Experiments use it for numbers the executor telemetry cannot
+// see — e.g. the ingest experiment's wire-encoding throughputs — and
+// tmibench folds whatever accumulated into the persisted trajectory's Stats
+// bag via DrainStats.
+func (o *Options) Stat(name string, value float64) {
+	o.statsMu.Lock()
+	defer o.statsMu.Unlock()
+	if o.stats == nil {
+		o.stats = map[string]float64{}
+	}
+	o.stats[name] = value
+}
+
+// DrainStats returns the metrics recorded via Stat since the last drain and
+// clears them.
+func (o *Options) DrainStats() map[string]float64 {
+	o.statsMu.Lock()
+	defer o.statsMu.Unlock()
+	s := o.stats
+	o.stats = nil
+	return s
 }
 
 func (o *Options) defaults() error {

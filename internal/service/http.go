@@ -2,7 +2,9 @@ package service
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -10,13 +12,75 @@ import (
 	"repro/internal/toolio"
 )
 
-// maxWireLine bounds one NDJSON line (a sample batch of a few thousand
-// quads fits comfortably; anything larger is a protocol violation, not
-// load).
-const maxWireLine = 8 << 20
+// maxWireLine bounds one NDJSON wire line on the client's response reader;
+// the server side uses Config.MaxFrameBytes (same default).
+const maxWireLine = toolio.MaxWireLine
 
-// handleStream serves POST /v1/stream: hello, then sample/tick rounds,
-// with one advice line flushed back per tick. Admission is checked against
+// recycleDepth is the capacity of a stream's sample-buffer free list. The
+// reader owns one buffer while decoding and the shard queue holds at most
+// a few of this stream's batches at once, so a small pool is enough to
+// make the steady state allocation-free; overflow buffers just fall to the
+// garbage collector.
+const recycleDepth = 4
+
+// stream is one admitted /v1/stream exchange: the negotiated session
+// parameters plus the per-stream sample-buffer free list that the
+// zero-copy ingest path recycles batches through.
+type stream struct {
+	tenant   string
+	pageSize int
+	sh       *shard
+	free     chan []detect.Sample
+	reply    chan toolio.WireAdvice
+}
+
+// buffer returns a recycled sample buffer of length n (allocating only
+// when the free list is empty or too small — warmup, never steady state).
+func (st *stream) buffer(n int) []detect.Sample {
+	select {
+	case b := <-st.free:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	if n < toolio.MaxWireBatch/16 {
+		// Round up so one early small batch doesn't pin an undersized
+		// buffer in the pool forever.
+		return make([]detect.Sample, n, toolio.MaxWireBatch/16)
+	}
+	return make([]detect.Sample, n)
+}
+
+// convert copies one decoded columnar batch into a recycled sample buffer.
+// The ranges were validated at frame decode, so this is four column reads
+// and a store per record — no allocation, no per-record range branch.
+func (st *stream) convert(cols *toolio.SampleColumns) []detect.Sample {
+	samples := st.buffer(cols.Len())
+	for i := range samples {
+		samples[i] = detect.Sample{
+			TID:   int(cols.TID[i]),
+			Addr:  cols.Addr[i],
+			Width: int(cols.Width[i]),
+			Write: cols.Write[i] != 0,
+		}
+	}
+	return samples
+}
+
+// convertQuads is convert's NDJSON twin: quads were range-checked by
+// DecodeWireMsg, and the buffer comes from the same recycle pool.
+func (st *stream) convertQuads(quads [][4]uint64) []detect.Sample {
+	samples := st.buffer(len(quads))
+	for i, q := range quads {
+		samples[i] = detect.Sample{TID: int(q[0]), Addr: q[1], Width: int(q[2]), Write: q[3] != 0}
+	}
+	return samples
+}
+
+// handleStream serves POST /v1/stream: an NDJSON hello negotiating the
+// sample encoding, then sample/tick rounds in that encoding, with one
+// NDJSON advice line flushed back per tick. Admission is checked against
 // the tenant's shard before any work is queued: a saturated shard answers
 // 429 with Retry-After, which keeps the service's memory bounded by
 // (shards × queue depth × batch size) no matter how many clients push.
@@ -25,34 +89,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "tmid: draining", http.StatusServiceUnavailable)
 		return
 	}
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64<<10), maxWireLine)
+	br := bufio.NewReaderSize(r.Body, 256<<10)
 
-	if !sc.Scan() {
+	line, err := readWireLine(br, nil, s.cfg.MaxFrameBytes)
+	if err != nil {
 		http.Error(w, "tmid: empty stream (expected hello)", http.StatusBadRequest)
 		return
 	}
-	hello, err := toolio.DecodeWireMsg(sc.Bytes())
-	if err != nil || hello.K != toolio.WireHelloKind {
+	hello, err := toolio.DecodeWireMsg(line)
+	if err != nil {
 		http.Error(w, "tmid: first line must be a hello", http.StatusBadRequest)
 		return
 	}
-	if hello.Version != toolio.SchemaVersion {
-		http.Error(w, fmt.Sprintf("tmid: wire schema version %d, want %d", hello.Version, toolio.SchemaVersion), http.StatusBadRequest)
-		return
-	}
-	if hello.Tenant == "" {
-		http.Error(w, "tmid: hello without tenant", http.StatusBadRequest)
+	if err := toolio.CheckHello(hello); err != nil {
+		http.Error(w, "tmid: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	pageSize := hello.PageSize
 	if pageSize == 0 {
 		pageSize = 4096
 	}
-	if pageSize < 0 || pageSize&(pageSize-1) != 0 {
-		http.Error(w, fmt.Sprintf("tmid: page size %d is not a power of two", pageSize), http.StatusBadRequest)
-		return
-	}
+	binary := hello.Wire == toolio.WireFormatBinary
 
 	sh := s.shardFor(hello.Tenant)
 	if sh.saturated() {
@@ -63,6 +120,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.streamsTotal.Add(1)
+	if binary {
+		s.metrics.streamsBinary.Add(1)
+	} else {
+		s.metrics.streamsNDJSON.Add(1)
+	}
 	s.metrics.streamsOpen.Add(1)
 	defer s.metrics.streamsOpen.Add(-1)
 
@@ -90,9 +152,35 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		flush()
 	}
 
-	reply := make(chan toolio.WireAdvice, 1)
-	for sc.Scan() {
-		msg, err := toolio.DecodeWireMsg(sc.Bytes())
+	st := &stream{
+		tenant:   hello.Tenant,
+		pageSize: pageSize,
+		sh:       sh,
+		free:     make(chan []detect.Sample, recycleDepth),
+		reply:    make(chan toolio.WireAdvice, 1),
+	}
+	if binary {
+		s.runBinaryStream(w, br, st, fail, flush)
+	} else {
+		s.runNDJSONStream(w, br, st, fail, flush, line[:0])
+	}
+	// EOF ends the stream but not the session: the tenant may reconnect and
+	// continue until the TTL evicts it.
+}
+
+// runNDJSONStream consumes NDJSON sample/tick lines. lineBuf seeds the
+// reusable line buffer (the hello's backing array).
+func (s *Server) runNDJSONStream(w http.ResponseWriter, br *bufio.Reader, st *stream, fail func(toolio.WireError), flush func(), lineBuf []byte) {
+	for {
+		line, err := readWireLine(br, lineBuf, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if err != errStreamEnd {
+				fail(toolio.WireError{Error: err.Error()})
+			}
+			return
+		}
+		lineBuf = line[:0]
+		msg, err := toolio.DecodeWireMsg(line)
 		if err != nil {
 			fail(toolio.WireError{Error: err.Error()})
 			return
@@ -102,65 +190,175 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if len(msg.S) == 0 {
 				continue
 			}
-			samples := make([]detect.Sample, len(msg.S))
-			for i, q := range msg.S {
-				samples[i] = detect.Sample{TID: int(q[0]), Addr: q[1], Width: int(q[2]), Write: q[3] != 0}
-			}
-			j := job{tenant: hello.Tenant, pageSize: pageSize, samples: samples}
-			if !s.enqueue(sh, j) {
-				s.metrics.droppedBatches.Add(1)
-				s.metrics.droppedRecords.Add(uint64(len(samples)))
-				fail(toolio.WireError{Error: "shard overloaded, batch dropped", RetryMs: 1000})
+			samples := st.convertQuads(msg.S)
+			s.metrics.wireRecordsNDJSON.Add(uint64(len(samples)))
+			if !s.enqueueSamples(st, samples, fail) {
 				return
 			}
 		case toolio.WireTickKind:
 			tick := toolio.WireTick{K: msg.K, Seq: msg.Seq, IntervalSec: msg.IntervalSec, Period: msg.Period}
-			if tick.IntervalSec <= 0 || tick.Period < 1 {
-				fail(toolio.WireError{Error: fmt.Sprintf("tick seq %d: interval and period must be positive", tick.Seq)})
+			if !s.handleTick(w, st, tick, fail, flush) {
 				return
 			}
-			j := job{tenant: hello.Tenant, pageSize: pageSize, tick: &tick, reply: reply, enqueued: s.cfg.now()}
-			if !s.enqueue(sh, j) {
-				s.metrics.droppedBatches.Add(1)
-				fail(toolio.WireError{Error: "shard overloaded, tick dropped", RetryMs: 1000})
-				return
-			}
-			adv := <-reply
-			w.Write(toolio.EncodeWire(adv))
-			flush()
 		default:
 			fail(toolio.WireError{Error: fmt.Sprintf("unexpected message kind %q", msg.K)})
 			return
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fail(toolio.WireError{Error: err.Error()})
-	}
-	// EOF ends the stream but not the session: the tenant may reconnect and
-	// continue until the TTL evicts it.
 }
 
-// enqueue puts a job on the shard's bounded queue, blocking up to the
+// runBinaryStream consumes length-prefixed columnar batch frames. The
+// decode path is allocation-free at steady state: frames land in the
+// reader's reused payload buffer, columns are unpacked into its reused
+// column slices, and the record copy lands in a recycled per-stream sample
+// buffer whose ownership passes to the shard (recycled back on consume).
+func (s *Server) runBinaryStream(w http.ResponseWriter, br *bufio.Reader, st *stream, fail func(toolio.WireError), flush func()) {
+	rd := toolio.NewBinReader(br)
+	rd.MaxPayload = s.cfg.MaxFrameBytes
+	for {
+		fr, err := rd.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				fail(toolio.WireError{Error: err.Error()})
+			}
+			return
+		}
+		s.metrics.wireFrames.Add(1)
+		switch fr.Kind {
+		case toolio.WireSamplesKind[0]:
+			if fr.Samples.Len() == 0 {
+				continue
+			}
+			samples := st.convert(fr.Samples)
+			s.metrics.wireRecordsBinary.Add(uint64(len(samples)))
+			if !s.enqueueSamples(st, samples, fail) {
+				return
+			}
+		case toolio.WireTickKind[0]:
+			if !s.handleTick(w, st, fr.Tick, fail, flush) {
+				return
+			}
+		}
+	}
+}
+
+// enqueueSamples hands one owned sample buffer to the stream's shard,
+// reporting backpressure drops on the wire. The shard recycles the buffer
+// into st.free once the batch is ingested.
+func (s *Server) enqueueSamples(st *stream, samples []detect.Sample, fail func(toolio.WireError)) bool {
+	j := job{tenant: st.tenant, pageSize: st.pageSize, samples: samples, recycle: st.free}
+	if !s.enqueue(st.sh, j) {
+		s.metrics.droppedBatches.Add(1)
+		s.metrics.droppedRecords.Add(uint64(len(samples)))
+		fail(toolio.WireError{Error: "shard overloaded, batch dropped", RetryMs: 1000})
+		return false
+	}
+	return true
+}
+
+// handleTick validates and enqueues one window-closing tick, then writes
+// the advice reply back.
+func (s *Server) handleTick(w http.ResponseWriter, st *stream, tick toolio.WireTick, fail func(toolio.WireError), flush func()) bool {
+	if tick.IntervalSec <= 0 || tick.Period < 1 {
+		fail(toolio.WireError{Error: fmt.Sprintf("tick seq %d: interval and period must be positive", tick.Seq)})
+		return false
+	}
+	j := job{tenant: st.tenant, pageSize: st.pageSize, tick: &tick, reply: st.reply, enqueued: s.cfg.now()}
+	if !s.enqueue(st.sh, j) {
+		s.metrics.droppedBatches.Add(1)
+		fail(toolio.WireError{Error: "shard overloaded, tick dropped", RetryMs: 1000})
+		return false
+	}
+	adv := <-st.reply
+	w.Write(toolio.EncodeWire(adv))
+	flush()
+	return true
+}
+
+// errStreamEnd reports a clean end of input to readWireLine callers.
+var errStreamEnd = fmt.Errorf("service: stream ended")
+
+// readWireLine reads one newline-terminated wire line into buf (reused
+// across calls), enforcing the line cap. A clean EOF before any byte
+// returns errStreamEnd.
+func readWireLine(br *bufio.Reader, buf []byte, maxLen int) ([]byte, error) {
+	if maxLen <= 0 {
+		maxLen = toolio.MaxWireLine
+	}
+	buf = buf[:0]
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > maxLen {
+			return nil, fmt.Errorf("service: wire line exceeds %d bytes", maxLen)
+		}
+		switch {
+		case err == nil:
+			return buf[:len(buf)-1], nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF):
+			if len(buf) == 0 {
+				return nil, errStreamEnd
+			}
+			// A final unterminated line is still a line (matches the old
+			// Scanner behavior).
+			return buf, nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+// enqueuePoll is how often a backpressured enqueue re-checks the shard
+// queue and the drain flag while waiting out EnqueueWait.
+const enqueuePoll = time.Millisecond
+
+// enqueue puts a job on the shard's bounded queue, waiting up to the
 // configured backpressure wait. false means the queue stayed saturated (or
 // the server began draining) and the job was not queued.
+//
+// The gate read lock is held only across each non-blocking send attempt —
+// never across the wait — so a concurrent Drain acquires the write side
+// in microseconds instead of queueing behind a full EnqueueWait timer
+// (and, RWMutexes being writer-fair, wedging every other reader behind
+// it). Saturated enqueues poll; they observe a closed server within one
+// poll interval and give up, which is what bounds drain latency.
 func (s *Server) enqueue(sh *shard, j job) bool {
+	if sent, closed := s.tryEnqueue(sh, j); sent || closed {
+		return sent
+	}
+	deadline := time.NewTimer(s.cfg.EnqueueWait)
+	defer deadline.Stop()
+	poll := time.NewTicker(enqueuePoll)
+	defer poll.Stop()
+	for {
+		select {
+		case <-poll.C:
+			if sent, closed := s.tryEnqueue(sh, j); sent || closed {
+				return sent
+			}
+		case <-deadline.C:
+			sent, _ := s.tryEnqueue(sh, j)
+			return sent
+		}
+	}
+}
+
+// tryEnqueue makes one non-blocking send attempt under a short-held read
+// lock. The lock-ordering invariant ("no send on a closed queue") lives
+// here: the send happens only after closed is re-checked under the gate.
+func (s *Server) tryEnqueue(sh *shard, j job) (sent, closed bool) {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	if s.closed {
-		return false
+		return false, true
 	}
 	select {
 	case sh.jobs <- j:
-		return true
+		return true, false
 	default:
-	}
-	t := time.NewTimer(s.cfg.EnqueueWait)
-	defer t.Stop()
-	select {
-	case sh.jobs <- j:
-		return true
-	case <-t.C:
-		return false
+		return false, false
 	}
 }
 

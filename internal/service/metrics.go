@@ -26,11 +26,19 @@ type Metrics struct {
 	invalidBatches atomic.Uint64 // batches refused by the shard (bad session params)
 	rejected       atomic.Uint64 // streams turned away with 429
 	streamsTotal   atomic.Uint64
+	streamsNDJSON  atomic.Uint64 // streams negotiated onto the NDJSON encoding
+	streamsBinary  atomic.Uint64 // streams negotiated onto the binary frame encoding
 	streamsOpen    atomic.Int64
-	ticks          atomic.Uint64
-	classTrue      atomic.Uint64 // advice lines classified true sharing
-	classFalse     atomic.Uint64 // advice lines classified false sharing
-	advicePages    atomic.Uint64 // pages recommended for isolation
+	wireFrames     atomic.Uint64 // binary frames decoded (samples + ticks)
+	// Records decoded at the wire boundary, by encoding. These count what
+	// clients sent; the records counter above counts what shards actually
+	// ingested (the difference is batches dropped on backpressure).
+	wireRecordsNDJSON atomic.Uint64
+	wireRecordsBinary atomic.Uint64
+	ticks             atomic.Uint64
+	classTrue         atomic.Uint64 // advice lines classified true sharing
+	classFalse        atomic.Uint64 // advice lines classified false sharing
+	advicePages       atomic.Uint64 // pages recommended for isolation
 
 	sessionsActive  atomic.Int64
 	sessionsEvicted atomic.Uint64
@@ -101,6 +109,13 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepths []int, queueCap int, draining
 	counter("tmid_ingest_invalid_batches_total", "Batches refused by a shard (invalid session parameters).", m.invalidBatches.Load())
 	counter("tmid_streams_total", "Client streams admitted.", m.streamsTotal.Load())
 	counter("tmid_streams_rejected_total", "Client streams rejected with 429 because the tenant's shard was saturated.", m.rejected.Load())
+	fmt.Fprintf(w, "# HELP tmid_wire_streams_total Admitted streams by negotiated sample encoding.\n# TYPE tmid_wire_streams_total counter\n")
+	fmt.Fprintf(w, "tmid_wire_streams_total{encoding=\"ndjson\"} %d\n", m.streamsNDJSON.Load())
+	fmt.Fprintf(w, "tmid_wire_streams_total{encoding=\"binary\"} %d\n", m.streamsBinary.Load())
+	counter("tmid_wire_frames_total", "Binary wire frames decoded (samples and ticks).", m.wireFrames.Load())
+	fmt.Fprintf(w, "# HELP tmid_wire_records_total Sample records decoded at the wire boundary, by encoding.\n# TYPE tmid_wire_records_total counter\n")
+	fmt.Fprintf(w, "tmid_wire_records_total{encoding=\"ndjson\"} %d\n", m.wireRecordsNDJSON.Load())
+	fmt.Fprintf(w, "tmid_wire_records_total{encoding=\"binary\"} %d\n", m.wireRecordsBinary.Load())
 	gauge("tmid_streams_open", "Client streams currently connected.", float64(m.streamsOpen.Load()))
 	counter("tmid_ticks_total", "Analysis windows closed (advice messages produced).", m.ticks.Load())
 	counter("tmid_classified_lines_true_total", "Advice lines classified as true sharing.", m.classTrue.Load())

@@ -72,6 +72,11 @@ type Client struct {
 	PageSize int
 	// BatchRecords caps samples per wire line (0 = DefaultBatchRecords).
 	BatchRecords int
+	// Wire selects the sample encoding: "" or toolio.WireFormatNDJSON for
+	// NDJSON quads, toolio.WireFormatBinary for columnar batch frames.
+	// The advice stream back is NDJSON either way, so parity comparisons
+	// are encoding-independent.
+	Wire string
 	// HTTP overrides the transport (0-timeout default client otherwise).
 	HTTP *http.Client
 }
@@ -121,12 +126,18 @@ func (c *Client) Replay(log *trace.SampleLog, repeat int) (*ReplayResult, error)
 	// replies once per tick, and the client's tick cadence keeps at most a
 	// few batches in flight — the HTTP analog of the bounded shard queue.
 	writeErr := make(chan error, 1)
+	binMode := c.Wire == toolio.WireFormatBinary
 	go func() {
 		bw := bufio.NewWriterSize(pw, 256<<10)
 		werr := func() error {
-			hello := toolio.WireHello{K: toolio.WireHelloKind, Version: toolio.SchemaVersion, Tenant: c.Tenant, PageSize: pageSize}
+			hello := toolio.WireHello{K: toolio.WireHelloKind, Version: toolio.SchemaVersion, Tenant: c.Tenant, PageSize: pageSize, Wire: c.Wire}
 			if _, err := bw.Write(toolio.EncodeWire(hello)); err != nil {
 				return err
+			}
+			var enc *toolio.BinWriter
+			var cols toolio.SampleColumns
+			if binMode {
+				enc = toolio.NewBinWriter(bw)
 			}
 			var ferr error
 			forEachWindow(log, repeat, func(seq int, samples []detect.Sample, w trace.SampleWindow) {
@@ -138,22 +149,45 @@ func (c *Client) Replay(log *trace.SampleLog, repeat int) (*ReplayResult, error)
 					if hi > len(samples) {
 						hi = len(samples)
 					}
-					msg := toolio.WireSamples{K: toolio.WireSamplesKind, S: make([][4]uint64, hi-lo)}
-					for i, sm := range samples[lo:hi] {
-						wr := uint64(0)
-						if sm.Write {
-							wr = 1
+					if binMode {
+						cols.Grow(hi - lo)
+						for i, sm := range samples[lo:hi] {
+							cols.TID[i] = uint32(sm.TID)
+							cols.Addr[i] = sm.Addr
+							cols.Width[i] = uint16(sm.Width)
+							w := uint8(0)
+							if sm.Write {
+								w = 1
+							}
+							cols.Write[i] = w
 						}
-						msg.S[i] = [4]uint64{uint64(sm.TID), sm.Addr, uint64(sm.Width), wr}
-					}
-					if _, err := bw.Write(toolio.EncodeWire(msg)); err != nil {
-						ferr = err
-						return
+						if err := enc.WriteSamples(&cols); err != nil {
+							ferr = err
+							return
+						}
+					} else {
+						msg := toolio.WireSamples{K: toolio.WireSamplesKind, S: make([][4]uint64, hi-lo)}
+						for i, sm := range samples[lo:hi] {
+							wr := uint64(0)
+							if sm.Write {
+								wr = 1
+							}
+							msg.S[i] = [4]uint64{uint64(sm.TID), sm.Addr, uint64(sm.Width), wr}
+						}
+						if _, err := bw.Write(toolio.EncodeWire(msg)); err != nil {
+							ferr = err
+							return
+						}
 					}
 					res.Records += hi - lo
 				}
 				tick := toolio.WireTick{K: toolio.WireTickKind, Seq: seq, IntervalSec: w.IntervalSec, Period: w.Period}
-				if _, err := bw.Write(toolio.EncodeWire(tick)); err != nil {
+				if binMode {
+					if err := enc.WriteTick(tick); err != nil {
+						ferr = err
+						return
+					}
+				} else if _, err := bw.Write(toolio.EncodeWire(tick)); err != nil {
 					ferr = err
 					return
 				}

@@ -56,6 +56,11 @@ type Config struct {
 	// queue before the batch is dropped and the stream aborted with a
 	// retryable wire error (default 5s).
 	EnqueueWait time.Duration
+	// MaxFrameBytes bounds one wire unit from a client — an NDJSON line or
+	// a binary frame payload (default toolio.MaxWireLine). It caps the
+	// per-connection decode buffer, so it is the operator's memory knob
+	// for hostile or misconfigured producers.
+	MaxFrameBytes int
 	// SessionTTL evicts a tenant idle for this long, releasing its detector
 	// and interned-page state (default 60s).
 	SessionTTL time.Duration
@@ -80,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EnqueueWait <= 0 {
 		c.EnqueueWait = 5 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = toolio.MaxWireLine
 	}
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 60 * time.Second
@@ -190,9 +198,13 @@ type session struct {
 
 // newSession builds the per-tenant detector exactly the way the offline
 // replay does — same config, same interning — so the two stay in lockstep.
+// The page-size floor is load-bearing: the detector's per-page stat chunks
+// assume at least 64 cache lines per page, and a smaller page would index
+// an empty chunk table and panic the owning shard (the wire layer rejects
+// such hellos up front via toolio.CheckHello; this guards embedded users).
 func newSession(tenant string, pageSize int, dcfg detect.Config) (*session, error) {
-	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
-		return nil, fmt.Errorf("service: tenant %q page size %d is not a power of two", tenant, pageSize)
+	if pageSize < toolio.MinWirePageSize || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("service: tenant %q page size %d is not a power of two >= %d", tenant, pageSize, toolio.MinWirePageSize)
 	}
 	tab := intern.NewTable(pageSize)
 	return &session{

@@ -12,8 +12,12 @@ import (
 type job struct {
 	tenant   string
 	pageSize int
-	// samples is a batch of resolved records to ingest.
+	// samples is a batch of resolved records to ingest. The buffer is
+	// owned by the job: once the shard has fed it to the session it sends
+	// the emptied buffer back on recycle (when set), which is what keeps
+	// the binary ingest path allocation-free at steady state.
 	samples []detect.Sample
+	recycle chan []detect.Sample
 	// tick closes the current window; the advice reply lands on reply
 	// (buffered 1, never blocks the shard).
 	tick  *toolio.WireTick
@@ -27,6 +31,19 @@ type job struct {
 	stall chan struct{}
 	// enqueued timestamps admission for the advice-latency histogram.
 	enqueued time.Time
+}
+
+// release returns a consumed sample buffer to its stream's free list. The
+// send never blocks: a full free list (or a reader that already hung up)
+// just lets the buffer fall to the garbage collector.
+func (j *job) release() {
+	if j.recycle == nil {
+		return
+	}
+	select {
+	case j.recycle <- j.samples[:0]:
+	default:
+	}
 }
 
 // SessionInfo is a diagnostic snapshot of one tenant's session.
@@ -83,11 +100,13 @@ func (sh *shard) loop() {
 			s, err := sh.session(j.tenant, j.pageSize, now)
 			if err != nil {
 				m.invalidBatches.Add(1)
+				j.release()
 				continue
 			}
 			s.lastSeen = now
 			s.feed(j.samples)
 			m.records.Add(uint64(len(j.samples)))
+			j.release()
 		case j.tick != nil:
 			s, err := sh.session(j.tenant, j.pageSize, now)
 			if err != nil {
@@ -155,16 +174,17 @@ func (sh *shard) inspectSession(tenant string) SessionInfo {
 }
 
 // Inspect returns a coherent snapshot of a tenant's session by routing the
-// query through the owning shard's queue (so it can never race ingest). A
-// drained server reports the zero SessionInfo.
+// query through the owning shard's queue (so it can never race ingest). It
+// takes the same bounded-wait enqueue path as ingest: against a saturated
+// or stalled shard the query gives up after EnqueueWait and reports the
+// zero SessionInfo instead of blocking forever on the full queue (which,
+// performed under the gate's read lock as it once was, deadlocked against
+// a concurrent drain's write lock). A drained server likewise reports the
+// zero SessionInfo.
 func (s *Server) Inspect(tenant string) SessionInfo {
 	info := make(chan SessionInfo, 1)
-	s.gate.RLock()
-	if s.closed {
-		s.gate.RUnlock()
+	if !s.enqueue(s.shardFor(tenant), job{tenant: tenant, inspect: true, info: info}) {
 		return SessionInfo{}
 	}
-	s.shardFor(tenant).jobs <- job{tenant: tenant, inspect: true, info: info}
-	s.gate.RUnlock()
 	return <-info
 }

@@ -35,12 +35,16 @@ const (
 
 // WireHello opens a stream: schema version, tenant identity (the sharding
 // key — one detector session exists per tenant), and the tenant's page size
-// (advice pages are page-aligned in it).
+// (advice pages are page-aligned in it). Wire negotiates the encoding of
+// the rest of the request body: "" or "ndjson" keeps NDJSON lines, "binary"
+// switches to the columnar batch frames defined in wirebin.go (the hello
+// itself and the advice stream back are always NDJSON).
 type WireHello struct {
 	K        string `json:"k"`
 	Version  int    `json:"v"`
 	Tenant   string `json:"tenant"`
 	PageSize int    `json:"page_size"`
+	Wire     string `json:"wire,omitempty"`
 }
 
 // WireSamples carries a batch of resolved samples, each packed as
@@ -97,6 +101,7 @@ type WireMsg struct {
 	Version     int         `json:"v,omitempty"`
 	Tenant      string      `json:"tenant,omitempty"`
 	PageSize    int         `json:"page_size,omitempty"`
+	Wire        string      `json:"wire,omitempty"`
 	S           [][4]uint64 `json:"s,omitempty"`
 	Seq         int         `json:"seq,omitempty"`
 	IntervalSec float64     `json:"interval,omitempty"`
@@ -109,14 +114,33 @@ type WireMsg struct {
 	RetryMs     int         `json:"retry_ms,omitempty"`
 }
 
-// DecodeWireMsg parses one NDJSON line.
+// DecodeWireMsg parses one NDJSON line. Sample quads and tick sequence
+// numbers are range-checked here — samples cross the trust boundary as raw
+// integers, and the same limits the binary decoder enforces per column
+// (MaxWireTID, MaxWireWidth, MaxWireBatch) apply to the quad form, so a
+// hostile quad like tid=2^63 is a decode error in both codecs rather than
+// a negative thread ID inside the detector.
 func DecodeWireMsg(line []byte) (*WireMsg, error) {
 	var m WireMsg
 	if err := json.Unmarshal(line, &m); err != nil {
 		return nil, fmt.Errorf("toolio: bad wire line: %w", err)
 	}
-	if m.K == "" {
+	switch m.K {
+	case "":
 		return nil, fmt.Errorf("toolio: wire line without kind")
+	case WireSamplesKind:
+		if len(m.S) > MaxWireBatch {
+			return nil, fmt.Errorf("toolio: samples batch of %d records exceeds batch cap %d", len(m.S), MaxWireBatch)
+		}
+		for i, q := range m.S {
+			if err := ValidateQuad(q); err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+		}
+	case WireTickKind:
+		if m.Seq < 0 {
+			return nil, fmt.Errorf("toolio: tick seq %d is negative", m.Seq)
+		}
 	}
 	return &m, nil
 }
