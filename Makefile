@@ -7,7 +7,8 @@
 # negative fixture that must diverge), suggest (tmilint's static repair
 # solver run on the broken fixtures, its repair sets applied by tmimc and
 # certified SC-equivalent and race-free), benchgate (fig9's table must stay
-# byte-identical to the committed golden) and serve-smoke (a race-built
+# byte-identical to the committed golden), backends (cross-backend repair
+# parity plus the two-socket policy-table sweep) and serve-smoke (a race-built
 # tmid server replayed at by concurrent tmiload clients, advice streams
 # asserted byte-identical to the offline detector).
 # `make bench` persists one BENCH_<date>[.N].json
@@ -17,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-harness bench microbench benchgate serve-smoke allocgate vet vet-src lint tmilint mc suggest fmt ci check
+.PHONY: all build test race race-harness bench microbench benchgate backends serve-smoke allocgate vet vet-src lint tmilint mc suggest fmt ci check
 
 all: check
 
@@ -61,6 +62,16 @@ benchgate:
 		echo "benchgate: fig9 output diverged from testdata/fig9_golden.txt"; rm -f $$tmp; exit 1; \
 	fi; \
 	rm -f $$tmp; echo "benchgate: fig9 output matches golden"
+
+# backends is the repair-strategy gate: the cross-backend parity test (every
+# backend must engage exactly when t2p engages and collapse flagged-line
+# HITM at least as far, within 2x) plus one reduced-grid run of the
+# repair-backends sweep on the two-socket NUMA model, so the workload x
+# {t2p, pad, map, tmebox} policy table keeps rendering end to end.
+backends:
+	$(GO) test -run 'TestBackend' -count 1 ./tmi
+	$(GO) run ./cmd/tmibench -experiment repair-backends -runs 1 > /dev/null
+	@echo "backends: parity test and sweep passed"
 
 # serve-smoke boots a race-built tmid on an ephemeral port and replays a
 # simulator-generated HITM trace at it from 8 concurrent clients (tmiload)
@@ -149,4 +160,4 @@ lint: fmt vet
 
 ci: build test vet vet-src lint
 
-check: ci race-harness allocgate mc suggest benchgate serve-smoke
+check: ci race-harness allocgate mc suggest benchgate backends serve-smoke

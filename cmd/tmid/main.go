@@ -43,16 +43,23 @@ func main() {
 		minRecords = flag.Int("min-records", detect.DefaultConfig().MinRecords, "min raw records on a line before judging it")
 		drainWait  = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget on SIGTERM")
 		maxFrame   = flag.Int("max-frame", toolio.MaxWireLine, "max accepted wire frame/line payload bytes")
+		recommend  = flag.String("recommend", "", "repair-backend recommendation policy stamped into advice: none, auto, or a fixed backend (t2p, pad, map, tmebox)")
 	)
 	flag.Parse()
 
+	if !detect.ValidRecommendPolicy(*recommend) {
+		fmt.Fprintf(os.Stderr, "tmid: unknown -recommend policy %q (want none, auto, t2p, pad, map, or tmebox)\n", *recommend)
+		os.Exit(2)
+	}
+
 	srv := service.New(service.Config{
-		Shards:        *shards,
-		QueueDepth:    *queue,
-		EnqueueWait:   *wait,
-		SessionTTL:    *ttl,
-		MaxFrameBytes: *maxFrame,
-		Detect:        detect.Config{ThresholdPerSec: *threshold, MinRecords: *minRecords},
+		Shards:           *shards,
+		QueueDepth:       *queue,
+		EnqueueWait:      *wait,
+		SessionTTL:       *ttl,
+		MaxFrameBytes:    *maxFrame,
+		Detect:           detect.Config{ThresholdPerSec: *threshold, MinRecords: *minRecords},
+		RecommendBackend: *recommend,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -33,8 +33,14 @@ func main() {
 		huge   = flag.Bool("hugepages", true, "back shared memory with 2 MiB pages")
 		seed   = flag.Int64("seed", 1, "determinism seed")
 		advice = flag.Bool("advice", false, "print the canonical per-window NDJSON advice stream instead of the report")
+		policy = flag.String("recommend", "", "with -advice: stamp a repair-backend recommendation into the stream (none, auto, or a fixed backend name) — the offline truth for a tmid launched with the same -recommend")
 	)
 	flag.Parse()
+
+	if !detect.ValidRecommendPolicy(*policy) {
+		fmt.Fprintf(os.Stderr, "tmidetect: unknown -recommend policy %q (want none, auto, t2p, pad, map, or tmebox)\n", *policy)
+		os.Exit(2)
+	}
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
@@ -57,7 +63,7 @@ func main() {
 			ThresholdPerSec: detect.DefaultConfig().ThresholdPerSec,
 			MinRecords:      detect.DefaultConfig().MinRecords,
 		}
-		out, err := service.Replay(log, log.PageSize, dcfg, detect.DefaultPeriodController(), 1)
+		out, err := service.ReplayWithPolicy(log, log.PageSize, dcfg, detect.DefaultPeriodController(), 1, *policy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tmidetect:", err)
 			os.Exit(1)

@@ -32,6 +32,31 @@ import (
 	"repro/tmi/workloads"
 )
 
+// assertAdditive checks that rec (a recommending advice stream) differs
+// from plain only by "backend" keys: deleting them line-by-line must
+// reproduce plain exactly.
+func assertAdditive(rec, plain []byte) error {
+	recLines := bytes.Split(bytes.TrimSuffix(rec, []byte("\n")), []byte("\n"))
+	plainLines := bytes.Split(bytes.TrimSuffix(plain, []byte("\n")), []byte("\n"))
+	if len(recLines) != len(plainLines) {
+		return fmt.Errorf("line counts differ: %d vs %d", len(recLines), len(plainLines))
+	}
+	for i, line := range recLines {
+		m, err := toolio.DecodeWireMsg(line)
+		if err != nil {
+			return fmt.Errorf("advice %d: %w", i, err)
+		}
+		stripped := line
+		if m.Backend != "" {
+			stripped = bytes.Replace(line, []byte(fmt.Sprintf(",%q:%q", "backend", m.Backend)), nil, 1)
+		}
+		if !bytes.Equal(stripped, plainLines[i]) {
+			return fmt.Errorf("advice %d differs beyond the backend field:\n  with policy: %s\n  without:     %s", i, line, plainLines[i])
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7412", "tmid server address (host:port)")
@@ -46,8 +71,14 @@ func main() {
 		retries    = flag.Int("retries", 20, "attempts per client when the server answers busy (fresh tenant each time)")
 		wire       = flag.String("wire", "ndjson", "sample encoding: ndjson, binary, or both (A/B the same trace through each and report the speedup)")
 		adviceOut  = flag.String("advice-out", "", "write the parity-verified offline advice stream to this file (for external diffing)")
+		recommend  = flag.String("recommend", "", "repair-backend recommendation policy the target tmid was launched with (its -recommend flag); the offline truth carries the recommendation and its additivity over the policy-free advice is asserted")
 	)
 	flag.Parse()
+
+	if !detect.ValidRecommendPolicy(*recommend) {
+		fmt.Fprintf(os.Stderr, "tmiload: unknown -recommend policy %q (want none, auto, t2p, pad, map, or tmebox)\n", *recommend)
+		os.Exit(2)
+	}
 
 	var modes []string
 	switch *wire {
@@ -91,10 +122,26 @@ func main() {
 		MinRecords:      detect.DefaultConfig().MinRecords,
 	}
 	periods := detect.DefaultPeriodController()
-	want, err := service.Replay(log, log.PageSize, dcfg, periods, *repeat)
+	want, err := service.ReplayWithPolicy(log, log.PageSize, dcfg, periods, *repeat, *recommend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmiload:", err)
 		os.Exit(2)
+	}
+	if *recommend != "" && *recommend != "none" {
+		// The recommendation must be strictly additive: stripping the backend
+		// key from every advice line reproduces the policy-free stream
+		// byte-for-byte. A perturbation here means the recommending server
+		// would change verdicts, not just annotate them.
+		plain, err := service.Replay(log, log.PageSize, dcfg, periods, *repeat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmiload:", err)
+			os.Exit(2)
+		}
+		if err := assertAdditive(want, plain); err != nil {
+			fmt.Fprintf(os.Stderr, "tmiload: -recommend %s perturbs advice: %v\n", *recommend, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tmiload: -recommend %s advice is additive over the policy-free stream\n", *recommend)
 	}
 	if *adviceOut != "" {
 		if err := os.WriteFile(*adviceOut, want, 0o644); err != nil {

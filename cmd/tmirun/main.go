@@ -50,6 +50,8 @@ func main() {
 		teardown   = flag.Int("teardown", 0, "un-repair pages idle for N detection intervals (extension; 0=off)")
 		timeline   = flag.Bool("timeline", false, "print the per-interval HITM-rate timeline")
 		sanitize   = flag.Bool("sanitize", false, "assert the CCC annotation contract at runtime (tmilint's dynamic half)")
+		backend    = flag.String("backend", "", "repair backend for tmi-protect: t2p (default), pad, map, or tmebox")
+		sockets    = flag.Int("sockets", 0, "split cores across N sockets with home-node directory and remote-access penalties (0/1 = flat)")
 	)
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 		System: sys, Threads: *threads, Period: *period, HugePages: *huge,
 		DisableCCC: *noCCC, PTSBEverywhere: *everywhere, Seed: *seed,
 		AdaptivePeriod: *adaptive, TeardownIdleIntervals: *teardown,
-		Sanitize: *sanitize,
+		Sanitize: *sanitize, RepairBackend: *backend, Sockets: *sockets,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmirun:", err)
@@ -98,7 +100,8 @@ func main() {
 	fmt.Printf("energy          %.1f uJ (%.1f MB coherence traffic)\n",
 		rep.Cache.EnergyMicroJ(), float64(rep.Cache.TrafficBytes())/(1<<20))
 	if rep.Repaired {
-		fmt.Printf("repaired        yes (at %.3f ms, %d pages)\n", rep.RepairAtSec*1e3, rep.PagesProtected)
+		fmt.Printf("repaired        yes (backend %s, at %.3f ms, %d pages)\n",
+			rep.RepairBackend, rep.RepairAtSec*1e3, rep.PagesProtected)
 		if len(rep.T2PMicros) > 0 {
 			fmt.Printf("T2P             %.0f us mean over %d threads\n", rep.MeanT2PMicros(), len(rep.T2PMicros))
 		}

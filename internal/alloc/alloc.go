@@ -89,6 +89,15 @@ func TMIPolicy() Policy {
 	return Policy{Name: "tmi", DefaultAlign: 16, LargeAlign: 64, LargeThreshold: 1 << 10, PerOpCycles: 60}
 }
 
+// PaddedPolicy is the pad repair backend's placement policy: every
+// allocation gets its own cache line, so no two objects can ever share
+// one. The per-op cost is higher (size-class rounding to lines) and small
+// objects waste up to a line of slack — the memory-for-contention trade
+// the policy table quantifies.
+func PaddedPolicy() Policy {
+	return Policy{Name: "padded", DefaultAlign: 64, LargeAlign: 64, LargeThreshold: 1 << 10, PerOpCycles: 70}
+}
+
 // Allocator hands out simulated heap addresses and keeps the backing file
 // mapped in every registered address space.
 type Allocator struct {
@@ -116,6 +125,8 @@ type Allocator struct {
 	Reuses      uint64
 	HeapBytes   uint64
 	BulkBytes   uint64
+	// PolicySwitches counts mid-run SetPolicy calls (pad repair backend).
+	PolicySwitches uint64
 }
 
 // Size-class bounds for the free lists.
@@ -152,6 +163,17 @@ func New(policy Policy, backing Backing, file *mem.File, pageSize int) *Allocato
 
 // Policy returns the active placement policy.
 func (a *Allocator) Policy() Policy { return a.policy }
+
+// SetPolicy swaps the placement policy for subsequent allocations (the pad
+// repair backend re-segregates future objects this way; existing objects
+// are handled at the cache model by IsolateLine). Free lists are dropped:
+// blocks carved under the old alignment must not be recycled into the new
+// regime.
+func (a *Allocator) SetPolicy(p Policy) {
+	a.policy = p
+	a.freeLists = map[int][]uint64{}
+	a.PolicySwitches++
+}
 
 // Backing returns the heap's backing kind.
 func (a *Allocator) Backing() Backing { return a.backing }

@@ -91,6 +91,16 @@ type Config struct {
 	DisableCCC bool
 	// PTSBEverywhere arms the whole heap at first repair (§4.3 ablation).
 	PTSBEverywhere bool
+	// RepairBackend selects the repair strategy for TMIProtect runs: ""
+	// or "t2p" (the paper's T2P+PTSB mechanism), "pad" (allocator
+	// re-segregation), "map" (thread-and-data mapping), or "tmebox"
+	// (fork-free keyed isolation). See internal/repair.
+	RepairBackend string
+	// Sockets splits the cores across that many sockets with a home-node
+	// directory and remote-socket latency penalties (cache.Topology). 0 or
+	// 1 keeps the flat single-socket machine, byte-identical to the
+	// pre-topology model.
+	Sockets int
 	// ThresholdPerSec overrides the detector repair threshold (default
 	// 100k estimated HITM events/s per line).
 	ThresholdPerSec float64

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/detect"
+	"repro/internal/repair"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/trace"
 )
@@ -47,6 +48,11 @@ type Report struct {
 	TwinFaults     uint64
 	BytesMerged    uint64
 	CCCFlushes     uint64
+	// RepairBackend names the strategy that serviced detector requests
+	// ("t2p" unless Config.RepairBackend chose otherwise); BackendActivity
+	// is its cross-backend activity summary.
+	RepairBackend   string
+	BackendActivity repair.BackendStats
 
 	// MemBytes is the simulated memory footprint including runtime
 	// overheads (Figure 8).

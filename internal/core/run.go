@@ -82,10 +82,15 @@ type runtime struct {
 	ptsbE      *ptsb.Engine
 	cccCtl     *ccc.Controller
 	repairE    *repair.Engine
-	mon        *perfev.Monitor
-	det        *detect.Detector
-	maps       *osim.AddressMap
-	san        *sanitizer
+	// backend is the repair strategy servicing detector requests; the
+	// default is repairE itself (the t2p backend). backendCost is non-nil
+	// only when the backend imposes a per-access cost after engaging.
+	backend     repair.Backend
+	backendCost repair.AccessCoster
+	mon         *perfev.Monitor
+	det         *detect.Detector
+	maps        *osim.AddressMap
+	san         *sanitizer
 
 	laserEnabled   bool
 	laserRepaired  bool
@@ -205,7 +210,13 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 		OnSync: rt.onSync,
 	})
 
-	rt.mc = machine.New(machine.Config{Cores: threads, Seed: cfg.Seed, Mem: rt.memory})
+	cacheS := cache.New(threads)
+	if cfg.Sockets > 1 {
+		if err := cacheS.SetTopology(cache.Topology{Sockets: cfg.Sockets}); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	rt.mc = machine.New(machine.Config{Cores: threads, Seed: cfg.Seed, Mem: rt.memory, Cache: cacheS})
 	if cfg.CacheLines > 0 {
 		rt.mc.Cache().SetCapacity(cfg.CacheLines)
 	}
@@ -220,6 +231,24 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 	rt.repairE = repair.New(rt.osys, rt.app, rt.mc, rt.ptsbE)
 	rt.repairE.Everywhere = cfg.PTSBEverywhere
 	rt.repairE.HeapPages = rt.heapPages
+	// Strategy selection: repairE (t2p) stays the engine behind Sheriff
+	// and ForceProtect regardless; rt.backend is what detector requests
+	// are dispatched to.
+	switch cfg.RepairBackend {
+	case "", repair.BackendT2P:
+		rt.backend = rt.repairE
+	case repair.BackendPad:
+		rt.backend = repair.NewPad(rt.mc, rt.sharedView, rt.al)
+	case repair.BackendMap:
+		rt.backend = repair.NewMapping(rt.mc, rt.sharedView)
+	case repair.BackendTMEBox:
+		rt.backend = repair.NewTMEBox(rt.app, rt.mc, rt.ptsbE)
+	default:
+		return nil, repair.ErrUnknownBackend(cfg.RepairBackend)
+	}
+	if c, ok := rt.backend.(repair.AccessCoster); ok {
+		rt.backendCost = c
+	}
 
 	if cfg.Setup.Monitors() {
 		rt.mon = perfev.NewMonitor(threads, cfg.Period, cfg.Seed)
@@ -279,7 +308,9 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 
 	// Sheriff: processes from startup, PTSB over all of memory.
 	if cfg.Setup.IsSheriff() {
-		rt.repairE.ConvertAllNow(0)
+		if err := rt.repairE.ConvertAllNow(0); err != nil {
+			return nil, fmt.Errorf("core: sheriff convert: %w", err)
+		}
 		for _, p := range rt.heapPages() {
 			if err := rt.ptsbE.Protect(p, rt.repairE.Spaces()); err != nil {
 				return nil, fmt.Errorf("core: sheriff protect: %w", err)
@@ -290,7 +321,9 @@ func build(w workload.Workload, cfg Config, info workload.Info, threads int) (*r
 	// keeping the TMI environment (CCC on, no monitors under TMIAlloc) —
 	// how the model checker exercises page twinning deterministically.
 	if cfg.ForceProtect && cfg.Setup.IsTMI() {
-		rt.repairE.ConvertAllNow(0)
+		if err := rt.repairE.ConvertAllNow(0); err != nil {
+			return nil, fmt.Errorf("core: force convert: %w", err)
+		}
 		for _, p := range rt.heapPages() {
 			if err := rt.ptsbE.Protect(p, rt.repairE.Spaces()); err != nil {
 				return nil, fmt.Errorf("core: force protect: %w", err)
@@ -400,6 +433,9 @@ func (rt *runtime) postAccess(t *machine.Thread, acc *machine.Access, res cache.
 	if res.HITM && rt.mon != nil {
 		extra += rt.mon.Sampler().OnHITM(t.ID, t.Core, acc.PC, acc.Addr, acc.Size, acc.Write, t.Clock())
 	}
+	if rt.backendCost != nil {
+		extra += rt.backendCost.AccessCost(t)
+	}
 	if rt.laserRepaired {
 		line := acc.Addr &^ uint64(cache.LineSize-1)
 		if rt.laserLines[line] {
@@ -449,7 +485,7 @@ func (rt *runtime) maybeTeardown(now int64) {
 			st.lastMerged = act.BytesMerged
 		}
 		if st.idleTicks >= rt.cfg.TeardownIdleIntervals {
-			if err := rt.ptsbE.Unprotect(page, rt.repairE.Spaces()); err == nil {
+			if err := rt.ptsbE.Unprotect(page, rt.backend.Spaces()); err == nil {
 				if rt.tracer != nil {
 					rt.tracer.Record(now, -1, trace.KindTeardown, page)
 				}
@@ -477,7 +513,7 @@ func (rt *runtime) detectTick(now int64) {
 	if rt.cfg.AdaptivePeriod {
 		rt.adaptPeriod(rt.det.TotalRecords - recordsBefore)
 	}
-	if rt.cfg.TeardownIdleIntervals > 0 && rt.repairE.Converted() {
+	if rt.cfg.TeardownIdleIntervals > 0 && rt.backend.Converted() {
 		rt.maybeTeardown(now)
 	}
 	defer rt.sampleInterval(now)
@@ -496,12 +532,33 @@ func (rt *runtime) detectTick(now int64) {
 	}
 	switch rt.cfg.Setup {
 	case TMIProtect:
-		wasConverted := rt.repairE.Converted()
+		wasConverted := rt.backend.Converted()
 		before := rt.ptsbE.ProtectedPages()
-		rt.repairE.Handle(req, now)
-		if !wasConverted && rt.repairE.Converted() {
-			rt.logEvent(now, "PM: stop-the-world; %d thread(s) converted to processes (T2P %v us)",
-				len(rt.repairE.Spaces()), formatMicros(rt.repairE.T2PMicros()))
+		bstBefore := rt.backend.BackendStats()
+		if err := rt.backend.Arm(req, now); err != nil {
+			// Satellite: a failed repair is a stat and an event, not a
+			// crashed simulation — the workload keeps running unrepaired.
+			rt.notes["repair.failed"]++
+			rt.logEvent(now, "repair(%s): failed: %v", rt.backend.Name(), err)
+		}
+		if !wasConverted && rt.backend.Converted() {
+			switch rt.backend.Name() {
+			case repair.BackendT2P:
+				rt.logEvent(now, "PM: stop-the-world; %d thread(s) converted to processes (T2P %v us)",
+					len(rt.repairE.Spaces()), formatMicros(rt.repairE.T2PMicros()))
+			case repair.BackendTMEBox:
+				rt.logEvent(now, "tmebox: %d isolation domain(s) keyed in-process (no fork)",
+					len(rt.backend.Spaces()))
+			case repair.BackendPad:
+				rt.logEvent(now, "pad: allocator switched to line-segregated placement")
+			}
+		}
+		bst := rt.backend.BackendStats()
+		if d := bst.LinesIsolated - bstBefore.LinesIsolated; d > 0 {
+			rt.logEvent(now, "pad: %d line(s) re-segregated onto private lines", d)
+		}
+		if d := bst.ThreadsMigrated - bstBefore.ThreadsMigrated; d > 0 {
+			rt.logEvent(now, "map: %d thread(s) migrated toward the hot page's home node", d)
 		}
 		if n := rt.ptsbE.ProtectedPages() - before; n > 0 {
 			rt.logEvent(now, "PTSB armed on %d page(s): %s", n, pageList(req.Pages))
@@ -629,11 +686,13 @@ func (rt *runtime) execute(w workload.Workload) (*Report, error) {
 	rep.Timeline = rt.timeline
 	rep.Tracer = rt.tracer
 	rep.SampleLog = rt.sampleLog
-	st := rt.repairE.Stats
-	rep.Repaired = st.RepairEvents > 0 || rt.laserRepaired || rt.plasticEngaged || rt.cfg.Setup.IsSheriff()
-	rep.RepairAtSec = float64(st.ConvertedAtCycle) / cache.ClockHz
+	bst := rt.backend.BackendStats()
+	rep.RepairBackend = bst.Backend
+	rep.BackendActivity = bst
+	rep.Repaired = bst.RepairEvents > 0 || rt.laserRepaired || rt.plasticEngaged || rt.cfg.Setup.IsSheriff()
+	rep.RepairAtSec = float64(bst.ConvertedAtCycle) / cache.ClockHz
 	rep.T2PMicros = rt.repairE.T2PMicros()
-	rep.PagesProtected = rt.repairE.Stats.PagesProtected
+	rep.PagesProtected = bst.PagesProtected
 	rep.Commits = rt.ptsbE.Stats.Commits
 	rep.TwinFaults = rt.ptsbE.Stats.TwinFaults
 	rep.BytesMerged = rt.ptsbE.Stats.BytesMerged

@@ -1,0 +1,89 @@
+package detect
+
+// Backend recommendation policies accepted by RecommendBackend. The fixed
+// names mirror the repair package's backend registry; they are spelled out
+// here (rather than imported) because detect must not depend on repair —
+// the recommendation rides the advice wire to clients that may not even
+// run this repair engine.
+const (
+	// RecommendNone disables recommendations ("" behaves identically).
+	RecommendNone = "none"
+	// RecommendAuto picks a backend per advice from the flagged lines.
+	RecommendAuto = "auto"
+)
+
+// fixedRecommendations is the set of policies that pin one backend
+// unconditionally.
+var fixedRecommendations = map[string]bool{
+	"t2p": true, "pad": true, "map": true, "tmebox": true,
+}
+
+// ValidRecommendPolicy reports whether policy names a recommendation
+// policy: "", "none", "auto", or a fixed backend name.
+func ValidRecommendPolicy(policy string) bool {
+	switch policy {
+	case "", RecommendNone, RecommendAuto:
+		return true
+	}
+	return fixedRecommendations[policy]
+}
+
+// RecommendBackend maps an advice's flagged lines to a repair-backend
+// recommendation under the given policy. It returns "" when the policy is
+// off, unknown, or the advice flags nothing — the caller omits the field
+// and the advice bytes stay schema-v1 identical.
+//
+// The auto heuristic is deterministic and intentionally coarse (it sees
+// only one window's classified lines):
+//
+//   - Contention spread over many pages (>= autoManyPages distinct pages)
+//     wants whole-heap-ish isolation with cheap domains: tmebox.
+//   - One or two flagged lines is the classic adjacent-counters layout a
+//     realloc-and-pad fixes outright: pad.
+//   - A very hot line (>= autoHotPerSec estimated events/s) justifies the
+//     full stop-the-world T2P conversion: t2p.
+//   - Otherwise, moderate multi-line contention on few pages: migrate the
+//     threads to the data: map.
+func RecommendBackend(policy string, pageSize int, lines []LineReport) string {
+	switch policy {
+	case "", RecommendNone:
+		return ""
+	case RecommendAuto:
+	default:
+		if fixedRecommendations[policy] {
+			return policy
+		}
+		return ""
+	}
+	if len(lines) == 0 {
+		return ""
+	}
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	pages := map[uint64]bool{}
+	maxRate := 0.0
+	for _, l := range lines {
+		pages[l.Line&^uint64(pageSize-1)] = true
+		if l.EstEventsPerSec > maxRate {
+			maxRate = l.EstEventsPerSec
+		}
+	}
+	switch {
+	case len(pages) >= autoManyPages:
+		return "tmebox"
+	case len(lines) <= autoFewLines:
+		return "pad"
+	case maxRate >= autoHotPerSec:
+		return "t2p"
+	default:
+		return "map"
+	}
+}
+
+// Auto-policy thresholds (see RecommendBackend).
+const (
+	autoManyPages = 3
+	autoFewLines  = 2
+	autoHotPerSec = 5e6
+)

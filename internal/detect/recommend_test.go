@@ -1,0 +1,63 @@
+package detect
+
+import "testing"
+
+func line(addr uint64, rate float64) LineReport {
+	return LineReport{Line: addr, Class: SharingFalse, EstEventsPerSec: rate}
+}
+
+func TestRecommendBackendPolicies(t *testing.T) {
+	flagged := []LineReport{line(0x1000, 1e6), line(0x1040, 1e6), line(0x1080, 1e6)}
+	tests := []struct {
+		name   string
+		policy string
+		lines  []LineReport
+		want   string
+	}{
+		{"off-empty", "", flagged, ""},
+		{"off-none", "none", flagged, ""},
+		{"fixed-t2p", "t2p", flagged, "t2p"},
+		{"fixed-pad", "pad", nil, "pad"}, // fixed policies ignore the lines
+		{"fixed-tmebox", "tmebox", flagged, "tmebox"},
+		{"unknown", "voodoo", flagged, ""},
+		{"auto-nothing-flagged", "auto", nil, ""},
+		// One or two lines: realloc-and-pad fixes the layout outright.
+		{"auto-few-lines", "auto", []LineReport{line(0x1000, 1e6), line(0x1040, 1e6)}, "pad"},
+		// Many distinct pages: cheap per-thread domains win.
+		{"auto-many-pages", "auto",
+			[]LineReport{line(0x1000, 1e5), line(0x2000, 1e5), line(0x3000, 1e5)}, "tmebox"},
+		// Very hot line: the full T2P conversion pays for itself.
+		{"auto-hot", "auto",
+			[]LineReport{line(0x1000, 6e6), line(0x1040, 1e5), line(0x1080, 1e5)}, "t2p"},
+		// Moderate multi-line contention on few pages: migrate the threads.
+		{"auto-moderate", "auto", flagged, "map"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RecommendBackend(tc.policy, 4096, tc.lines); got != tc.want {
+				t.Errorf("RecommendBackend(%q) = %q, want %q", tc.policy, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRecommendBackendIsDeterministic(t *testing.T) {
+	flagged := []LineReport{line(0x3000, 1e5), line(0x1000, 1e5), line(0x2000, 1e5)}
+	first := RecommendBackend("auto", 4096, flagged)
+	for i := 0; i < 10; i++ {
+		if got := RecommendBackend("auto", 4096, flagged); got != first {
+			t.Fatalf("recommendation flapped: %q then %q", first, got)
+		}
+	}
+}
+
+func TestValidRecommendPolicy(t *testing.T) {
+	for _, ok := range []string{"", "none", "auto", "t2p", "pad", "map", "tmebox"} {
+		if !ValidRecommendPolicy(ok) {
+			t.Errorf("policy %q rejected", ok)
+		}
+	}
+	if ValidRecommendPolicy("voodoo") {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -18,6 +18,7 @@ func init() {
 		{"prediction", "Extension: Cheetah-style speedup prediction vs measured manual fix", predictionExp},
 		{"static-layout", "Extension: tmilint static layout predictor vs dynamic detector", staticLayout},
 		{"ingest", "Extension: tmid ingest throughput, NDJSON vs binary wire frames", ingestExp},
+		{"repair-backends", "Extension: repair-backend sweep (t2p/pad/map/tmebox) on the two-socket NUMA model", backendsExp},
 	}
 }
 

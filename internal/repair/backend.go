@@ -1,0 +1,94 @@
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/sim/machine"
+	"repro/internal/sim/mem"
+)
+
+// Backend is the repair strategy seam: the runtime feeds every detector
+// request to exactly one backend, and each backend removes the flagged
+// false sharing through a different mechanism. All four are equivalent for
+// correctness (the cache is a timing model; data lives in the address
+// spaces) and differ only in repair cost and residual contention — which
+// is what the `repair-backends` harness experiment measures.
+type Backend interface {
+	// Name identifies the backend (one of BackendNames).
+	Name() string
+	// Convert performs the backend's one-time execution-model change (T2P
+	// fork-off, keyed-domain setup, ...) if it has one. Idempotent; Arm
+	// calls it lazily, so explicit calls are only needed for
+	// convert-at-startup setups like Sheriff.
+	Convert(now int64) error
+	// Arm repairs the request's flagged pages/lines. Errors are surfaced
+	// as failed-repair stats by the caller; the simulation keeps running.
+	Arm(req *detect.Request, now int64) error
+	// Converted reports whether the one-time change has happened.
+	Converted() bool
+	// Spaces returns the backend's isolation address spaces (nil for
+	// backends that do not remap memory); the runtime tears protection
+	// down through them when pages go idle.
+	Spaces() []*mem.AddrSpace
+	// BackendStats summarizes the backend's activity.
+	BackendStats() BackendStats
+}
+
+// AccessCoster is an optional Backend capability: a per-memory-access cost
+// the repair imposes after engaging (e.g. the map backend's core
+// co-residency). The runtime consults it from the post-access hook only
+// when the active backend implements it, so the default path stays free.
+type AccessCoster interface {
+	AccessCost(t *machine.Thread) int64
+}
+
+// BackendStats is the cross-backend activity summary. Only the counters a
+// mechanism actually uses are non-zero: pages for t2p/tmebox, lines for
+// pad, migrations for map.
+type BackendStats struct {
+	// Backend names the strategy.
+	Backend string
+	// RepairEvents counts detector requests acted on.
+	RepairEvents int
+	// PagesProtected counts pages armed with the PTSB (t2p, tmebox).
+	PagesProtected int
+	// LinesIsolated counts cache lines re-segregated by padding (pad).
+	LinesIsolated int
+	// ThreadsMigrated counts threads re-pinned to the data's home (map).
+	ThreadsMigrated int
+	// FailedRepairs counts requests that could not be applied.
+	FailedRepairs int
+	// ConvertedAtCycle is the simulated time of the one-time conversion
+	// (0 if never engaged).
+	ConvertedAtCycle int64
+}
+
+// Backend names accepted by tmi.Config.RepairBackend.
+const (
+	BackendT2P    = "t2p"
+	BackendPad    = "pad"
+	BackendMap    = "map"
+	BackendTMEBox = "tmebox"
+)
+
+// BackendNames lists the selectable repair backends in policy-table order.
+var BackendNames = []string{BackendT2P, BackendPad, BackendMap, BackendTMEBox}
+
+// ValidBackend reports whether name selects a backend ("" means t2p).
+func ValidBackend(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, n := range BackendNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrUnknownBackend builds the rejection for an unrecognized backend name.
+func ErrUnknownBackend(name string) error {
+	return fmt.Errorf("repair: unknown backend %q (want one of %v)", name, BackendNames)
+}

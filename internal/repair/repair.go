@@ -7,9 +7,17 @@
 // Conversion happens once, lazily, the first time repair is needed — the
 // compatible-by-default property: applications without false sharing never
 // leave the conventional threaded execution model.
+//
+// The paper's mechanism is one policy among several: repair is a Backend
+// strategy (backend.go), and the T2P/PTSB engine below is its default
+// implementation. The pad, map and tmebox backends (pad.go, mapping.go,
+// tmebox.go) repair the same detector requests through allocator
+// re-segregation, thread-and-data mapping, and fork-free keyed isolation.
 package repair
 
 import (
+	"fmt"
+
 	"repro/internal/detect"
 	"repro/internal/ptsb"
 	"repro/internal/sim/cache"
@@ -24,6 +32,9 @@ type Stats struct {
 	RepairEvents int
 	// PagesProtected counts distinct pages armed.
 	PagesProtected int
+	// FailedRepairs counts requests that could not be applied (conversion
+	// or arming errors); the simulation keeps running.
+	FailedRepairs int
 	// ConvertedAtCycle is the simulated time of thread-to-process
 	// conversion (0 if never converted).
 	ConvertedAtCycle int64
@@ -31,7 +42,7 @@ type Stats struct {
 	T2PCycles []int64
 }
 
-// Engine is the monitoring process PM.
+// Engine is the monitoring process PM: the default `t2p` repair backend.
 type Engine struct {
 	os     *osim.OS
 	app    *osim.Process
@@ -54,18 +65,39 @@ func New(o *osim.OS, app *osim.Process, mc *machine.Machine, e *ptsb.Engine) *En
 	return &Engine{os: o, app: app, mc: mc, engine: e}
 }
 
+// Name identifies the backend ("t2p").
+func (r *Engine) Name() string { return BackendT2P }
+
 // Converted reports whether threads have been made processes.
 func (r *Engine) Converted() bool { return r.converted }
 
 // Spaces returns the per-process address spaces after conversion.
 func (r *Engine) Spaces() []*mem.AddrSpace { return r.childSpaces }
 
+// Convert implements Backend: the stop-the-world T2P conversion.
+func (r *Engine) Convert(now int64) error { return r.ConvertAllNow(now) }
+
+// Arm implements Backend.
+func (r *Engine) Arm(req *detect.Request, now int64) error { return r.Handle(req, now) }
+
+// BackendStats implements Backend.
+func (r *Engine) BackendStats() BackendStats {
+	return BackendStats{
+		Backend:          BackendT2P,
+		RepairEvents:     r.Stats.RepairEvents,
+		PagesProtected:   r.Stats.PagesProtected,
+		FailedRepairs:    r.Stats.FailedRepairs,
+		ConvertedAtCycle: r.Stats.ConvertedAtCycle,
+	}
+}
+
 // ConvertAllNow performs the stop-the-world thread-to-process conversion
 // immediately (Sheriff converts at startup; TMI calls this lazily from
-// Handle).
-func (r *Engine) ConvertAllNow(now int64) {
+// Handle). A conversion error leaves the remaining threads unconverted and
+// the engine unarmed; the caller surfaces it as a failed repair.
+func (r *Engine) ConvertAllNow(now int64) error {
 	if r.converted {
-		return
+		return nil
 	}
 	tracer := osim.Attach(r.os, r.app)
 	tracer.StopAll()
@@ -77,7 +109,9 @@ func (r *Engine) ConvertAllNow(now int64) {
 		}
 		child, err := tracer.ConvertThreadToProcess(th)
 		if err != nil {
-			panic("repair: " + err.Error())
+			tracer.ResumeAll()
+			r.Stats.FailedRepairs++
+			return fmt.Errorf("repair: t2p conversion of thread %d: %w", th.ID, err)
 		}
 		r.childSpaces = append(r.childSpaces, child.Space)
 	}
@@ -85,16 +119,19 @@ func (r *Engine) ConvertAllNow(now int64) {
 	r.Stats.T2PCycles = tracer.T2PCycles
 	r.Stats.ConvertedAtCycle = now
 	r.converted = true
+	return nil
 }
 
 // Handle services one detector request: convert on first use, then arm the
 // PTSB on the requested pages (or the whole heap in the Everywhere
 // ablation) in every per-process space.
-func (r *Engine) Handle(req *detect.Request, now int64) {
+func (r *Engine) Handle(req *detect.Request, now int64) error {
 	if req == nil || len(req.Pages) == 0 {
-		return
+		return nil
 	}
-	r.ConvertAllNow(now)
+	if err := r.ConvertAllNow(now); err != nil {
+		return err
+	}
 	r.Stats.RepairEvents++
 	pages := req.Pages
 	if r.Everywhere && r.HeapPages != nil {
@@ -105,10 +142,12 @@ func (r *Engine) Handle(req *detect.Request, now int64) {
 			continue
 		}
 		if err := r.engine.Protect(p, r.childSpaces); err != nil {
-			panic("repair: " + err.Error())
+			r.Stats.FailedRepairs++
+			return fmt.Errorf("repair: arming page 0x%x: %w", p, err)
 		}
 		r.Stats.PagesProtected++
 	}
+	return nil
 }
 
 // T2PMicros converts the recorded per-thread conversion costs to

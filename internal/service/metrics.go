@@ -45,6 +45,9 @@ type Metrics struct {
 
 	mu      sync.Mutex
 	latency histogram
+	// adviceBackend counts advice messages that carried each repair-backend
+	// recommendation (empty when no recommendation policy is configured).
+	adviceBackend map[string]uint64
 	// Scrape-to-scrape ingest rate: the records/sec gauge is the delta
 	// since the previous /metrics scrape (first scrape: since start).
 	lastRateTotal uint64
@@ -70,6 +73,12 @@ func (m *Metrics) observeAdvice(adv toolio.WireAdvice, latency time.Duration) {
 	}
 	m.mu.Lock()
 	m.latency.observe(latency.Seconds())
+	if adv.Backend != "" {
+		if m.adviceBackend == nil {
+			m.adviceBackend = map[string]uint64{}
+		}
+		m.adviceBackend[adv.Backend]++
+	}
 	m.mu.Unlock()
 }
 
@@ -150,6 +159,15 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepths []int, queueCap int, draining
 	h := m.latency
 	hCounts := append([]uint64(nil), h.counts...)
 	hSum, hCount := h.sum, h.count
+	backends := make([]string, 0, len(m.adviceBackend))
+	for b := range m.adviceBackend {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	backendCounts := make([]uint64, len(backends))
+	for i, b := range backends {
+		backendCounts[i] = m.adviceBackend[b]
+	}
 	m.mu.Unlock()
 	gauge("tmid_ingest_records_per_sec", "Ingest rate over the interval since the previous scrape.", rate)
 
@@ -163,6 +181,13 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepths []int, queueCap int, draining
 	fmt.Fprintf(w, "tmid_advice_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "tmid_advice_latency_seconds_sum %g\n", hSum)
 	fmt.Fprintf(w, "tmid_advice_latency_seconds_count %d\n", hCount)
+
+	if len(backends) > 0 {
+		fmt.Fprintf(w, "# HELP tmid_advice_backend_total Advice messages by recommended repair backend.\n# TYPE tmid_advice_backend_total counter\n")
+		for i, b := range backends {
+			fmt.Fprintf(w, "tmid_advice_backend_total{backend=%q} %d\n", b, backendCounts[i])
+		}
+	}
 
 	gauge("tmid_uptime_seconds", "Seconds since the server started.", now.Sub(m.start).Seconds())
 }

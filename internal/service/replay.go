@@ -44,6 +44,13 @@ func forEachWindow(log *trace.SampleLog, repeat int, fn func(seq int, samples []
 // stream bytes. This is what `tmidetect -advice` prints and what tmiload
 // compares every client's server-side advice against.
 func Replay(log *trace.SampleLog, pageSize int, dcfg detect.Config, periods detect.PeriodController, repeat int) ([]byte, error) {
+	return ReplayWithPolicy(log, pageSize, dcfg, periods, repeat, "")
+}
+
+// ReplayWithPolicy is Replay under a repair-backend recommendation policy
+// (Config.RecommendBackend): the offline truth a recommending tmid must
+// match byte-for-byte. An empty policy is plain Replay.
+func ReplayWithPolicy(log *trace.SampleLog, pageSize int, dcfg detect.Config, periods detect.PeriodController, repeat int, policy string) ([]byte, error) {
 	s, err := newSession("offline", pageSize, dcfg)
 	if err != nil {
 		return nil, err
@@ -51,7 +58,7 @@ func Replay(log *trace.SampleLog, pageSize int, dcfg detect.Config, periods dete
 	var out bytes.Buffer
 	forEachWindow(log, repeat, func(seq int, samples []detect.Sample, w trace.SampleWindow) {
 		s.feed(samples)
-		adv := s.advise(toolio.WireTick{K: toolio.WireTickKind, Seq: seq, IntervalSec: w.IntervalSec, Period: w.Period}, periods)
+		adv := s.advise(toolio.WireTick{K: toolio.WireTickKind, Seq: seq, IntervalSec: w.IntervalSec, Period: w.Period}, periods, policy)
 		out.Write(toolio.EncodeWire(adv))
 	})
 	return out.Bytes(), nil

@@ -71,6 +71,13 @@ type Config struct {
 	// Periods is the adaptive sampling-period policy driving each advice
 	// message's NextPeriod feedback. Zero takes detect.DefaultPeriodController.
 	Periods detect.PeriodController
+	// RecommendBackend is the repair-backend recommendation policy stamped
+	// into advice that carries pages: "" or "none" (off — the wire field is
+	// omitted and advice bytes are schema-v1 identical), "auto" (per-advice
+	// heuristic over the flagged lines), or a fixed backend name. See
+	// detect.RecommendBackend. The recommendation is additive: it never
+	// changes any other advice field.
+	RecommendBackend string
 
 	// now is the clock seam (tests inject a fake for TTL eviction).
 	now func() time.Time
@@ -231,7 +238,10 @@ func (s *session) feed(samples []detect.Sample) {
 // advice-producing code path — shards and the offline replay both end here,
 // which is what makes offline/online parity a structural property instead
 // of a test hope.
-func (s *session) advise(tick toolio.WireTick, periods detect.PeriodController) toolio.WireAdvice {
+// The backend recommendation (policy != "") is rendered strictly on top of
+// the finished advice, so a recommending service and a silent one agree on
+// every other byte.
+func (s *session) advise(tick toolio.WireTick, periods detect.PeriodController, policy string) toolio.WireAdvice {
 	req := s.det.Analyze(tick.IntervalSec, tick.Period)
 	window := s.det.TotalRecords - s.seen
 	s.seen = s.det.TotalRecords
@@ -252,6 +262,9 @@ func (s *session) advise(tick toolio.WireTick, periods detect.PeriodController) 
 				EstPerSec:    l.EstEventsPerSec,
 				DroppedSpans: l.DroppedSpans,
 			})
+		}
+		if policy != "" {
+			adv.Backend = detect.RecommendBackend(policy, s.pageSize, req.Lines)
 		}
 	}
 	return adv

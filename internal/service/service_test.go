@@ -93,6 +93,99 @@ func TestStreamParityWithOfflineReplay(t *testing.T) {
 	}
 }
 
+// TestRecommendationIsAdditive pins the backend-recommendation contract:
+// the policy only ever adds the "backend" key to advice that carries pages
+// — deleting that key from a recommending stream reproduces the plain
+// stream byte-for-byte.
+func TestRecommendationIsAdditive(t *testing.T) {
+	log := syntheticLog()
+	plain, err := Replay(log, log.PageSize, detect.Config{}, detect.DefaultPeriodController(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReplayWithPolicy(log, log.PageSize, detect.Config{}, detect.DefaultPeriodController(), 1, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainLines := bytes.Split(bytes.TrimSpace(plain), []byte("\n"))
+	recLines := bytes.Split(bytes.TrimSpace(rec), []byte("\n"))
+	if len(plainLines) != len(recLines) {
+		t.Fatalf("line counts diverged: %d plain, %d recommending", len(plainLines), len(recLines))
+	}
+	sawRec := false
+	for i, line := range recLines {
+		m, err := toolio.DecodeWireMsg(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Pages) > 0 && m.Backend == "" {
+			t.Errorf("advice %d carries pages but no recommendation", i)
+		}
+		if len(m.Pages) == 0 && m.Backend != "" {
+			t.Errorf("advice %d recommends %q with nothing to repair", i, m.Backend)
+		}
+		stripped := line
+		if m.Backend != "" {
+			sawRec = true
+			stripped = bytes.Replace(line, []byte(fmt.Sprintf(",%q:%q", "backend", m.Backend)), nil, 1)
+		}
+		if !bytes.Equal(stripped, plainLines[i]) {
+			t.Errorf("advice %d differs beyond the backend field:\nrec:   %s\nplain: %s", i, line, plainLines[i])
+		}
+	}
+	if !sawRec {
+		t.Error("synthetic false sharing never drew a recommendation")
+	}
+}
+
+// TestServerRecommendationParity runs a recommending tmid against the
+// recommending offline replay (bytes must match) and checks the per-backend
+// advice counter shows up in /metrics.
+func TestServerRecommendationParity(t *testing.T) {
+	log := syntheticLog()
+	srv, hs := newTestServer(t, Config{Shards: 2, RecommendBackend: "tmebox"})
+
+	want, err := ReplayWithPolicy(log, log.PageSize, detect.Config{}, detect.DefaultPeriodController(), 1, "tmebox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &Client{BaseURL: hs.URL, Tenant: "rec-1", PageSize: log.PageSize}
+	res, err := cl.Replay(log, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Advice, want) {
+		t.Errorf("recommending server diverged from offline policy replay:\nserver: %s\noffline: %s", res.Advice, want)
+	}
+	sawFixed := false
+	for _, line := range bytes.Split(bytes.TrimSpace(res.Advice), []byte("\n")) {
+		m, err := toolio.DecodeWireMsg(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Pages) > 0 {
+			if m.Backend != "tmebox" {
+				t.Errorf("fixed policy produced backend %q", m.Backend)
+			}
+			sawFixed = true
+		}
+	}
+	if !sawFixed {
+		t.Fatal("no advice carried pages")
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `tmid_advice_backend_total{backend="tmebox"}`) {
+		t.Error("metrics missing per-backend advice counter")
+	}
+	_ = srv
+}
+
 func TestAdviceCarriesRepairAndPeriodFeedback(t *testing.T) {
 	log := syntheticLog()
 	out, err := Replay(log, log.PageSize, detect.Config{}, detect.DefaultPeriodController(), 1)

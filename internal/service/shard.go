@@ -114,7 +114,7 @@ func (sh *shard) loop() {
 				continue
 			}
 			s.lastSeen = now
-			adv := s.advise(*j.tick, sh.srv.cfg.Periods)
+			adv := s.advise(*j.tick, sh.srv.cfg.Periods, sh.srv.cfg.RecommendBackend)
 			m.ticks.Add(1)
 			m.observeAdvice(adv, now.Sub(j.enqueued))
 			j.reply <- adv

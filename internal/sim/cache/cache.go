@@ -157,6 +157,9 @@ type Stats struct {
 	Invalidations uint64
 	Writebacks    uint64
 	Evictions     uint64
+	// Cross-socket events; always zero on the flat single-socket default.
+	RemoteHITM  uint64 // HITMs served across the socket interconnect
+	RemoteFills uint64 // LLC/DRAM fills whose home node was remote
 }
 
 // TrafficBytes estimates interconnect traffic: every cross-cache transfer,
@@ -187,6 +190,14 @@ type System struct {
 	// (the default: contention modeling does not depend on it).
 	capacity int
 	cores    []*coreCache
+	// sockets > 1 activates the two-level topology (topology.go); 0 is the
+	// flat single-socket default with no penalties anywhere.
+	sockets int
+	topo    Topology
+	// isolated maps a line address to per-core private shadow entries (the
+	// `pad` repair backend's re-segregation model); nil until the first
+	// IsolateLine call.
+	isolated map[uint64][]line
 }
 
 // New returns a coherence system for numCores cores (max 64) with unlimited
@@ -341,7 +352,17 @@ func (s *System) Access(core int, phys uint64, size int, write, atomic bool) Res
 func (s *System) accessLine(core int, la uint64, write bool) Result {
 	s.stats.Accesses++
 	bit := uint64(1) << uint(core)
-	ln := s.getLine(la)
+	var ln *line
+	if s.isolated != nil {
+		if sh, ok := s.isolated[la]; ok {
+			// Re-segregated line: each core coheres against its private
+			// shadow entry, so contention is impossible by construction.
+			ln = &sh[core]
+		}
+	}
+	if ln == nil {
+		ln = s.getLine(la)
+	}
 	holds := ln.sharers&bit != 0
 	remoteDirty := ln.dirty && int(ln.owner) != core
 
@@ -361,7 +382,7 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 			ln.owner = -1
 			ln.sharers |= bit
 			s.noteFill(core, la)
-			return Result{Latency: LatHITM, HITM: true, Source: src}
+			return Result{Latency: LatHITM + s.hitmPenalty(core, src), HITM: true, Source: src}
 		case ln.sharers != 0:
 			// Clean copy in another cache / LLC.
 			s.stats.LLCHits++
@@ -371,14 +392,14 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 				ln.owner = -1
 			}
 			s.noteFill(core, la)
-			return Result{Latency: LatLLC}
+			return Result{Latency: LatLLC + s.fillPenalty(core, la)}
 		default:
 			s.stats.DRAMFills++
 			ln.sharers = bit
 			ln.owner = int8(core)
 			ln.dirty = false // Exclusive
 			s.noteFill(core, la)
-			return Result{Latency: LatDRAM}
+			return Result{Latency: LatDRAM + s.fillPenalty(core, la)}
 		}
 	}
 
@@ -401,7 +422,7 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 		ln.owner = int8(core)
 		ln.dirty = true
 		s.noteFill(core, la)
-		return Result{Latency: LatHITM, HITM: true, Source: src}
+		return Result{Latency: LatHITM + s.hitmPenalty(core, src), HITM: true, Source: src}
 	case holds:
 		// Shared locally: upgrade, invalidating other sharers.
 		s.stats.Upgrades++
@@ -418,14 +439,14 @@ func (s *System) accessLine(core int, la uint64, write bool) Result {
 		ln.owner = int8(core)
 		ln.dirty = true
 		s.noteFill(core, la)
-		return Result{Latency: LatLLC}
+		return Result{Latency: LatLLC + s.fillPenalty(core, la)}
 	default:
 		s.stats.DRAMFills++
 		ln.sharers = bit
 		ln.owner = int8(core)
 		ln.dirty = true
 		s.noteFill(core, la)
-		return Result{Latency: LatDRAM}
+		return Result{Latency: LatDRAM + s.fillPenalty(core, la)}
 	}
 }
 

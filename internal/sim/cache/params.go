@@ -26,6 +26,19 @@ const (
 	LatStream = 6
 )
 
+// Cross-socket penalties, applied only when SetTopology configures more
+// than one socket (topology.go). Magnitudes follow published QPI/UPI
+// numbers: a remote HITM roughly 1.6x a local one, a remote-node fill
+// roughly 60 cycles over the local path.
+const (
+	// LatRemoteHITM is added to LatHITM when the Modified owner sits on a
+	// different socket than the requester.
+	LatRemoteHITM = 90
+	// LatRemoteFill is added to LatLLC/LatDRAM when the line's home node
+	// is a different socket than the requester's.
+	LatRemoteFill = 60
+)
+
 // ClockHz is the simulated core frequency.
 const ClockHz = 3_400_000_000
 

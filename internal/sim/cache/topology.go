@@ -1,0 +1,149 @@
+package cache
+
+import "fmt"
+
+// This file adds the two-level socket topology (ROADMAP item 2) and the
+// per-line isolation hook used by the `pad` repair backend. Both are
+// strictly config-gated: a System with no SetTopology call and no
+// IsolateLine call behaves bit-for-bit like the single-socket model —
+// identical latencies, identical stats — which is what keeps the fig9
+// golden byte-identical under the default configuration.
+//
+// Topology model:
+//
+//   - Cores are block-partitioned across sockets: with C cores and S
+//     sockets, core c lives on socket c*S/C (cores 0..C/S-1 on socket 0,
+//     and so on). This mirrors how the harness pins worker threads to
+//     consecutive cores.
+//   - Each line has a home node: physical frames interleave across sockets
+//     at page granularity (frame >> homeShift mod S), the default BIOS
+//     interleave policy. The home node hosts the line's directory slice.
+//   - A HITM whose Modified owner sits on a different socket than the
+//     requester pays RemoteHITMPenalty on top of LatHITM: the dirty line
+//     crosses the interconnect instead of the intra-socket ring.
+//   - A fill (LLC or DRAM) whose home node is remote pays RemoteFillPenalty:
+//     the directory lookup and the data both cross sockets.
+//
+// Upgrades stay flat: invalidation messages are small and latency-hidden
+// relative to data transfers, and keeping them flat keeps the gated diff
+// minimal.
+
+// homeShift interleaves line homes at 4 KiB frame granularity.
+const homeShift = 12
+
+// Topology configures the socket layout. Zero penalty fields are filled
+// with the LatRemoteHITM / LatRemoteFill defaults from params.go.
+type Topology struct {
+	// Sockets is the socket count; 0 or 1 means the flat single-socket
+	// machine (no penalties anywhere).
+	Sockets int
+	// RemoteHITMPenalty is added to LatHITM when the Modified owner is on
+	// a different socket than the requester.
+	RemoteHITMPenalty int64
+	// RemoteFillPenalty is added to LatLLC/LatDRAM when the line's home
+	// node is a different socket than the requester's.
+	RemoteFillPenalty int64
+}
+
+// SetTopology installs a socket topology. Call before any Access. Sockets
+// must not exceed the core count; 0 or 1 restores the flat default.
+func (s *System) SetTopology(t Topology) error {
+	if t.Sockets <= 1 {
+		s.sockets = 0
+		return nil
+	}
+	if t.Sockets > s.numCores {
+		return fmt.Errorf("cache: %d sockets over %d cores", t.Sockets, s.numCores)
+	}
+	if t.RemoteHITMPenalty == 0 {
+		t.RemoteHITMPenalty = LatRemoteHITM
+	}
+	if t.RemoteFillPenalty == 0 {
+		t.RemoteFillPenalty = LatRemoteFill
+	}
+	s.sockets = t.Sockets
+	s.topo = t
+	return nil
+}
+
+// Sockets reports the configured socket count (1 for the flat default).
+func (s *System) Sockets() int {
+	if s.sockets == 0 {
+		return 1
+	}
+	return s.sockets
+}
+
+// SocketOf reports the socket hosting core (block partition).
+func (s *System) SocketOf(core int) int {
+	if s.sockets == 0 {
+		return 0
+	}
+	return core * s.sockets / s.numCores
+}
+
+// FirstCoreOf reports the lowest-numbered core on socket sk.
+func (s *System) FirstCoreOf(sk int) int {
+	if s.sockets == 0 {
+		return 0
+	}
+	for c := 0; c < s.numCores; c++ {
+		if s.SocketOf(c) == sk {
+			return c
+		}
+	}
+	return 0
+}
+
+// HomeSocket reports the socket whose node hosts the directory for the
+// line containing phys (page-interleaved; 0 on the flat default).
+func (s *System) HomeSocket(phys uint64) int {
+	if s.sockets == 0 {
+		return 0
+	}
+	return int((phys >> homeShift) % uint64(s.sockets))
+}
+
+// hitmPenalty charges the cross-socket transfer cost for a HITM served by
+// core src, and counts it. Zero on the flat default or intra-socket.
+func (s *System) hitmPenalty(core, src int) int64 {
+	if s.sockets == 0 || s.SocketOf(core) == s.SocketOf(src) {
+		return 0
+	}
+	s.stats.RemoteHITM++
+	return s.topo.RemoteHITMPenalty
+}
+
+// fillPenalty charges the remote-home cost for a fill of la by core, and
+// counts it. Zero on the flat default or when the home node is local.
+func (s *System) fillPenalty(core int, la uint64) int64 {
+	if s.sockets == 0 || s.SocketOf(core) == s.HomeSocket(la) {
+		return 0
+	}
+	s.stats.RemoteFills++
+	return s.topo.RemoteFillPenalty
+}
+
+// IsolateLine re-segregates the line containing phys onto per-core private
+// shadow directory entries: from this point on, each core coheres against
+// its own copy and the line can never ping-pong again. This is the cache
+// model of the `pad` repair backend — the allocator moves each offending
+// object onto its own line, so the formerly-shared physical line stops
+// existing as a contention point. Idempotent.
+func (s *System) IsolateLine(phys uint64) {
+	la := phys &^ (LineSize - 1)
+	if s.isolated == nil {
+		s.isolated = make(map[uint64][]line)
+	}
+	if _, ok := s.isolated[la]; ok {
+		return
+	}
+	sh := make([]line, s.numCores)
+	for i := range sh {
+		sh[i].owner = -1
+	}
+	s.isolated[la] = sh
+}
+
+// IsolatedLines reports how many lines have been re-segregated.
+func (s *System) IsolatedLines() int { return len(s.isolated) }

@@ -1,0 +1,147 @@
+package cache
+
+import "testing"
+
+// pingPong drives one store each from two cores at the same line and
+// returns the second access's result (the contended one).
+func pingPong(s *System, phys uint64) Result {
+	s.Access(0, phys, 8, true, false)
+	return s.Access(1, phys, 8, true, false)
+}
+
+func TestFlatDefaultUnchangedByZeroTopology(t *testing.T) {
+	a := New(4)
+	b := New(4)
+	if err := b.SetTopology(Topology{Sockets: 1}); err != nil {
+		t.Fatalf("SetTopology(1): %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		phys := uint64(0x1000 + (i%7)*8)
+		core := i % 4
+		write := i%3 == 0
+		ra := a.Access(core, phys, 8, write, false)
+		rb := b.Access(core, phys, 8, write, false)
+		if ra != rb {
+			t.Fatalf("access %d: flat %+v != sockets=1 %+v", i, ra, rb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if st := a.Stats(); st.RemoteHITM != 0 || st.RemoteFills != 0 {
+		t.Fatalf("flat system counted remote events: %+v", st)
+	}
+}
+
+func TestSocketPartitionAndHomeInterleave(t *testing.T) {
+	s := New(4)
+	if err := s.SetTopology(Topology{Sockets: 2}); err != nil {
+		t.Fatalf("SetTopology: %v", err)
+	}
+	wantSock := []int{0, 0, 1, 1}
+	for c, want := range wantSock {
+		if got := s.SocketOf(c); got != want {
+			t.Errorf("SocketOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if got := s.FirstCoreOf(1); got != 2 {
+		t.Errorf("FirstCoreOf(1) = %d, want 2", got)
+	}
+	if h0, h1 := s.HomeSocket(0x1000), s.HomeSocket(0x2000); h0 == h1 {
+		t.Errorf("adjacent frames share a home socket (%d)", h0)
+	}
+	if err := s.SetTopology(Topology{Sockets: 5}); err == nil {
+		t.Error("SetTopology(5 sockets, 4 cores) accepted")
+	}
+}
+
+func TestRemoteHITMPaysInterconnectPenalty(t *testing.T) {
+	local := New(4)
+	remote := New(4)
+	if err := remote.SetTopology(Topology{Sockets: 2}); err != nil {
+		t.Fatalf("SetTopology: %v", err)
+	}
+	// Core 0 dirties the line, core 1 (same socket) then core 3 (other
+	// socket) request it.
+	const phys = 0x1000
+	for _, s := range []*System{local, remote} {
+		s.Access(0, phys, 8, true, false)
+	}
+	sameSock := remote.Access(1, phys, 8, false, false)
+	if sameSock.Latency != LatHITM {
+		t.Fatalf("intra-socket HITM latency %d, want %d", sameSock.Latency, LatHITM)
+	}
+	local.Access(1, phys, 8, false, false)
+
+	// Re-dirty from core 0, then request from the far socket.
+	local.Access(0, phys, 8, true, false)
+	remote.Access(0, phys, 8, true, false)
+	far := remote.Access(3, phys, 8, false, false)
+	near := local.Access(3, phys, 8, false, false)
+	if !far.HITM || !near.HITM {
+		t.Fatalf("expected HITM on both systems (far %+v, near %+v)", far, near)
+	}
+	if want := near.Latency + LatRemoteHITM; far.Latency != want {
+		t.Errorf("cross-socket HITM latency %d, want %d", far.Latency, want)
+	}
+	if st := remote.Stats(); st.RemoteHITM != 1 {
+		t.Errorf("RemoteHITM = %d, want 1", st.RemoteHITM)
+	}
+}
+
+func TestRemoteHomeFillPenalty(t *testing.T) {
+	// Adjacent frames home on alternating sockets; core 0 (socket 0)
+	// cold-fills one of each.
+	s2 := New(4)
+	if err := s2.SetTopology(Topology{Sockets: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var localLat, remoteLat int64
+	for _, phys := range []uint64{0x1000, 0x2000} {
+		r := s2.Access(0, phys, 8, false, false)
+		if s2.HomeSocket(phys) == s2.SocketOf(0) {
+			localLat = r.Latency
+		} else {
+			remoteLat = r.Latency
+		}
+	}
+	if localLat != LatDRAM {
+		t.Errorf("local-home DRAM fill latency %d, want %d", localLat, LatDRAM)
+	}
+	if want := int64(LatDRAM + LatRemoteFill); remoteLat != want {
+		t.Errorf("remote-home DRAM fill latency %d, want %d", remoteLat, want)
+	}
+	if st := s2.Stats(); st.RemoteFills != 1 {
+		t.Errorf("RemoteFills = %d, want 1", st.RemoteFills)
+	}
+}
+
+func TestIsolateLineStopsPingPong(t *testing.T) {
+	s := New(2)
+	const phys = 0x3000
+	// Establish ping-pong: the second store HITMs.
+	if r := pingPong(s, phys); !r.HITM {
+		t.Fatalf("expected HITM before isolation, got %+v", r)
+	}
+	before := s.Stats().HITM
+	s.IsolateLine(phys + 8) // any address within the line
+	s.IsolateLine(phys)     // idempotent
+	if got := s.IsolatedLines(); got != 1 {
+		t.Fatalf("IsolatedLines = %d, want 1", got)
+	}
+	// Post-isolation: each core takes one private fill, then pure L1 hits;
+	// no HITM ever again on this line.
+	for i := 0; i < 20; i++ {
+		for core := 0; core < 2; core++ {
+			if r := s.Access(core, phys, 8, true, false); r.HITM {
+				t.Fatalf("HITM on isolated line (iter %d core %d)", i, core)
+			}
+		}
+	}
+	if got := s.Stats().HITM; got != before {
+		t.Errorf("HITM count grew %d -> %d after isolation", before, got)
+	}
+	if err := s.CheckSWMR(); err != nil {
+		t.Errorf("SWMR violated: %v", err)
+	}
+}

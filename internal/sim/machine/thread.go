@@ -15,6 +15,18 @@ func (t *Thread) SetSpace(s *mem.AddrSpace) { t.space = s }
 // Space returns the thread's current address space.
 func (t *Thread) Space() *mem.AddrSpace { return t.space }
 
+// SetCore re-pins the thread to a different core mid-run (the `map`
+// repair backend's thread-and-data mapping). The coherence fabric sees
+// subsequent accesses under the new identity; MESI state left under the
+// old core ages out through the normal protocol (at most one extra
+// transfer per still-owned line).
+func (t *Thread) SetCore(core int) {
+	if core < 0 || core >= t.m.cacheS.NumCores() {
+		panic(fmt.Sprintf("machine: SetCore(%d) out of range", core))
+	}
+	t.Core = core
+}
+
 // Clock returns the thread's local simulated time in cycles.
 func (t *Thread) Clock() int64 { return t.clock }
 

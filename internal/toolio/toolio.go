@@ -15,7 +15,14 @@ import (
 // protocol's hello — so producers and consumers across PRs agree on one
 // version axis. Documents written before versioning existed carry 0 and are
 // read as version 1.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1  initial versioned schema
+//	2  advice messages gain an optional "backend" repair-strategy
+//	   recommendation (omitted when the service has no recommendation
+//	   policy, so version-1 advice bytes are unchanged)
+const SchemaVersion = 2
 
 // checkVersion validates a decoded document's version field.
 func checkVersion(kind string, v int) (int, error) {

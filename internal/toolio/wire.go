@@ -76,12 +76,17 @@ type WireLine struct {
 // WireAdvice is the service's per-tick reply: the pages to isolate (the
 // offline detector's repair request, page-aligned) with the lines that
 // crossed the threshold, plus NextPeriod — the adaptive sampling-period
-// feedback the client should program before the next window.
+// feedback the client should program before the next window. Backend is
+// the service's repair-strategy recommendation for the flagged pages
+// (schema v2; present only when a recommendation policy is configured and
+// the advice carries pages — it is additive and never perturbs the other
+// fields).
 type WireAdvice struct {
 	K          string     `json:"k"`
 	Seq        int        `json:"seq"`
 	Records    uint64     `json:"records"`
 	NextPeriod int        `json:"next_period"`
+	Backend    string     `json:"backend,omitempty"`
 	Pages      []uint64   `json:"pages,omitempty"`
 	Lines      []WireLine `json:"lines,omitempty"`
 }
@@ -108,6 +113,7 @@ type WireMsg struct {
 	Period      int         `json:"period,omitempty"`
 	Records     uint64      `json:"records,omitempty"`
 	NextPeriod  int         `json:"next_period,omitempty"`
+	Backend     string      `json:"backend,omitempty"`
 	Pages       []uint64    `json:"pages,omitempty"`
 	Lines       []WireLine  `json:"lines,omitempty"`
 	Error       string      `json:"error,omitempty"`

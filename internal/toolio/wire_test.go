@@ -13,8 +13,9 @@ func TestWireRoundTrip(t *testing.T) {
 		WireTick{K: WireTickKind, Seq: 7, IntervalSec: 0.0001, Period: 100},
 		WireAdvice{
 			K: WireAdviceKind, Seq: 7, Records: 37, NextPeriod: 400,
-			Pages: []uint64{0x7f000000},
-			Lines: []WireLine{{Line: 0x7f001040, Class: "false", Records: 37, EstPerSec: 3.7e5, DroppedSpans: 1}},
+			Backend: "tmebox",
+			Pages:   []uint64{0x7f000000},
+			Lines:   []WireLine{{Line: 0x7f001040, Class: "false", Records: 37, EstPerSec: 3.7e5, DroppedSpans: 1}},
 		},
 		WireError{K: WireErrorKind, Error: "shard overloaded, batch dropped", RetryMs: 1000},
 	}
@@ -42,6 +43,7 @@ func TestWireRoundTrip(t *testing.T) {
 			}
 		case WireAdvice:
 			if m.K != want.K || m.Seq != want.Seq || m.Records != want.Records || m.NextPeriod != want.NextPeriod ||
+				m.Backend != want.Backend ||
 				len(m.Pages) != 1 || m.Pages[0] != want.Pages[0] || len(m.Lines) != 1 || m.Lines[0] != want.Lines[0] {
 				t.Errorf("advice did not round-trip: %+v", m)
 			}
@@ -50,6 +52,59 @@ func TestWireRoundTrip(t *testing.T) {
 				t.Errorf("error did not round-trip: %+v", m)
 			}
 		}
+	}
+}
+
+// TestAdviceBackendFieldIsAdditive pins the v2 compatibility contract: an
+// advice without a backend recommendation encodes with no "backend" key at
+// all (byte-identical to schema v1 advice), a v1 decoder's union reads a
+// v2 advice-with-backend line without error, and hellos follow the same
+// version policy as documents — legacy 0 reads as 1, anything up to
+// SchemaVersion is accepted, newer is rejected.
+func TestAdviceBackendFieldIsAdditive(t *testing.T) {
+	plain := WireAdvice{K: WireAdviceKind, Seq: 3, Records: 12, NextPeriod: 100, Pages: []uint64{4096}}
+	if line := EncodeWire(plain); bytes.Contains(line, []byte("backend")) {
+		t.Errorf("advice without recommendation must omit the backend key: %q", line)
+	}
+	rec := plain
+	rec.Backend = "pad"
+	line := EncodeWire(rec)
+	m, err := DecodeWireMsg(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m.Backend != "pad" || m.Seq != 3 || len(m.Pages) != 1 {
+		t.Errorf("backend advice did not round-trip: %+v", m)
+	}
+	// A v1 reader ignores unknown keys: the same line minus our knowledge
+	// of the field still decodes (encoding/json drops unknown fields).
+	if _, err := DecodeWireMsg([]byte(`{"k":"a","seq":3,"backend":"pad","future_field":true}`)); err != nil {
+		t.Errorf("decoder must tolerate unknown advice fields: %v", err)
+	}
+}
+
+func TestHelloVersionHandling(t *testing.T) {
+	check := func(line string) error {
+		m, err := DecodeWireMsg([]byte(line))
+		if err != nil {
+			return err
+		}
+		return CheckHello(m)
+	}
+	// Legacy version-0 (pre-versioning) and every version up to the
+	// current schema are accepted.
+	if err := check(`{"k":"h","tenant":"legacy","page_size":4096}`); err != nil {
+		t.Errorf("legacy version-0 hello rejected: %v", err)
+	}
+	if err := check(`{"k":"h","v":1,"tenant":"v1-client","page_size":4096}`); err != nil {
+		t.Errorf("version-1 hello rejected: %v", err)
+	}
+	if err := check(`{"k":"h","v":2,"tenant":"v2-client","page_size":4096}`); err != nil {
+		t.Errorf("current-version hello rejected: %v", err)
+	}
+	// Futures are rejected, not misread.
+	if err := check(`{"k":"h","v":99,"tenant":"time-traveler"}`); err == nil {
+		t.Error("accepted a hello with a future schema version")
 	}
 }
 

@@ -117,8 +117,8 @@ func CheckHello(m *WireMsg) error {
 	if m.K != WireHelloKind {
 		return fmt.Errorf("toolio: first line must be a hello")
 	}
-	if m.Version != SchemaVersion {
-		return fmt.Errorf("toolio: wire schema version %d, want %d", m.Version, SchemaVersion)
+	if _, err := checkVersion("wire hello", m.Version); err != nil {
+		return err
 	}
 	if m.Tenant == "" {
 		return fmt.Errorf("toolio: hello without tenant")

@@ -85,6 +85,16 @@ type Config struct {
 	DisableCCC bool
 	// PTSBEverywhere arms the whole heap at first repair (§4.3 ablation).
 	PTSBEverywhere bool
+	// RepairBackend selects the repair strategy for TMIProtect runs: ""
+	// or "t2p" (the paper's thread-to-process conversion + PTSB), "pad"
+	// (allocator re-segregation onto private lines), "map" (thread-and-
+	// data mapping toward the hot page's home node), or "tmebox"
+	// (fork-free keyed in-process isolation).
+	RepairBackend string
+	// Sockets splits the simulated cores across that many sockets with a
+	// home-node directory and remote-socket latency penalties. 0 or 1
+	// keeps the flat single-socket machine (byte-identical defaults).
+	Sockets int
 	// ThresholdPerSec overrides the detector's repair threshold.
 	ThresholdPerSec float64
 	// DetectIntervalSec overrides the detection analysis period. The
@@ -139,6 +149,8 @@ func Run(w workload.Workload, cfg Config) (*Report, error) {
 		HugePages:             cfg.HugePages,
 		DisableCCC:            cfg.DisableCCC,
 		PTSBEverywhere:        cfg.PTSBEverywhere,
+		RepairBackend:         cfg.RepairBackend,
+		Sockets:               cfg.Sockets,
 		ThresholdPerSec:       cfg.ThresholdPerSec,
 		DetectIntervalSec:     cfg.DetectIntervalSec,
 		Seed:                  cfg.Seed,
