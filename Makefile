@@ -8,9 +8,12 @@
 # solver run on the broken fixtures, its repair sets applied by tmimc and
 # certified SC-equivalent and race-free), benchgate (fig9's table must stay
 # byte-identical to the committed golden), backends (cross-backend repair
-# parity plus the two-socket policy-table sweep) and serve-smoke (a race-built
+# parity plus the two-socket policy-table sweep), serve-smoke (a race-built
 # tmid server replayed at by concurrent tmiload clients, advice streams
-# asserted byte-identical to the offline detector).
+# asserted byte-identical to the offline detector) and cluster-smoke (a
+# race-built in-process cluster — tmirouter over migratable tmid nodes —
+# with one node killed and one added mid-run under a 16-client fleet:
+# zero lost sessions, advice byte-identical to the offline replay).
 # `make bench` persists one BENCH_<date>[.N].json
 # perf point per invocation so the trajectory across PRs stays
 # comparable; `make microbench` folds access-path microbenchmark stats
@@ -18,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-harness bench microbench benchgate backends serve-smoke allocgate vet vet-src lint tmilint mc suggest fmt ci check
+.PHONY: all build test race race-harness bench microbench benchgate backends serve-smoke cluster-smoke allocgate vet vet-src lint tmilint mc suggest fmt ci check
 
 all: check
 
@@ -36,7 +39,7 @@ race:
 # streams; these are the subsystems with host-level concurrency, so they
 # get a dedicated race-detector lane in the check gate.
 race-harness:
-	$(GO) test -race ./internal/harness/... ./internal/service/...
+	$(GO) test -race ./internal/harness/... ./internal/service/... ./internal/cluster/...
 
 # bench regenerates the full evaluation with the parallel sweep executor
 # and appends a benchmark-trajectory point (wall-clock, cell counts,
@@ -97,6 +100,20 @@ serve-smoke:
 	fi; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$rc -ne 0 ]; then echo "serve-smoke: FAILED (tmid log follows)"; cat $$dir/tmid.log; fi; \
+	rm -rf $$dir; exit $$rc
+
+# cluster-smoke is the chaos gate for the routing tier: a race-built
+# tmiload boots an in-process cluster (tmirouter + 2 migratable tmid nodes,
+# every hop a real HTTP connection), streams from 16 concurrent clients,
+# and mid-run a fresh node is added through the router admin API and node 0
+# is hard-killed (its sessions lost). The run must end with zero lost
+# sessions and every client's advice byte-identical to the offline
+# service.Replay truth — rebalancing and node death may cost retries,
+# never correctness.
+cluster-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) build -race -o $$dir/tmiload ./cmd/tmiload || { rm -rf $$dir; exit 1; }; \
+	$$dir/tmiload -cluster 2 -clients 16 -repeat 4 -add-after 60ms -kill-after 120ms; rc=$$?; \
 	rm -rf $$dir; exit $$rc
 
 # allocgate runs the steady-state allocation guards without the race
@@ -160,4 +177,4 @@ lint: fmt vet
 
 ci: build test vet vet-src lint
 
-check: ci race-harness allocgate mc suggest benchgate backends serve-smoke
+check: ci race-harness allocgate mc suggest benchgate backends serve-smoke cluster-smoke

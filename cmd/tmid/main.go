@@ -44,6 +44,8 @@ func main() {
 		drainWait  = flag.Duration("drain-wait", 10*time.Second, "graceful shutdown budget on SIGTERM")
 		maxFrame   = flag.Int("max-frame", toolio.MaxWireLine, "max accepted wire frame/line payload bytes")
 		recommend  = flag.String("recommend", "", "repair-backend recommendation policy stamped into advice: none, auto, or a fixed backend (t2p, pad, map, tmebox)")
+		nodeID     = flag.String("node-id", "", "node name reported in /healthz JSON (cluster membership metadata; default tmid)")
+		migratable = flag.Bool("migratable", false, "capture per-session sample logs so sessions can be exported and live-migrated (/v1/export, /v1/migrate)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func main() {
 		MaxFrameBytes:    *maxFrame,
 		Detect:           detect.Config{ThresholdPerSec: *threshold, MinRecords: *minRecords},
 		RecommendBackend: *recommend,
+		NodeID:           *nodeID,
+		Migratable:       *migratable,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

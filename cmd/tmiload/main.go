@@ -12,6 +12,20 @@
 //	tmiload -addr $A -clients 64 -min-records 100000
 //	tmiload -addr $A -wire both                     # NDJSON vs binary A/B
 //
+// Cluster chaos mode spins up an in-process cluster (router + N
+// migratable tmid nodes, every hop a real HTTP connection) and streams
+// through the router while membership churns under the fleet:
+//
+//	tmiload -cluster 3                              # 3 nodes behind a router
+//	tmiload -cluster 2 -kill-after 150ms -add-after 100ms
+//
+// -kill-after hard-kills node 0 mid-run (its sessions are lost; affected
+// clients must retry and still converge on byte-identical advice);
+// -add-after admits a fresh node through the router admin API, forcing
+// live session migrations at clean stream boundaries. The parity bar is
+// unchanged: every client's advice must match the offline replay
+// byte-for-byte, and no session may be lost.
+//
 // Exit status: 0 when every client finished with byte-identical advice,
 // 1 on any mismatch or lost session, 2 on usage errors.
 package main
@@ -25,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/detect"
 	"repro/internal/service"
 	"repro/internal/toolio"
@@ -72,8 +87,22 @@ func main() {
 		wire       = flag.String("wire", "ndjson", "sample encoding: ndjson, binary, or both (A/B the same trace through each and report the speedup)")
 		adviceOut  = flag.String("advice-out", "", "write the parity-verified offline advice stream to this file (for external diffing)")
 		recommend  = flag.String("recommend", "", "repair-backend recommendation policy the target tmid was launched with (its -recommend flag); the offline truth carries the recommendation and its additivity over the policy-free advice is asserted")
+		clusterN   = flag.Int("cluster", 0, "run against an in-process cluster of N migratable tmid nodes behind a tmirouter instead of -addr")
+		killAfter  = flag.Duration("kill-after", 0, "cluster chaos: hard-kill node 0 this long after the fleet starts")
+		addAfter   = flag.Duration("add-after", 0, "cluster chaos: add a fresh node via the router admin API this long after the fleet starts")
 	)
 	flag.Parse()
+
+	if *clusterN <= 0 && (*killAfter > 0 || *addAfter > 0) {
+		fmt.Fprintln(os.Stderr, "tmiload: -kill-after/-add-after need -cluster")
+		os.Exit(2)
+	}
+	if *clusterN > 0 && *wire == "both" {
+		// Chaos events fire once; an A/B double run would aim them at only
+		// the first fleet. Pick one encoding per chaos run.
+		fmt.Fprintln(os.Stderr, "tmiload: -wire both and -cluster are mutually exclusive (chaos events fire once)")
+		os.Exit(2)
+	}
 
 	if !detect.ValidRecommendPolicy(*recommend) {
 		fmt.Fprintf(os.Stderr, "tmiload: unknown -recommend policy %q (want none, auto, t2p, pad, map, or tmebox)\n", *recommend)
@@ -154,9 +183,27 @@ func main() {
 	if strings.Contains(*addr, "://") {
 		base = *addr
 	}
+	var lc *cluster.Local
+	if *clusterN > 0 {
+		var err error
+		// Fast probes and a low failure threshold: chaos runs are short, and
+		// a killed node must leave the ring well inside the retry budget.
+		lc, err = cluster.NewLocal(*clusterN, service.Config{}, cluster.Config{
+			ProbeInterval: 100 * time.Millisecond, FailAfter: 2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmiload:", err)
+			os.Exit(2)
+		}
+		defer lc.Close()
+		base = lc.RouterURL
+	}
 	perClient := *repeat * log.Len()
 	fmt.Printf("tmiload: %s trace: %d records over %d windows (x%d replay = %d records/client), %d clients -> %s\n",
 		*name, log.Len(), len(log.Windows), *repeat, perClient, *clients, base)
+	if lc != nil {
+		fmt.Printf("tmiload: cluster: %d nodes behind router (kill-after %s, add-after %s)\n", *clusterN, *killAfter, *addAfter)
+	}
 
 	// runMode drives the full client fleet once over one wire encoding and
 	// returns the aggregate. Every client's advice is still compared
@@ -177,6 +224,23 @@ func main() {
 		}
 		results := make([]outcome, *clients)
 		start := time.Now()
+		if lc != nil {
+			if *killAfter > 0 {
+				time.AfterFunc(*killAfter, func() {
+					fmt.Printf("tmiload: chaos: killed node %s\n", lc.Kill(0))
+				})
+			}
+			if *addAfter > 0 {
+				time.AfterFunc(*addAfter, func() {
+					url, err := lc.AddNode()
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "tmiload: chaos: add node: %v\n", err)
+						return
+					}
+					fmt.Printf("tmiload: chaos: added node %s\n", url)
+				})
+			}
+		}
 		var wg sync.WaitGroup
 		for c := 0; c < *clients; c++ {
 			wg.Add(1)
@@ -190,6 +254,7 @@ func main() {
 					// would (correctly!) change its advice. The abandoned tenant
 					// ages out via the session TTL.
 					out.tenant = fmt.Sprintf("load-%s-%d-a%d", mode, c, attempt)
+					out.err = nil
 					cl := &service.Client{
 						BaseURL:      base,
 						Tenant:       out.tenant,
@@ -204,7 +269,16 @@ func main() {
 					}
 					if err != nil {
 						out.err = err
-						break
+						if lc == nil {
+							break
+						}
+						// Cluster chaos: every failure is retryable. A killed
+						// node severs streams with transport errors, a router
+						// mid-rebalance with retryable wire errors; a fresh
+						// tenant replays from scratch either way, so parity
+						// survives any interleaving of failures.
+						time.Sleep(150 * time.Millisecond)
+						continue
 					}
 					out.records, out.ticks = res.Records, res.Ticks
 					out.match = bytes.Equal(res.Advice, want)
@@ -253,6 +327,11 @@ func main() {
 	}
 	if len(modes) == 2 && rates["ndjson"] > 0 {
 		fmt.Printf("tmiload: binary/ndjson ingest speedup: %.1fx\n", rates["binary"]/rates["ndjson"])
+	}
+	if lc != nil {
+		ms := lc.Router.MigrationStats()
+		fmt.Printf("tmiload: cluster: ring gen %d; migrations ok=%d noop=%d failed=%d (%d records, p50 %.1fms p99 %.1fms)\n",
+			lc.Router.Generation(), ms.OK, ms.Noop, ms.Failed, ms.Records, ms.P50ms, ms.P99ms)
 	}
 	if failed {
 		fmt.Println("tmiload: FAIL")

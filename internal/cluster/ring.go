@@ -1,0 +1,126 @@
+// Package cluster is tmid's horizontal scale-out tier: a consistent-hash
+// routing proxy (Router) that spreads tenants over N tmid nodes, tracks
+// node membership through their /healthz probes, and live-migrates tenant
+// sessions between nodes when the ring changes — shipping each session's
+// captured trace.SampleLog through the nodes' /v1/migrate endpoint so the
+// destination rebuilds byte-identical detector state (DESIGN §17).
+//
+// The correctness story is the same parity-by-construction argument the
+// single-node service makes: the router never interprets or re-renders
+// advice, it relays the owning node's bytes; and a migration replays the
+// exact sample/window stream the source accepted, through the exact
+// session code path, so a rebalanced tenant's advice stream is
+// byte-identical to one that never moved (asserted end-to-end by
+// tmiload -cluster and the cluster-smoke CI lane).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes and bounded-load
+// placement ("Consistent Hashing with Bounded Loads", Mirrokni et al.):
+// each node projects VNodes points onto a 64-bit circle, a key's primary
+// owner is the first point clockwise of the key's hash, and a node already
+// at the load bound is skipped for the next distinct node so one hot node
+// cannot absorb an unbounded share of the tenants. The ring itself is
+// immutable; Router swaps whole rings on membership changes and bumps a
+// generation counter that live streams watch.
+type Ring struct {
+	vnodes int
+	factor float64
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// DefaultVNodes is the virtual-node count per node: enough that a 3-node
+// ring splits tenants within a few percent of evenly, small enough that
+// rebuilding the ring on a membership change is microseconds.
+const DefaultVNodes = 64
+
+// DefaultBoundFactor is the bounded-load headroom: a node may carry at
+// most ceil(factor * mean) active streams before placement skips past it.
+const DefaultBoundFactor = 1.25
+
+// NewRing builds a ring over the given nodes. vnodes <= 0 and
+// factor <= 1 take the defaults.
+func NewRing(nodes []string, vnodes int, factor float64) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if factor <= 1 {
+		factor = DefaultBoundFactor
+	}
+	r := &Ring{vnodes: vnodes, factor: factor, nodes: append([]string(nil), nodes...)}
+	sort.Strings(r.nodes)
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for ni, node := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", node, v)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Nodes returns the ring's members (sorted).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner places a key. load reports a node's current active-stream count
+// and total the cluster-wide count; a nil load disables the bound and the
+// primary owner wins. When every distinct node sits at the bound the
+// primary owner wins too (the bound is headroom, not an admission gate).
+func (r *Ring) Owner(key string, load func(node string) int, total int) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	primary := r.nodes[r.points[i].node]
+	if load == nil {
+		return primary, true
+	}
+	bound := int(math.Ceil(r.factor * float64(total+1) / float64(len(r.nodes))))
+	if bound < 1 {
+		bound = 1
+	}
+	seen := 0
+	tried := make(map[int]bool, len(r.nodes))
+	for j := i; seen < len(r.nodes); j++ {
+		if j == len(r.points) {
+			j = 0
+		}
+		ni := r.points[j].node
+		if tried[ni] {
+			continue
+		}
+		tried[ni] = true
+		seen++
+		if load(r.nodes[ni]) < bound {
+			return r.nodes[ni], true
+		}
+	}
+	return primary, true
+}
+
+// hash64 is FNV-1a over the key (the same family the single-node service
+// shards tenants with; here it places both vnode points and tenant keys).
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

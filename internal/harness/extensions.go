@@ -19,6 +19,7 @@ func init() {
 		{"static-layout", "Extension: tmilint static layout predictor vs dynamic detector", staticLayout},
 		{"ingest", "Extension: tmid ingest throughput, NDJSON vs binary wire frames", ingestExp},
 		{"repair-backends", "Extension: repair-backend sweep (t2p/pad/map/tmebox) on the two-socket NUMA model", backendsExp},
+		{"cluster", "Extension: tmid cluster — live session migration latency and rebalance throughput", clusterExp},
 	}
 }
 

@@ -2,10 +2,14 @@ package service
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/detect"
@@ -85,11 +89,24 @@ func (st *stream) convertQuads(quads [][4]uint64) []detect.Sample {
 // 429 with Retry-After, which keeps the service's memory bounded by
 // (shards × queue depth × batch size) no matter how many clients push.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReaderSize(r.Body, 256<<10)
+	// Returning with unread request body arms net/http's post-handler
+	// discard, whose EOF can start a background read that races the
+	// server's next-request peek ("invalid concurrent Body.Read call"
+	// panic). Refusals therefore answer first (flushed, so the client
+	// isn't left waiting on buffered headers) and then consume the stream
+	// to EOF in-handler; the client closes once it reads the verdict.
+	bail := func(msg string, code int) {
+		http.Error(w, msg, code)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		io.Copy(io.Discard, br)
+	}
 	if s.draining.Load() {
-		http.Error(w, "tmid: draining", http.StatusServiceUnavailable)
+		bail("tmid: draining", http.StatusServiceUnavailable)
 		return
 	}
-	br := bufio.NewReaderSize(r.Body, 256<<10)
 
 	line, err := readWireLine(br, nil, s.cfg.MaxFrameBytes)
 	if err != nil {
@@ -98,11 +115,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	hello, err := toolio.DecodeWireMsg(line)
 	if err != nil {
-		http.Error(w, "tmid: first line must be a hello", http.StatusBadRequest)
+		bail("tmid: first line must be a hello", http.StatusBadRequest)
 		return
 	}
 	if err := toolio.CheckHello(hello); err != nil {
-		http.Error(w, "tmid: "+err.Error(), http.StatusBadRequest)
+		bail("tmid: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	pageSize := hello.PageSize
@@ -114,8 +131,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sh := s.shardFor(hello.Tenant)
 	if sh.saturated() {
 		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "tmid: shard saturated, retry later", http.StatusTooManyRequests)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds()))
+		bail("tmid: shard saturated, retry later", http.StatusTooManyRequests)
 		return
 	}
 
@@ -165,7 +182,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.runNDJSONStream(w, br, st, fail, flush, line[:0])
 	}
 	// EOF ends the stream but not the session: the tenant may reconnect and
-	// continue until the TTL evicts it.
+	// continue until the TTL evicts it. A mid-stream abort (fail already
+	// flushed the wire error) still drains to EOF — see bail above.
+	io.Copy(io.Discard, br)
 }
 
 // runNDJSONStream consumes NDJSON sample/tick lines. lineBuf seeds the
@@ -362,14 +381,63 @@ func (s *Server) tryEnqueue(sh *shard, j job) (sent, closed bool) {
 	}
 }
 
+// retryAfter bounds the jittered 429 Retry-After value in whole seconds.
+// Jitter is the thundering-herd fix: when a saturated shard turns a fleet
+// of clients away in the same instant, a fixed backoff marches them all
+// back in lockstep and the shard saturates again on the echo; spreading
+// the retries over [retryAfterMin, retryAfterMax] breaks the resonance.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 3
+)
+
+// retryAfterSeconds draws a jittered admission backoff.
+func retryAfterSeconds() int {
+	return retryAfterMin + rand.IntN(retryAfterMax-retryAfterMin+1)
+}
+
+// NodeHealth is /healthz's JSON body: liveness plus the membership
+// metadata a cluster router's probe wants (node identity, schema version,
+// shard/session geometry), so one probe doubles as discovery.
+type NodeHealth struct {
+	Status     string `json:"status"`
+	Node       string `json:"node"`
+	Schema     int    `json:"schema"`
+	Shards     int    `json:"shards"`
+	Sessions   int64  `json:"sessions"`
+	Migratable bool   `json:"migratable,omitempty"`
+}
+
 // handleHealthz reports liveness; a draining server answers 503 so load
-// balancers stop routing to it while queued work finishes.
+// balancers stop routing to it while queued work finishes. Probes that
+// Accept JSON get the NodeHealth metadata body; everything else keeps the
+// historical bare-200 "ok" contract.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	wantJSON := strings.Contains(r.Header.Get("Accept"), "application/json")
+	status := http.StatusOK
+	statusText := "ok"
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		status = http.StatusServiceUnavailable
+		statusText = "draining"
+	}
+	if !wantJSON {
+		if status != http.StatusOK {
+			http.Error(w, statusText, status)
+			return
+		}
+		w.Write([]byte("ok\n"))
 		return
 	}
-	w.Write([]byte("ok\n"))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(NodeHealth{
+		Status:     statusText,
+		Node:       s.cfg.NodeID,
+		Schema:     toolio.SchemaVersion,
+		Shards:     s.cfg.Shards,
+		Sessions:   s.metrics.sessionsActive.Load(),
+		Migratable: s.cfg.Migratable,
+	})
 }
 
 // handleMetrics renders the Prometheus text exposition.

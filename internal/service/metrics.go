@@ -42,6 +42,9 @@ type Metrics struct {
 
 	sessionsActive  atomic.Int64
 	sessionsEvicted atomic.Uint64
+	migratedIn      atomic.Uint64 // sessions installed by /v1/import
+	migratedOut     atomic.Uint64 // sessions cut over after a /v1/migrate ack
+	migrateFailed   atomic.Uint64 // imports/pushes that failed (session kept)
 
 	mu      sync.Mutex
 	latency histogram
@@ -132,6 +135,9 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepths []int, queueCap int, draining
 	counter("tmid_advice_pages_total", "Pages recommended for isolation across all advice.", m.advicePages.Load())
 	gauge("tmid_sessions_active", "Tenant sessions currently resident.", float64(m.sessionsActive.Load()))
 	counter("tmid_sessions_evicted_total", "Tenant sessions evicted after the idle TTL.", m.sessionsEvicted.Load())
+	counter("tmid_sessions_migrated_in_total", "Sessions rebuilt and installed by /v1/import.", m.migratedIn.Load())
+	counter("tmid_sessions_migrated_out_total", "Sessions removed after a destination acked their migration.", m.migratedOut.Load())
+	counter("tmid_migrate_failed_total", "Migration imports or pushes that failed (source session kept).", m.migrateFailed.Load())
 
 	// Queue depth per shard plus the shared capacity bound.
 	fmt.Fprintf(w, "# HELP tmid_queue_depth Pending jobs in each shard's bounded ingest queue.\n# TYPE tmid_queue_depth gauge\n")

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/sim/intern"
+	"repro/internal/sim/trace"
 	"repro/internal/toolio"
 )
 
@@ -78,6 +79,23 @@ type Config struct {
 	// detect.RecommendBackend. The recommendation is additive: it never
 	// changes any other advice field.
 	RecommendBackend string
+	// Migratable turns on per-session sample capture: every session keeps
+	// its accepted sample stream as a trace.SampleLog so it can be exported
+	// through /v1/export and moved to another node by /v1/migrate, where the
+	// destination rebuilds byte-identical detector state by replaying the
+	// log through the same advise path (the cluster tier's live-rebalancing
+	// substrate, DESIGN §17). Capture costs memory proportional to the
+	// session's record volume; the session TTL bounds its lifetime.
+	Migratable bool
+	// NodeID names this node in /healthz membership metadata (the cluster
+	// router's health probe doubles as discovery). Empty means "tmid".
+	NodeID string
+	// MaxMigrateRecords caps the records one /v1/import accepts (default
+	// 1<<22): an import is a trusted intra-cluster transfer, but the cap
+	// keeps a misrouted or runaway stream from ballooning a node.
+	MaxMigrateRecords int
+	// MigrateTimeout bounds one outbound /v1/migrate push (default 30s).
+	MigrateTimeout time.Duration
 
 	// now is the clock seam (tests inject a fake for TTL eviction).
 	now func() time.Time
@@ -107,6 +125,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Periods == (detect.PeriodController{}) {
 		c.Periods = detect.DefaultPeriodController()
+	}
+	if c.NodeID == "" {
+		c.NodeID = "tmid"
+	}
+	if c.MaxMigrateRecords <= 0 {
+		c.MaxMigrateRecords = 1 << 22
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = 30 * time.Second
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -181,12 +208,16 @@ func (s *Server) Drain() {
 }
 
 // Handler returns the service's HTTP surface: POST /v1/stream, GET
-// /healthz, GET /metrics.
+// /healthz, GET /metrics, plus the migration endpoints (GET /v1/export,
+// POST /v1/import, POST /v1/migrate) when the server is Migratable.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/export", s.handleExport)
+	mux.HandleFunc("POST /v1/import", s.handleImport)
+	mux.HandleFunc("POST /v1/migrate", s.handleMigrate)
 	return mux
 }
 
@@ -201,6 +232,11 @@ type session struct {
 	lastSeen time.Time
 	seen     uint64 // detector records at the last tick
 	ticks    int
+	// log captures the accepted sample stream and its window boundaries
+	// when the server is Migratable: replaying it through a fresh session
+	// reproduces this session's detector state exactly, which is what
+	// /v1/export ships and /v1/import rebuilds. nil when capture is off.
+	log *trace.SampleLog
 }
 
 // newSession builds the per-tenant detector exactly the way the offline
@@ -230,6 +266,10 @@ func (s *session) feed(samples []detect.Sample) {
 		s.tab.Intern(sm.Addr)
 		s.det.Ingest(sm)
 	}
+	if s.log != nil {
+		// Capture copies the batch: the caller's buffer is recycled.
+		s.log.Samples = append(s.log.Samples, samples...)
+	}
 }
 
 // advise closes the window a tick message describes and renders the advice
@@ -242,6 +282,12 @@ func (s *session) feed(samples []detect.Sample) {
 // the finished advice, so a recommending service and a silent one agree on
 // every other byte.
 func (s *session) advise(tick toolio.WireTick, periods detect.PeriodController, policy string) toolio.WireAdvice {
+	if s.log != nil {
+		// The window boundary is part of the migratable state: a replaying
+		// destination must close its windows at exactly these points for its
+		// detector to land in the same state.
+		s.log.TapWindow(tick.IntervalSec, tick.Period)
+	}
 	req := s.det.Analyze(tick.IntervalSec, tick.Period)
 	window := s.det.TotalRecords - s.seen
 	s.seen = s.det.TotalRecords

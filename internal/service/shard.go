@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/sim/trace"
 	"repro/internal/toolio"
 )
 
@@ -26,11 +27,33 @@ type job struct {
 	// tests); the reply lands on info.
 	inspect bool
 	info    chan SessionInfo
+	// export asks for a migration snapshot of the tenant's captured sample
+	// log; the reply (a deep copy, safe to stream after the job returns)
+	// lands on export.
+	export chan exportState
+	// install atomically inserts a fully rebuilt session (an import's
+	// output) under the tenant key, replacing any resident one; the ack
+	// lands on installed.
+	install   *session
+	installed chan struct{}
+	// remove deletes the tenant's session (migration source cutover); the
+	// ack reports whether a session was actually resident.
+	remove  bool
+	removed chan bool
 	// stall blocks the shard loop until the channel closes (tests use it to
 	// saturate a queue deterministically).
 	stall chan struct{}
 	// enqueued timestamps admission for the advice-latency histogram.
 	enqueued time.Time
+}
+
+// exportState is one session's migratable snapshot: a deep copy of its
+// captured sample log, taken on the owning shard goroutine so it can never
+// tear against concurrent ingest.
+type exportState struct {
+	ok      bool
+	capture bool // false when the server is not Migratable
+	log     *trace.SampleLog
 }
 
 // release returns a consumed sample buffer to its stream's free list. The
@@ -96,6 +119,13 @@ func (sh *shard) loop() {
 			<-j.stall
 		case j.inspect:
 			j.info <- sh.inspectSession(j.tenant)
+		case j.export != nil:
+			j.export <- sh.exportSession(j.tenant)
+		case j.install != nil:
+			sh.installSession(j.install, now)
+			close(j.installed)
+		case j.remove:
+			j.removed <- sh.removeSession(j.tenant)
 		case j.samples != nil:
 			s, err := sh.session(j.tenant, j.pageSize, now)
 			if err != nil {
@@ -133,10 +163,58 @@ func (sh *shard) session(tenant string, pageSize int, now time.Time) (*session, 
 	if err != nil {
 		return nil, err
 	}
+	if sh.srv.cfg.Migratable {
+		s.log = &trace.SampleLog{PageSize: pageSize}
+	}
 	s.lastSeen = now
 	sh.sessions[tenant] = s
 	sh.srv.metrics.sessionsActive.Add(1)
 	return s, nil
+}
+
+// exportSession deep-copies the tenant's captured sample log. Running on
+// the shard goroutine, it observes a log with every ingested batch applied
+// and no batch half-applied; the copy means the HTTP handler can stream it
+// out while the session keeps ingesting.
+func (sh *shard) exportSession(tenant string) exportState {
+	if !sh.srv.cfg.Migratable {
+		return exportState{capture: false}
+	}
+	s := sh.sessions[tenant]
+	if s == nil || s.log == nil {
+		return exportState{capture: true}
+	}
+	cp := &trace.SampleLog{
+		PageSize: s.log.PageSize,
+		Samples:  append([]detect.Sample(nil), s.log.Samples...),
+		Windows:  append([]trace.SampleWindow(nil), s.log.Windows...),
+	}
+	return exportState{ok: true, capture: true, log: cp}
+}
+
+// installSession inserts a rebuilt session under its tenant key. Import
+// rebuilds the session off-shard and installs it in this single step, so a
+// concurrently evicting or ingesting shard can only ever observe no session
+// or a fully replayed one — never a half-rebuilt state.
+func (sh *shard) installSession(s *session, now time.Time) {
+	s.lastSeen = now
+	if sh.sessions[s.tenant] == nil {
+		sh.srv.metrics.sessionsActive.Add(1)
+	}
+	sh.sessions[s.tenant] = s
+	sh.srv.metrics.migratedIn.Add(1)
+}
+
+// removeSession deletes the tenant's session (the migration source's
+// cutover step: the destination has acked, this copy is now stale).
+func (sh *shard) removeSession(tenant string) bool {
+	if sh.sessions[tenant] == nil {
+		return false
+	}
+	delete(sh.sessions, tenant)
+	sh.srv.metrics.sessionsActive.Add(-1)
+	sh.srv.metrics.migratedOut.Add(1)
+	return true
 }
 
 // maybeEvict drops sessions idle past the TTL. The scan itself runs at most
